@@ -1,0 +1,31 @@
+"""Benchmark-suite helpers: result emission and shared one-shot timing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    EXPERIMENTS.md records these outputs as the measured side of every
+    paper-vs-measured comparison.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print()
+    print(text)
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiment harnesses run many full simulations; repeating them for
+    statistical timing would multiply the suite's runtime for no insight
+    (the simulations are deterministic).
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

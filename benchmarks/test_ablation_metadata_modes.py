@@ -1,0 +1,39 @@
+"""Ablation: adaptive metadata-mode selection (§4.2).
+
+Sweeps update density over a fixed memoized array and records the chosen
+encoding and its exact wire size — the crossover structure behind the
+paper's dense/sparse/very-sparse rules.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+from repro.core.metadata import MetadataMode, select_mode
+
+
+def test_metadata_mode_crossovers(benchmark):
+    rows = once(benchmark, experiments.metadata_mode_rows)
+    emit(
+        "ablation_metadata",
+        format_table(rows, "Metadata encoding vs update density (n=4096)"),
+    )
+    by_density = {row["density_%"]: row for row in rows}
+    assert by_density[0]["mode"] == "EMPTY"
+    assert by_density[1]["mode"] == "INDICES"  # very sparse
+    assert by_density[50]["mode"] == "BITVEC"  # sparse
+    assert by_density[100]["mode"] == "FULL"  # dense
+    # Sizes are monotone in density within the selected-best curve.
+    sizes = [row["bytes"] for row in rows]
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+
+def test_mode_selection_throughput(benchmark):
+    """Time the mode-selection hot path itself (runs once per message)."""
+
+    def select_many():
+        total = 0
+        for updates in range(0, 4096, 7):
+            total += int(select_mode(4096, updates, 4))
+        return total
+
+    result = benchmark(select_many)
+    assert result > 0

@@ -1,0 +1,44 @@
+"""Ablation: computation/communication overlap headroom.
+
+Gluon's execution (and Figure 10's bars) are bulk-synchronous: each round
+pays computation plus *non-overlapping* communication.  This ablation
+measures, from the recorded per-round traces, how much a perfectly
+overlapping runtime could hide — the quantitative motivation for the
+asynchronous-substrate follow-up work.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis.experiments import run
+from repro.analysis.tables import format_table
+
+
+def overlap_rows():
+    rows = []
+    for app in ("bfs", "cc", "pr", "sssp"):
+        result = run("d-galois", app, "clueweb12s", 16, policy="cvc")
+        rows.append(
+            {
+                "app": app,
+                "bsp_ms": round(result.total_time * 1e3, 3),
+                "overlapped_ms": round(
+                    result.total_time_overlapped * 1e3, 3
+                ),
+                "headroom_%": round(100 * result.overlap_headroom(), 1),
+            }
+        )
+    return rows
+
+
+def test_overlap_headroom(benchmark):
+    rows = once(benchmark, overlap_rows)
+    emit(
+        "ablation_overlap",
+        format_table(
+            rows, "Overlap headroom (d-galois, clueweb12s, 16 hosts)"
+        ),
+    )
+    for row in rows:
+        assert 0 <= row["headroom_%"] < 100
+        assert row["overlapped_ms"] <= row["bsp_ms"]
+    # Communication-bound rounds leave real headroom on at least one app.
+    assert max(row["headroom_%"] for row in rows) > 10

@@ -1,0 +1,24 @@
+"""Ablation: partition-policy auto-tuning (§3.3).
+
+Gluon's pitch is that the policy is a runtime flag, so users can pick the
+best per (app, input).  This sweep records the full policy x app x input
+time matrix and the winner per row — demonstrating that no single policy
+dominates, which is the motivation for supporting all of them.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_policy_autotuning(benchmark):
+    rows = once(benchmark, experiments.policy_autotuning_rows)
+    emit(
+        "ablation_policies",
+        format_table(rows, "Best partitioning policy per app and input"),
+    )
+    winners = {row["best"] for row in rows}
+    # More than one policy wins somewhere: the design space is real.
+    assert len(winners) >= 2
+    for row in rows:
+        best_time = min(row[p] for p in ("oec", "iec", "cvc", "hvc", "jagged"))
+        assert row[row["best"]] == best_time

@@ -1,0 +1,51 @@
+"""Figure 10: impact of Gluon's communication optimizations.
+
+The headline experiment: every panel runs bfs/cc/pr/sssp at four
+optimization levels (UNOPT, OSI, OTI, OSTI) and reports execution time
+split into computation and non-overlapping communication, with the exact
+communication volume per bar.
+
+Reproduction targets:
+
+* volume: OSTI <= OTI <= UNOPT and OSTI <= OSI <= UNOPT per panel/app;
+* OTI alone roughly halves volume versus UNOPT (gids replaced by
+  bit-vectors);
+* time: OSTI is the fastest level overall, with a geomean speedup over
+  UNOPT in the ballpark of the paper's ~2.6x.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_fig10_optimization_breakdown(benchmark):
+    rows = once(benchmark, experiments.fig10_rows)
+    emit(
+        "fig10",
+        format_table(
+            rows, "Figure 10: communication-optimization breakdown"
+        ),
+    )
+    by_bar = defaultdict(dict)
+    for row in rows:
+        by_bar[(row["panel"], row["app"])][row["level"]] = row
+
+    for key, levels in by_bar.items():
+        unopt = levels["unopt"]
+        osi = levels["osi"]
+        oti = levels["oti"]
+        osti = levels["osti"]
+        # Volume orderings (exact byte counts).
+        assert osti["comm_MB"] <= oti["comm_MB"] <= unopt["comm_MB"], key
+        assert osti["comm_MB"] <= osi["comm_MB"] <= unopt["comm_MB"], key
+        # Memoization alone cuts volume substantially (~2x in §5.6).
+        assert unopt["comm_MB"] > 1.3 * oti["comm_MB"], key
+
+    speedup = experiments.fig10_speedup(rows)
+    emit(
+        "fig10_speedup",
+        f"Geomean OSTI speedup over UNOPT: {speedup:.2f}x (paper: ~2.6x)\n",
+    )
+    assert speedup > 1.5

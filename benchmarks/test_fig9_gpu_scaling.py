@@ -1,0 +1,47 @@
+"""Figure 9: strong scaling of D-IrGL on multi-GPU clusters.
+
+Reproduction target: D-IrGL keeps scaling as GPUs are added (the paper
+reports ~6.5x geomean going from 4 to 64 GPUs on rmat28); our scaled
+sweep checks time decreases from the smallest to the largest GPU count
+for most app/input pairs.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+from repro.analysis.tables import geomean
+
+GPUS = (8, 16, 32)
+
+
+def test_fig9_dirgl_scaling(benchmark):
+    rows = once(benchmark, experiments.fig9_series, gpus=GPUS)
+    emit("fig9", format_table(rows, "Figure 9: D-IrGL strong scaling"))
+    from repro.analysis.plots import scaling_plot
+
+    sections = []
+    for workload in sorted({row["input"] for row in rows}):
+        subset = [row for row in rows if row["input"] == workload]
+        sections.append(
+            scaling_plot(
+                subset, "gpus", "time_ms", "app",
+                title=f"Fig 9 {workload}: time vs GPUs",
+            )
+        )
+    emit("fig9_plots", "\n".join(sections))
+    series = defaultdict(dict)
+    for row in rows:
+        series[(row["app"], row["input"])][row["gpus"]] = row["time_ms"]
+    speedups = []
+    for key, points in series.items():
+        speedups.append(points[min(GPUS)] / points[max(GPUS)])
+    overall = geomean(speedups)
+    emit(
+        "fig9_speedup",
+        f"Geomean D-IrGL speedup {min(GPUS)}->{max(GPUS)} GPUs: "
+        f"{overall:.2f}x (paper: ~6.5x for 4->64 on rmat28)\n",
+    )
+    assert overall > 1.0
+    improving = sum(1 for s in speedups if s > 1.0)
+    assert improving > len(speedups) // 2

@@ -1,0 +1,25 @@
+"""The paper's headline factors, re-measured in one compact pass.
+
+This is the generator behind EXPERIMENTS.md's summary table: each headline
+claim of the abstract/evaluation, paper value vs measured value.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_headline_summary(benchmark):
+    rows = once(benchmark, experiments.headline_summary)
+    emit(
+        "headline_summary",
+        format_table(rows, "Headline factors: paper vs measured"),
+    )
+    by_name = {row["headline"]: row for row in rows}
+    osti = float(
+        by_name["Gluon optimizations (OSTI vs UNOPT)"]["measured"][:-1]
+    )
+    assert osti > 1.5
+    gemini = float(by_name["D-Galois vs Gemini"]["measured"][:-1])
+    assert gemini > 1.5
+    gunrock = float(by_name["D-IrGL(best) vs Gunrock"]["measured"][:-1])
+    assert gunrock > 1.0

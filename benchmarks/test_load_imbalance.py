@@ -1,0 +1,25 @@
+"""§5.4: load-imbalance analysis (max-by-mean computation time).
+
+Reproduction targets: the skewed web inputs (clueweb12s/wdc12s) show
+markedly higher imbalance on cc/pr than the uniform-degree behaviour
+(paper: 3-8 for D-Galois, up to 13 for D-Ligra), while bfs/sssp stay
+closer to balanced.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_load_imbalance(benchmark):
+    rows = once(benchmark, experiments.load_imbalance_rows)
+    emit(
+        "load_imbalance",
+        format_table(rows, "Load imbalance (max/mean computation time)"),
+    )
+    for row in rows:
+        assert row["max/mean"] >= 1.0
+    heavy = [
+        row["max/mean"] for row in rows if row["app"] in ("cc", "pr")
+    ]
+    # The skewed inputs produce real imbalance on cc/pr (§5.4).
+    assert max(heavy) > 1.5

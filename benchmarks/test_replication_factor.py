@@ -1,0 +1,23 @@
+"""§5.2: replication factors of the partitioning policies vs Gemini.
+
+Reproduction targets: Gemini's replication factor is markedly higher than
+Gluon CVC's at every host count, and the gap widens with host count
+(paper: Gemini 4-25 vs CVC 2-8 at 128-256 hosts).
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_replication_factors(benchmark):
+    rows = once(benchmark, experiments.replication_rows)
+    emit(
+        "replication",
+        format_table(rows, "Replication factor by policy (rmat24s)"),
+    )
+    for row in rows:
+        assert row["gemini"] > row["cvc"], row
+    first, last = rows[0], rows[-1]
+    assert (last["gemini"] - last["cvc"]) > (first["gemini"] - first["cvc"])
+    # CVC's replication is bounded by its grid row+column size.
+    assert last["cvc"] < last["oec"] or last["cvc"] < last["gemini"]

@@ -1,0 +1,26 @@
+"""Table 1: input graphs and their key properties.
+
+Regenerates the paper's input-property table for the scaled stand-ins,
+side-by-side with the paper's values.  The reproduction target is the
+*character* of each input: density and the direction of the degree skew.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_table1_input_properties(benchmark):
+    rows = once(benchmark, experiments.table1_rows)
+    emit("table1", format_table(rows, "Table 1: inputs and key properties"))
+
+    by_name = {row["input"]: row for row in rows}
+    # rmat/kron stand-ins keep |E|/|V| near 16 (dedup trims a little).
+    for name in ("rmat22s", "rmat24s", "kron25s"):
+        assert 10 <= by_name[name]["|E|/|V|"] <= 16
+    # twitter40: dense and out-skewed, like the paper's 2.99M vs 0.77M.
+    assert by_name["twitter40s"]["max Dout"] > 5 * by_name["twitter40s"]["max Din"]
+    # Web crawls: in-skewed, like clueweb12's 75M in vs 7.4K out.
+    for name in ("clueweb12s", "wdc12s"):
+        assert by_name[name]["max Din"] > 5 * by_name[name]["max Dout"]
+    # wdc12 is the largest input.
+    assert by_name["wdc12s"]["|E|"] == max(r["|E|"] for r in rows)

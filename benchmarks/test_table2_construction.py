@@ -1,0 +1,47 @@
+"""Table 2: graph construction time (load + partition + build).
+
+Measures real wall-clock of this library's partitioners plus the memoized
+address-book exchange.  Reproduction targets: the Gluon-based systems
+(D-Ligra, D-Galois) construct faster than Gemini, whose dual in/out
+representation materializes extra proxies, and Gluon's replication factor
+stays lower (§5.2).
+"""
+
+from benchmarks.conftest import emit, once
+from repro.analysis import experiments, format_table
+
+
+def test_table2_construction_time(benchmark):
+    rows = once(benchmark, experiments.table2_rows)
+    emit(
+        "table2",
+        format_table(rows, "Table 2: graph construction time (measured)"),
+    )
+    single = experiments.table2_single_host_rows()
+    emit(
+        "table2_single_host",
+        format_table(single, "Table 2 (single host): load + construct"),
+    )
+    by_key = {
+        (row["hosts"], row["input"], row["system"]): row for row in rows
+    }
+    hosts = sorted({row["hosts"] for row in rows})
+    inputs = sorted({row["input"] for row in rows})
+    slower_cells = 0
+    total_cells = 0
+    for num_hosts in hosts:
+        for workload in inputs:
+            gemini = by_key[(num_hosts, workload, "gemini")]
+            dgalois = by_key[(num_hosts, workload, "d-galois")]
+            # Gemini's dual representation always carries more proxies
+            # (§5.2); its extra construction work shows in wall-clock,
+            # checked in aggregate because single cells are millisecond
+            # scale and noisy.
+            assert gemini["replication"] > dgalois["replication"]
+            total_cells += 1
+            if gemini["construction_s"] > dgalois["construction_s"]:
+                slower_cells += 1
+    assert slower_cells >= (2 * total_cells) // 3, (
+        f"Gemini constructed faster than D-Galois in "
+        f"{total_cells - slower_cells}/{total_cells} cells"
+    )

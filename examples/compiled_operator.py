@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Gluon sync compiler in action (§3.3).
+
+The paper's applications never write communication code: a compiler
+extracts the synchronized fields, reductions, and sync points from the
+operator and generates everything else.  Here the whole of sssp is six
+declarative lines; the compiler reports the per-strategy synchronization
+plan it inferred, and the generated program runs on any engine and policy.
+
+Run:  python examples/compiled_operator.py
+"""
+
+import numpy as np
+
+from repro import generators
+from repro.compiler import compile_operator
+from repro.compiler.analysis import data_flow_description
+from repro.compiler.spec import FieldDecl, Init, OperatorSpec
+from repro.engines import make_engine
+from repro.partition import make_partitioner
+from repro.partition.strategy import OperatorClass
+from repro.runtime.executor import DistributedExecutor
+from repro.systems import prepare_input, run_app
+
+
+def main() -> None:
+    # The entire application, declaratively:
+    spec = OperatorSpec(
+        name="sssp",
+        style=OperatorClass.PUSH,
+        field=FieldDecl(
+            "dist", np.uint32, reduce="min",
+            init=Init.infinity_except_source(),
+        ),
+        edge_kernel=lambda source_values, weights: source_values + weights,
+        source_guard=lambda values: values != np.iinfo(np.uint32).max,
+        needs_weights=True,
+    )
+
+    # What the compiler's static analysis derived (§3.2's table):
+    print(data_flow_description(spec))
+    print()
+
+    program = compile_operator(spec)
+    edges = generators.rmat(scale=12, edge_factor=16, seed=21)
+    prep = prepare_input("sssp", edges)
+
+    # The generated program runs on every engine and policy unchanged.
+    reference = None
+    for engine_name, policy in (
+        ("galois", "oec"),
+        ("ligra", "cvc"),
+        ("irgl", "hvc"),
+    ):
+        partitioned = make_partitioner(policy).partition(prep.edges, 8)
+        executor = DistributedExecutor(
+            partitioned, make_engine(engine_name), program, prep.ctx
+        )
+        result = executor.run()
+        dist = executor.gather_result("dist")
+        if reference is None:
+            reference = dist
+        assert np.array_equal(dist, reference)
+        print(f"  {engine_name:>6} + {policy}: {result.num_rounds} rounds, "
+              f"{result.communication_volume/1e3:.1f} KB -> identical result")
+
+    # And it matches the hand-written sssp application byte for byte.
+    handwritten = run_app("d-ligra", "sssp", edges, num_hosts=8, policy="cvc")
+    assert np.array_equal(
+        handwritten.executor.gather_result("dist"), reference
+    )
+    print("\ncompiled sssp == hand-written sssp; zero communication code "
+          "was written.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Writing a new vertex program against the Gluon API (§3.3).
+
+Implements *widest path* (maximum-bottleneck path) from a source: the
+label of a node is the largest bottleneck capacity over all paths from
+the source, where a path's bottleneck is its minimum edge weight.
+
+The point of the exercise: a new application only declares
+
+* its label array and initialization,
+* a push step (pure local numpy), and
+* one FieldSpec — here a MAX reduction —
+
+and it immediately runs on every engine, partitioning policy, and
+optimization level.  No communication code is written.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro import generators
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.core.sync_structures import MAX, FieldSpec
+from repro.engines import make_engine
+from repro.partition import make_partitioner
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.timing import WorkStats
+from repro.systems import prepare_input
+from repro.utils.rng import make_rng
+
+
+class WidestPath(VertexProgram):
+    """Push-style maximum-bottleneck-path with a MAX reduction."""
+
+    name = "widest-path"
+    needs_weights = True
+    operator_class = OperatorClass.PUSH
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        capacity = np.zeros(part.num_nodes, dtype=np.uint32)
+        if part.has_proxy(ctx.source):
+            # The source reaches itself with unbounded capacity.
+            capacity[part.to_local(ctx.source)] = np.iinfo(np.uint32).max
+        return {"capacity": capacity}
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        return [
+            FieldSpec(name="capacity", values=state["capacity"], reduce_op=MAX)
+        ]
+
+    def initial_frontier(self, part, state, ctx):
+        frontier = np.zeros(part.num_nodes, dtype=bool)
+        if part.has_proxy(ctx.source):
+            frontier[part.to_local(ctx.source)] = True
+        return frontier
+
+    def step(self, part, state, frontier, direction="push"):
+        capacity = state["capacity"]
+        usable = frontier & (capacity > 0)
+        src_rep, dst, positions = gather_frontier_edges(part.graph, usable)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(len(dst), int(usable.sum()))
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        weights = part.graph.weights[positions].astype(np.uint32)
+        candidate = np.minimum(capacity[src_rep], weights)
+        before = capacity.copy()
+        np.maximum.at(capacity, dst, candidate)
+        updated = capacity != before
+        return StepOutcome(updated=updated, work=work)
+
+
+def reference_widest_path(edges, source):
+    """Oracle: Dijkstra-style max-bottleneck search."""
+    import heapq
+
+    capacity = np.zeros(edges.num_nodes, dtype=np.uint64)
+    capacity[source] = np.iinfo(np.uint32).max
+    adjacency = [[] for _ in range(edges.num_nodes)]
+    for s, d, w in zip(
+        edges.src.tolist(), edges.dst.tolist(), edges.weight.tolist()
+    ):
+        adjacency[s].append((d, w))
+    heap = [(-int(capacity[source]), source)]
+    while heap:
+        neg_cap, node = heapq.heappop(heap)
+        if -neg_cap < capacity[node]:
+            continue
+        for neighbor, weight in adjacency[node]:
+            through = min(-neg_cap, weight)
+            if through > capacity[neighbor]:
+                capacity[neighbor] = through
+                heapq.heappush(heap, (-through, neighbor))
+    return capacity
+
+
+def main() -> None:
+    raw = generators.rmat(scale=12, edge_factor=8, seed=9)
+    edges = raw.with_random_weights(make_rng(5), low=1, high=50)
+    prep = prepare_input("bfs", edges)  # reuse source selection
+    source = prep.ctx.source
+    print(f"input: {edges.num_nodes} nodes, {edges.num_edges} edges, "
+          f"source {source}\n")
+
+    app = WidestPath()
+    ctx = AppContext(num_global_nodes=edges.num_nodes, source=source)
+    expected = reference_widest_path(edges, source)
+
+    for policy in ("oec", "cvc", "hvc"):
+        partitioned = make_partitioner(policy).partition(edges, 8)
+        executor = DistributedExecutor(
+            partitioned, make_engine("galois"), app, ctx
+        )
+        result = executor.run()
+        got = executor.gather_result("capacity").astype(np.uint64)
+        assert np.array_equal(got, expected), f"{policy} diverged!"
+        print(f"  {policy}: {result.num_rounds} rounds, "
+              f"{result.communication_volume/1e3:.1f} KB shipped -> correct")
+    print("\nwidest-path matches the oracle under every policy; the only "
+          "Gluon-specific code was one FieldSpec with a MAX reduction.")
+
+
+if __name__ == "__main__":
+    main()

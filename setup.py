@@ -1,0 +1,10 @@
+"""Setup shim: enables editable installs on environments without `wheel`.
+
+All project metadata lives in pyproject.toml; this file exists so that
+`pip install -e . --no-use-pep517` (and plain `python setup.py develop`)
+work on minimal offline toolchains.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro: a reproduction of Gluon (Dathathri et al., PLDI 2018).
+
+Gluon is a communication-optimizing substrate for distributed heterogeneous
+graph analytics.  This package implements the substrate and everything it
+rests on — graph representations and generators, the four partitioning
+strategies, a byte-exact simulated network, the Galois/Ligra/IrGL-style
+compute engines, and the Gemini/Gunrock baselines — as an in-process
+simulation whose communication volumes are exact and whose times come from
+documented analytic cost models (see DESIGN.md).
+
+Quickstart::
+
+    from repro import generators, run_app
+
+    edges = generators.rmat(scale=12, edge_factor=16, seed=1)
+    result = run_app("d-galois", "bfs", edges, num_hosts=8, policy="cvc")
+    print(result.summary())
+"""
+
+from repro import graph as graph
+from repro.apps import make_app
+from repro.core.optimization import OptimizationLevel
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.partition import make_partitioner
+from repro.runtime.stats import RunResult
+from repro.systems import ALL_SYSTEMS, prepare_input, run_app
+from repro.verify import verify_run
+from repro.workloads import WORKLOAD_NAMES, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_app",
+    "prepare_input",
+    "verify_run",
+    "make_app",
+    "make_partitioner",
+    "load_workload",
+    "generators",
+    "CSRGraph",
+    "EdgeList",
+    "RunResult",
+    "OptimizationLevel",
+    "ALL_SYSTEMS",
+    "WORKLOAD_NAMES",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Analysis layer: experiment harnesses and table/figure rendering.
+
+`repro.analysis.experiments` regenerates the data behind every table and
+figure in the paper's evaluation (§5); `repro.analysis.tables` renders the
+rows the way the paper prints them.  The benchmark suite under
+``benchmarks/`` is a thin pytest-benchmark wrapper over these functions.
+"""
+
+from repro.analysis.tables import format_table, geomean
+from repro.analysis import experiments
+
+__all__ = ["format_table", "geomean", "experiments"]

@@ -1,0 +1,116 @@
+"""ASCII line plots for the strong-scaling figures.
+
+The paper's Figures 8 and 9 are log-log scaling curves; the benchmark
+harness renders the measured series as terminal plots so the *shape* —
+who is above whom, which curves keep falling — is visible directly in
+`benchmarks/results/`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in insertion order.
+MARKERS = "ox*+#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log-scale plots require positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 14,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as a character plot.
+
+    Args:
+        series: mapping label -> sequence of (x, y) points.
+        title: heading line.
+        width/height: plot canvas size in characters.
+        log_x/log_y: log10 axes (the paper's figures are log-log).
+        x_label/y_label: axis annotations.
+    """
+    if not series or all(len(points) == 0 for points in series.values()):
+        return f"{title}\n(no data)\n"
+    xs: List[float] = []
+    ys: List[float] = []
+    for points in series.values():
+        for x, y in points:
+            xs.append(_transform(x, log_x))
+            ys.append(_transform(y, log_y))
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in points:
+            col = int(
+                round((_transform(x, log_x) - x_low) / x_span * (width - 1))
+            )
+            row = int(
+                round((_transform(y, log_y) - y_low) / y_span * (height - 1))
+            )
+            canvas[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10 ** y_high if log_y else y_high
+    y_bottom = 10 ** y_low if log_y else y_low
+    lines.append(f"{y_label}: {_fmt(y_bottom)} .. {_fmt(y_top)}"
+                 f"{' (log)' if log_y else ''}")
+    lines.append("+" + "-" * width + "+")
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    x_left = 10 ** x_low if log_x else x_low
+    x_right = 10 ** x_high if log_x else x_high
+    lines.append(f"{x_label}: {_fmt(x_left)} .. {_fmt(x_right)}"
+                 f"{' (log)' if log_x else ''}")
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def scaling_plot(
+    rows: Sequence[Dict],
+    x_key: str,
+    y_key: str,
+    series_key: str,
+    title: str = "",
+) -> str:
+    """Plot benchmark rows grouped into one series per ``series_key``."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(str(row[series_key]), []).append(
+            (float(row[x_key]), float(row[y_key]))
+        )
+    for points in series.values():
+        points.sort()
+    return ascii_plot(
+        series, title=title, x_label=x_key, y_label=y_key
+    )

@@ -1,0 +1,113 @@
+"""One-shot reproduction report: every experiment, rendered to markdown.
+
+``python -m repro report`` (or :func:`generate_report`) reruns the
+experiment harnesses and writes a self-contained markdown document with
+every table, the scaling figures as ASCII plots, and the headline
+paper-vs-measured summary.  ``quick=True`` shrinks the workloads and
+sweeps for a fast smoke pass.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import experiments
+from repro.analysis.plots import scaling_plot
+from repro.analysis.tables import format_table
+
+#: Section order of the generated report.
+SECTIONS = (
+    ("Table 1 — inputs", "table1"),
+    ("Table 2 — construction", "table2"),
+    ("Table 4 — single host", "table4"),
+    ("Table 5 — single node, 4 GPUs", "table5"),
+    ("Figure 10 — communication optimizations", "fig10"),
+    ("Replication factors (§5.2)", "replication"),
+    ("Round counts (§5.4)", "rounds"),
+    ("Metadata modes (§4.2)", "metadata"),
+    ("Policy auto-tuning (§3.3)", "policies"),
+)
+
+
+def generate_report(
+    output_path: Optional[str] = None, quick: bool = True
+) -> str:
+    """Run the harnesses and render the markdown report.
+
+    Args:
+        output_path: optional file to write.
+        quick: shrink workloads (scale_delta=-2) and skip the heavyweight
+            sweeps (Table 3, Figures 8/9); the benchmark suite remains the
+            full-fidelity path.
+    """
+    scale_delta = -2 if quick else 0
+    started = time.perf_counter()
+    parts = [
+        "# Gluon reproduction report",
+        "",
+        f"mode: {'quick' if quick else 'full'} "
+        f"(workload scale_delta={scale_delta})",
+        "",
+        "## Headline factors",
+        "",
+        "```",
+        format_table(experiments.headline_summary(scale_delta=scale_delta)),
+        "```",
+    ]
+    harness = {
+        "table1": lambda: experiments.table1_rows(scale_delta),
+        "table2": lambda: experiments.table2_rows(
+            scale_delta, hosts=(4, 8) if quick else (8, 16)
+        ),
+        "table4": lambda: experiments.table4_rows(scale_delta),
+        "table5": lambda: experiments.table5_rows(scale_delta),
+        "fig10": lambda: experiments.fig10_rows(
+            scale_delta,
+            configs=(
+                ("d-galois", "clueweb12s", "cvc", 8),
+                ("d-irgl", "twitter40s", "cvc", 4),
+            )
+            if quick
+            else experiments.FIG10_CONFIGS,
+        ),
+        "replication": lambda: experiments.replication_rows(
+            scale_delta, hosts=(4, 8, 16)
+        ),
+        "rounds": lambda: experiments.round_count_rows(scale_delta),
+        "metadata": lambda: experiments.metadata_mode_rows(),
+        "policies": lambda: experiments.policy_autotuning_rows(
+            scale_delta, num_hosts=8
+        ),
+    }
+    for title, key in SECTIONS:
+        rows = harness[key]()
+        parts += ["", f"## {title}", "", "```", format_table(rows), "```"]
+        if key == "fig10":
+            speedup = experiments.fig10_speedup(rows)
+            parts += [
+                "",
+                f"geomean OSTI speedup over UNOPT: **{speedup:.2f}x** "
+                "(paper: ~2.6x)",
+            ]
+    if not quick:
+        fig8 = experiments.fig8_series(
+            scale_delta, inputs=("rmat24s",), apps=("bfs", "pr")
+        )
+        parts += ["", "## Figure 8 — strong scaling (rmat24s)", "", "```"]
+        for app in ("bfs", "pr"):
+            subset = [row for row in fig8 if row["app"] == app]
+            parts.append(
+                scaling_plot(
+                    subset, "hosts", "time_ms", "system",
+                    title=f"{app}: time vs hosts",
+                )
+            )
+        parts += ["```"]
+    elapsed = time.perf_counter() - started
+    parts += ["", f"_generated in {elapsed:.1f}s_", ""]
+    text = "\n".join(parts)
+    if output_path is not None:
+        Path(output_path).write_text(text)
+    return text

@@ -1,0 +1,58 @@
+"""Plain-text table rendering and summary statistics for the harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's speedup aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(rows: Iterable[Dict], title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows the first row's key order; every row must share
+    the same keys.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ValueError("all rows must share the same columns")
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_cell(row[c]) for c in columns])
+    widths = [
+        max(len(line[i]) for line in rendered) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = rendered
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

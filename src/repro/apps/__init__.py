@@ -1,0 +1,52 @@
+"""Benchmark applications (§5.1): bfs, sssp, cc, pagerank, plus k-core.
+
+Each application is a vertex program in the paper's sense (§2.1): node
+labels, an operator applied until global quiescence, and per-field
+synchronization structures handed to Gluon.
+"""
+
+from repro.apps.base import AppContext, StepOutcome, VertexProgram
+from repro.apps.bc import BetweennessCentrality
+from repro.apps.bfs import BFS
+from repro.apps.cc import ConnectedComponents
+from repro.apps.kcore import KCore
+from repro.apps.pagerank import PageRank
+from repro.apps.pagerank_push import PageRankPush
+from repro.apps.sssp import SSSP
+
+APP_BY_NAME = {
+    "bfs": BFS,
+    "sssp": SSSP,
+    "cc": ConnectedComponents,
+    "pr": PageRank,
+    "pagerank": PageRank,
+    "pr-push": PageRankPush,
+    "kcore": KCore,
+    "bc": BetweennessCentrality,
+}
+
+
+def make_app(name: str):
+    """Construct an application by its short name (bfs/sssp/cc/pr/kcore)."""
+    try:
+        cls = APP_BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(APP_BY_NAME))
+        raise ValueError(f"unknown application {name!r} (known: {known})")
+    return cls()
+
+
+__all__ = [
+    "VertexProgram",
+    "AppContext",
+    "StepOutcome",
+    "BFS",
+    "SSSP",
+    "ConnectedComponents",
+    "PageRank",
+    "PageRankPush",
+    "KCore",
+    "BetweennessCentrality",
+    "make_app",
+    "APP_BY_NAME",
+]

@@ -1,0 +1,312 @@
+"""Betweenness centrality (single-source Brandes) — a two-phase app.
+
+BC is the classic Gluon ecosystem benchmark that needs more than the
+source->destination sync flow: the *backward* dependency accumulation
+writes at the **source** of each edge and reads at the **destination**,
+exercising the full ``sync<WriteLocation, ReadLocation>`` generality of the
+API (Figure 4).
+
+Phase 1 (forward): level-synchronous BFS computing, per node, its depth
+``dist`` and its shortest-path count ``sigma``.  ``sigma`` uses the
+reduce/broadcast split of an ADD field: partial counts accumulate in
+``sigma_acc`` (reduced to masters), the master folds them into the
+canonical ``sigma`` and broadcasts it.
+
+Phase 2 (backward): dependencies flow one BFS level per round, deepest
+first: ``delta[u] += sigma[u]/sigma[v] * (1 + delta[v])`` over edges
+``(u, v)`` with ``dist[v] == dist[u] + 1``.  Partial dependencies
+accumulate in ``delta_acc`` (written at edge *sources*), masters fold and
+broadcast ``delta`` to the destination-side readers.
+
+The two phases run as two executor passes sharing per-host state; the
+transition point (the global deepest level) is a scalar all-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.core.sync_structures import ADD, MIN, FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.stats import RunResult
+from repro.runtime.timing import WorkStats
+
+INFINITY = np.uint32(np.iinfo(np.uint32).max)
+BOTH_ENDS = frozenset({"source", "destination"})
+
+
+class _ForwardBC(VertexProgram):
+    """Forward sweep: BFS levels + shortest-path counts."""
+
+    name = "bc-forward"
+    operator_class = OperatorClass.PUSH
+    iterate_locally = False  # sigma needs strict level synchronization
+    uses_frontier = True
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        n = part.num_nodes
+        dist = np.full(n, INFINITY, dtype=np.uint32)
+        sigma = np.zeros(n, dtype=np.float64)
+        if part.has_proxy(ctx.source):
+            lid = part.to_local(ctx.source)
+            dist[lid] = 0
+            sigma[lid] = 1.0
+        return {
+            "dist": dist,
+            "sigma": sigma,
+            "sigma_acc": np.zeros(n, dtype=np.float64),
+            "level": 0,
+        }
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        def fold_sigma(changed_mask: np.ndarray) -> np.ndarray:
+            m = part.num_masters
+            sigma = state["sigma"]
+            acc = state["sigma_acc"]
+            changed = acc[:m] != 0.0
+            sigma[:m] += acc[:m]
+            acc[:m] = 0.0
+            dirty = np.zeros(part.num_nodes, dtype=bool)
+            dirty[:m] = changed
+            return dirty
+
+        return [
+            # dist is read at both endpoints: at the source to push
+            # level+1, at the destination to filter already-settled nodes.
+            FieldSpec(
+                name="dist",
+                values=state["dist"],
+                reduce_op=MIN,
+                reads=BOTH_ENDS,
+            ),
+            FieldSpec(
+                name="sigma_acc",
+                values=state["sigma_acc"],
+                reduce_op=ADD,
+                broadcast_values=state["sigma"],
+                on_master_after_reduce=fold_sigma,
+                reads=BOTH_ENDS,  # backward reads sigma at both endpoints
+            ),
+        ]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        frontier = np.zeros(part.num_nodes, dtype=bool)
+        if part.has_proxy(ctx.source):
+            frontier[part.to_local(ctx.source)] = True
+        return frontier
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        level = state["level"]
+        state["level"] = level + 1
+        dist = state["dist"]
+        sigma = state["sigma"]
+        sigma_acc = state["sigma_acc"]
+        active = frontier & (dist == level)
+        src_rep, dst, _ = gather_frontier_edges(part.graph, active)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(len(dst), int(active.sum()))
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        accept = dist[dst] > level  # unreached or being set this level
+        dst = dst[accept]
+        src_rep = src_rep[accept]
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        np.minimum.at(dist, dst, np.uint32(level + 1))
+        np.add.at(sigma_acc, dst, sigma[src_rep])
+        updated[dst] = True
+        return StepOutcome(updated=updated, work=work)
+
+
+class _BackwardBC(VertexProgram):
+    """Backward sweep: dependency accumulation, deepest level first."""
+
+    name = "bc-backward"
+    operator_class = OperatorClass.PUSH
+    iterate_locally = False
+    uses_frontier = True
+
+    def __init__(self, forward_states: List[Dict], max_level: int) -> None:
+        self._forward_states = forward_states
+        self._max_level = max_level
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        state = self._forward_states[part.host]
+        n = part.num_nodes
+        state["delta"] = np.zeros(n, dtype=np.float64)
+        state["delta_acc"] = np.zeros(n, dtype=np.float64)
+        state["blevel"] = self._max_level
+        return state
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        def fold_delta(changed_mask: np.ndarray) -> np.ndarray:
+            m = part.num_masters
+            delta = state["delta"]
+            acc = state["delta_acc"]
+            changed = acc[:m] != 0.0
+            delta[:m] += acc[:m]
+            acc[:m] = 0.0
+            dirty = np.zeros(part.num_nodes, dtype=bool)
+            dirty[:m] = changed
+            return dirty
+
+        # Dependencies are *written at the edge source* and *read at the
+        # edge destination* — the reverse of the §3.2 flow.
+        return [
+            FieldSpec(
+                name="delta_acc",
+                values=state["delta_acc"],
+                reduce_op=ADD,
+                broadcast_values=state["delta"],
+                on_master_after_reduce=fold_delta,
+                writes=frozenset({"source"}),
+                reads=frozenset({"destination"}),
+            )
+        ]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        return np.ones(part.num_nodes, dtype=bool)
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        level = state["blevel"]
+        state["blevel"] = level - 1
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        if level < 1:
+            return StepOutcome(updated=updated, work=WorkStats(0, 0))
+        dist = state["dist"]
+        sigma = state["sigma"]
+        delta = state["delta"]
+        delta_acc = state["delta_acc"]
+        settled_here = dist == level
+        transpose = part.graph.transpose()
+        node_rep, pred, _ = gather_frontier_edges(transpose, settled_here)
+        work = WorkStats(len(pred), int(settled_here.sum()))
+        if len(pred) == 0:
+            return StepOutcome(updated=updated, work=work)
+        is_predecessor = dist[pred] == level - 1
+        node_rep = node_rep[is_predecessor]
+        pred = pred[is_predecessor]
+        if len(pred) == 0:
+            return StepOutcome(updated=updated, work=work)
+        contribution = (
+            sigma[pred]
+            / np.maximum(sigma[node_rep], 1.0)
+            * (1.0 + delta[node_rep])
+        )
+        np.add.at(delta_acc, pred, contribution)
+        updated[pred] = True
+        return StepOutcome(updated=updated, work=work)
+
+
+class BetweennessCentrality(VertexProgram):
+    """Single-source betweenness centrality (two-phase facade).
+
+    Not a single-operator vertex program: :meth:`run_phases` drives the
+    forward and backward sweeps through two executor passes.  The
+    ``multi_phase`` flag routes :func:`repro.systems.run_app` here.
+    """
+
+    name = "bc"
+    operator_class = OperatorClass.PUSH
+    needs_weights = False
+    symmetrize_input = False
+    multi_phase = True
+
+    def run_phases(
+        self,
+        partitioned,
+        engine,
+        ctx: AppContext,
+        level=None,
+        network=None,
+        enable_sync: bool = True,
+        system_name: Optional[str] = None,
+        max_rounds: int = 100_000,
+    ) -> RunResult:
+        """Run forward + backward sweeps; returns a merged RunResult."""
+        from repro.core.optimization import OptimizationLevel
+        from repro.network.cost_model import LCI_PARAMETERS
+        from repro.runtime.executor import DistributedExecutor
+
+        level = level or OptimizationLevel.OSTI
+        network = network or LCI_PARAMETERS
+        forward = _ForwardBC()
+        forward_executor = DistributedExecutor(
+            partitioned, engine, forward, ctx,
+            level=level, network=network, enable_sync=enable_sync,
+            system_name=system_name,
+        )
+        forward_result = forward_executor.run(max_rounds=max_rounds)
+
+        dist = forward.gather_master_values(
+            partitioned.partitions, forward_executor.states, "dist"
+        )
+        finite = dist[dist != INFINITY]
+        max_level = int(finite.max()) if len(finite) else 0
+
+        backward = _BackwardBC(forward_executor.states, max_level)
+        backward_executor = DistributedExecutor(
+            partitioned, engine, backward, ctx,
+            level=level, network=network, enable_sync=enable_sync,
+            system_name=system_name,
+        )
+        backward_result = backward_executor.run(max_rounds=max_rounds)
+
+        merged = RunResult(
+            system=forward_result.system,
+            app=self.name,
+            policy=forward_result.policy,
+            num_hosts=forward_result.num_hosts,
+        )
+        merged.rounds = forward_result.rounds + backward_result.rounds
+        for index, record in enumerate(merged.rounds, start=1):
+            record.round_index = index
+        # The second memoization exchange is the re-partitioning path of
+        # §4.1's footnote; both construction phases are counted.
+        merged.construction_bytes = (
+            forward_result.construction_bytes
+            + backward_result.construction_bytes
+        )
+        merged.construction_time = (
+            forward_result.construction_time
+            + backward_result.construction_time
+        )
+        merged.converged = (
+            forward_result.converged and backward_result.converged
+        )
+        merged.translations = (
+            forward_result.translations + backward_result.translations
+        )
+        for source in (forward_result, backward_result):
+            for mode, count in source.mode_counts.items():
+                merged.mode_counts[mode] = (
+                    merged.mode_counts.get(mode, 0) + count
+                )
+        merged.replication_factor = forward_result.replication_factor
+        merged.executor = backward_executor  # type: ignore[attr-defined]
+        return merged

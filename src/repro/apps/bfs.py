@@ -1,0 +1,111 @@
+"""Breadth-first search: push-style data-driven, with a pull direction.
+
+The push step is unit-weight sssp.  The pull step (used by the Ligra
+engine's direction optimization when the frontier is dense) scans
+unvisited nodes' in-edges and adopts ``dist[parent] + 1`` from any frontier
+parent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.apps.sssp import INFINITY
+from repro.core.sync_structures import MIN, FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.timing import WorkStats
+
+
+class BFS(VertexProgram):
+    """Push-style data-driven BFS with an optional pull direction."""
+
+    name = "bfs"
+    needs_weights = False
+    operator_class = OperatorClass.PUSH
+    supports_pull = True
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        dist = np.full(part.num_nodes, INFINITY, dtype=np.uint32)
+        if part.has_proxy(ctx.source):
+            dist[part.to_local(ctx.source)] = 0
+        return {"dist": dist}
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        return [FieldSpec(name="dist", values=state["dist"], reduce_op=MIN)]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        frontier = np.zeros(part.num_nodes, dtype=bool)
+        if part.has_proxy(ctx.source):
+            frontier[part.to_local(ctx.source)] = True
+        return frontier
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        if direction == "push":
+            return self._step_push(part, state, frontier)
+        if direction == "pull":
+            return self._step_pull(part, state, frontier)
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def _step_push(
+        self, part: LocalPartition, state: Dict, frontier: np.ndarray
+    ) -> StepOutcome:
+        dist = state["dist"]
+        usable = frontier & (dist != INFINITY)
+        src_rep, dst, _ = gather_frontier_edges(part.graph, usable)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(
+            edges_processed=len(dst), nodes_processed=int(usable.sum())
+        )
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        candidate = np.minimum(
+            dist[src_rep].astype(np.int64) + 1, int(INFINITY)
+        ).astype(np.uint32)
+        before = dist.copy()
+        np.minimum.at(dist, dst, candidate)
+        updated = dist != before
+        return StepOutcome(updated=updated, work=work)
+
+    def _step_pull(
+        self, part: LocalPartition, state: Dict, frontier: np.ndarray
+    ) -> StepOutcome:
+        dist = state["dist"]
+        unvisited = dist == INFINITY
+        transpose = part.graph.transpose()
+        parent_rep, node, _ = gather_frontier_edges(transpose, unvisited)
+        # ``parent_rep`` here iterates unvisited nodes; ``node`` their
+        # in-neighbors in the original orientation.
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(
+            edges_processed=len(node), nodes_processed=int(unvisited.sum())
+        )
+        if len(node) == 0:
+            return StepOutcome(updated=updated, work=work)
+        in_frontier = frontier[node] & (dist[node] != INFINITY)
+        if not np.any(in_frontier):
+            return StepOutcome(updated=updated, work=work)
+        adopters = parent_rep[in_frontier]
+        candidate = np.minimum(
+            dist[node[in_frontier]].astype(np.int64) + 1, int(INFINITY)
+        ).astype(np.uint32)
+        before = dist.copy()
+        np.minimum.at(dist, adopters, candidate)
+        updated = dist != before
+        return StepOutcome(updated=updated, work=work)

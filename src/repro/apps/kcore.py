@@ -1,0 +1,114 @@
+"""k-core decomposition (extension app; exercises the add-reduction path).
+
+A node is *in* the k-core if it survives repeatedly deleting nodes of
+degree < k (over the symmetrized graph).  Push-style formulation: when a
+node dies it pushes a removal count of 1 along each of its out-edges; the
+counts are an add-reduction; the master applies them to the node's current
+degree and kills the node if it dropped below k; the (dead/alive, degree)
+state broadcasts back to out-edge mirrors so they push the death
+notifications for edges homed elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.core.sync_structures import ADD, FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.timing import WorkStats
+
+
+class KCore(VertexProgram):
+    """Iterative-peeling k-core over a symmetrized input."""
+
+    name = "kcore"
+    needs_weights = False
+    symmetrize_input = True
+    operator_class = OperatorClass.PUSH
+    iterate_locally = False
+    uses_frontier = True
+    supports_pull = False
+    needs_global_degrees = True
+    supports_migration = False  # per-proxy one-shot push flags
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        if ctx.global_out_degree is None:
+            raise ValueError("kcore requires ctx.global_out_degree")
+        n = part.num_nodes
+        degree = ctx.global_out_degree[part.local_to_global].astype(np.int64)
+        return {
+            "degree": degree,
+            "alive": np.ones(n, dtype=np.uint32),
+            "removed_acc": np.zeros(n, dtype=np.uint32),
+            "pushed": np.zeros(n, dtype=bool),
+            "k": ctx.k,
+        }
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        def after_reduce(changed_mask: np.ndarray) -> np.ndarray:
+            return self._apply_at_masters(part, state)
+
+        return [
+            FieldSpec(
+                name="removed_acc",
+                values=state["removed_acc"],
+                reduce_op=ADD,
+                broadcast_values=state["alive"],
+                on_master_after_reduce=after_reduce,
+            )
+        ]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        return np.ones(part.num_nodes, dtype=bool)
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        alive = state["alive"]
+        pushed = state["pushed"]
+        acc = state["removed_acc"]
+        # Newly dead proxies (death decided at the master and broadcast
+        # here) push one removal along each local out-edge, once.
+        to_push = frontier & (alive == 0) & ~pushed
+        src_rep, dst, _ = gather_frontier_edges(part.graph, to_push)
+        pushed[to_push] = True
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(
+            edges_processed=len(dst), nodes_processed=int(to_push.sum())
+        )
+        if len(dst):
+            np.add.at(acc, dst, np.uint32(1))
+            updated[dst] = True
+        return StepOutcome(updated=updated, work=work)
+
+    def _apply_at_masters(
+        self, part: LocalPartition, state: Dict
+    ) -> np.ndarray:
+        """Apply removal counts at masters; kill under-degree nodes."""
+        m = part.num_masters
+        degree = state["degree"]
+        alive = state["alive"]
+        acc = state["removed_acc"]
+        k = state["k"]
+        degree[:m] -= acc[:m]
+        acc[:m] = 0
+        newly_dead = (alive[:m] == 1) & (degree[:m] < k)
+        alive[:m][newly_dead] = 0
+        broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+        broadcast_dirty[:m] = newly_dead
+        return broadcast_dirty

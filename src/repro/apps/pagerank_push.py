@@ -1,0 +1,146 @@
+"""Push-style (residual) pagerank — the paper's reset-to-zero example.
+
+§2.3 uses push-style pagerank as the case where mirrors must be *reset to
+0* after the reduce phase (the ADD reduction's identity), in contrast to
+sssp's keep-the-value reset.  This is the classic residual formulation:
+
+* every node holds ``rank`` and a pending ``residual``;
+* the master consumes its reduced residual — ``rank += delta`` — and turns
+  it into a per-out-edge push amount ``d * delta / out_degree``;
+* the push amount is broadcast to the out-edge mirrors (a derived
+  broadcast, like pull-pagerank's contribution), which scatter it along
+  their local out-edges into neighbors' residuals;
+* residuals flow back to masters through the ADD reduction, with mirror
+  copies reset to 0 after each send.
+
+Termination is data-driven: a node only re-activates while its consumed
+residual exceeds the tolerance, so the frontier empties at convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.core.sync_structures import ADD, FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.timing import WorkStats
+
+
+class PageRankPush(VertexProgram):
+    """Data-driven residual pagerank (push-style)."""
+
+    name = "pr-push"
+    needs_weights = False
+    operator_class = OperatorClass.PUSH
+    iterate_locally = False  # ADD reduction: no chaotic re-application
+    uses_frontier = True
+    supports_pull = False
+    needs_global_degrees = True
+    supports_migration = False  # per-proxy one-shot push flags
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        if ctx.global_out_degree is None:
+            raise ValueError("pr-push requires ctx.global_out_degree")
+        n = part.num_nodes
+        out_degree = ctx.global_out_degree[part.local_to_global].astype(
+            np.float64
+        )
+        base = 1.0 - ctx.damping
+        residual = np.zeros(n, dtype=np.float64)
+        # Only masters seed residual: mirror copies start at the ADD
+        # identity so the first reduce does not double count.
+        residual[: part.num_masters] = base
+        return {
+            "rank": np.zeros(n, dtype=np.float64),
+            "residual": residual,
+            "push_delta": np.zeros(n, dtype=np.float64),
+            "out_degree": out_degree,
+            "damping": ctx.damping,
+            "tolerance": ctx.tolerance,
+        }
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        def after_reduce(changed_mask: np.ndarray) -> np.ndarray:
+            return self._consume_at_masters(part, state)
+
+        return [
+            FieldSpec(
+                name="residual",
+                values=state["residual"],
+                reduce_op=ADD,
+                broadcast_values=state["push_delta"],
+                on_master_after_reduce=after_reduce,
+            )
+        ]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        return np.ones(part.num_nodes, dtype=bool)
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        residual = state["residual"]
+        push_delta = state["push_delta"]
+        to_push = frontier & (push_delta > 0.0)
+        src_rep, dst, _ = gather_frontier_edges(part.graph, to_push)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(len(dst), int(to_push.sum()))
+        if len(dst):
+            np.add.at(residual, dst, push_delta[src_rep])
+            updated[dst] = True
+        # The push amount is a one-shot command: clear the local copy so a
+        # proxy does not re-push until a new delta arrives.
+        push_delta[to_push] = 0.0
+        return StepOutcome(updated=updated, work=work)
+
+    def _consume_at_masters(
+        self, part: LocalPartition, state: Dict
+    ) -> np.ndarray:
+        """Master-side apply: rank absorbs residual, emit push amounts."""
+        m = part.num_masters
+        residual = state["residual"]
+        rank = state["rank"]
+        push_delta = state["push_delta"]
+        out_degree = state["out_degree"]
+        damping = state["damping"]
+        tolerance = state["tolerance"]
+        delta = residual[:m].copy()
+        active = delta > tolerance
+        rank[:m][active] += delta[active]
+        residual[:m][active] = 0.0
+        amount = np.where(
+            out_degree[:m] > 0,
+            damping * delta / np.maximum(out_degree[:m], 1.0),
+            0.0,
+        )
+        push_delta[:m][active] = amount[active]
+        broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+        broadcast_dirty[:m] = active
+        return broadcast_dirty
+
+    def gather_rank(self, parts, states) -> np.ndarray:
+        """Global (rank + unconsumed residual) from master values.
+
+        At termination, each master's remaining sub-tolerance residual is
+        folded in so the answer matches the fixpoint as closely as the
+        tolerance allows.
+        """
+        combined_states = [
+            {"final": state["rank"] + state["residual"]} for state in states
+        ]
+        return self.gather_master_values(parts, combined_states, "final")

@@ -1,0 +1,84 @@
+"""Single-source shortest paths: push-style, data-driven (§2.1's example).
+
+The relaxation operator pushes ``dist[u] + weight(u, v)`` to each
+out-neighbor ``v`` and keeps the minimum.  The synchronized field is
+``dist`` with a min-reduction; since min is idempotent, mirrors keep their
+value at reset (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.core.sync_structures import MIN, FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.timing import WorkStats
+
+#: "Unreached" distance (the generalized infinity for the min reduction).
+INFINITY = np.uint32(np.iinfo(np.uint32).max)
+
+
+class SSSP(VertexProgram):
+    """Push-style data-driven single-source shortest paths."""
+
+    name = "sssp"
+    needs_weights = True
+    operator_class = OperatorClass.PUSH
+    supports_pull = False
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        dist = np.full(part.num_nodes, INFINITY, dtype=np.uint32)
+        if part.has_proxy(ctx.source):
+            dist[part.to_local(ctx.source)] = 0
+        return {"dist": dist}
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        return [FieldSpec(name="dist", values=state["dist"], reduce_op=MIN)]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        frontier = np.zeros(part.num_nodes, dtype=bool)
+        if part.has_proxy(ctx.source):
+            frontier[part.to_local(ctx.source)] = True
+        return frontier
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        if direction != "push":
+            raise ValueError("sssp implements only the push direction")
+        dist = state["dist"]
+        # Only reached nodes can relax their neighbors.
+        usable = frontier & (dist != INFINITY)
+        src_rep, dst, positions = gather_frontier_edges(part.graph, usable)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(
+            edges_processed=len(dst),
+            nodes_processed=int(usable.sum()),
+        )
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        if part.graph.weights is None:
+            weights = np.ones(len(positions), dtype=np.int64)
+        else:
+            weights = part.graph.weights[positions].astype(np.int64)
+        candidate = dist[src_rep].astype(np.int64) + weights
+        candidate = np.minimum(candidate, int(INFINITY)).astype(np.uint32)
+        before = dist.copy()
+        np.minimum.at(dist, dst, candidate)
+        updated = dist != before
+        return StepOutcome(updated=updated, work=work)

@@ -1,0 +1,239 @@
+"""Command-line interface: run applications and regenerate experiments.
+
+Examples::
+
+    python -m repro inputs
+    python -m repro run --system d-galois --app bfs --workload rmat24s \\
+        --hosts 8 --policy cvc
+    python -m repro run --system gemini --app pr --workload clueweb12s --hosts 16
+    python -m repro experiment fig10 --scale-delta -1
+    python -m repro analyze sssp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+from repro.apps import APP_BY_NAME
+from repro.core.optimization import OptimizationLevel
+from repro.partition import PARTITIONER_BY_NAME
+from repro.systems import ALL_SYSTEMS, run_app
+from repro.workloads import WORKLOAD_NAMES, load_workload
+
+#: Experiment harnesses reachable from the CLI, by short name.
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": experiments.table1_rows,
+    "table2": experiments.table2_rows,
+    "table3": experiments.table3_rows,
+    "table4": experiments.table4_rows,
+    "table5": experiments.table5_rows,
+    "fig8": experiments.fig8_series,
+    "fig9": experiments.fig9_series,
+    "fig10": experiments.fig10_rows,
+    "replication": experiments.replication_rows,
+    "imbalance": experiments.load_imbalance_rows,
+    "rounds": experiments.round_count_rows,
+    "metadata": experiments.metadata_mode_rows,
+    "policies": experiments.policy_autotuning_rows,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Gluon (PLDI 2018) reproduction: distributed graph analytics "
+            "on a simulated cluster."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="run one application")
+    run_cmd.add_argument(
+        "--system", required=True, choices=sorted(ALL_SYSTEMS)
+    )
+    run_cmd.add_argument(
+        "--app", required=True, choices=sorted(APP_BY_NAME)
+    )
+    run_cmd.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOAD_NAMES)
+    )
+    run_cmd.add_argument("--hosts", type=int, default=4)
+    run_cmd.add_argument(
+        "--policy", choices=sorted(PARTITIONER_BY_NAME), default=None
+    )
+    run_cmd.add_argument(
+        "--level",
+        choices=[level.value for level in OptimizationLevel],
+        default=None,
+        help="communication-optimization level (default: system's own)",
+    )
+    run_cmd.add_argument(
+        "--scale-delta",
+        type=int,
+        default=0,
+        help="shift the workload generator scale (negative = smaller)",
+    )
+    run_cmd.add_argument(
+        "--scaled-fabric",
+        action="store_true",
+        help="use the benchmark harness's scaled network model",
+    )
+
+    exp_cmd = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    exp_cmd.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_cmd.add_argument("--scale-delta", type=int, default=None)
+
+    commands.add_parser("inputs", help="show the workload catalog (Table 1)")
+
+    report_cmd = commands.add_parser(
+        "report", help="generate the full reproduction report (markdown)"
+    )
+    report_cmd.add_argument(
+        "--output", default=None, help="write the report to this file"
+    )
+    report_cmd.add_argument(
+        "--full",
+        action="store_true",
+        help="full-scale workloads and sweeps (slower)",
+    )
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="show an operator's per-strategy synchronization plan (§3.2)",
+    )
+    analyze_cmd.add_argument("app", choices=["bfs", "sssp", "cc"])
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    edges = load_workload(args.workload, args.scale_delta)
+    level = OptimizationLevel.from_name(args.level) if args.level else None
+    network = None
+    if args.scaled_fabric:
+        network = experiments.bench_network(args.system, args.hosts)
+    result = run_app(
+        args.system,
+        args.app,
+        edges,
+        num_hosts=args.hosts,
+        policy=args.policy,
+        level=level,
+        network=network,
+    )
+    print(format_table([result.summary()], title="run summary"))
+    print(f"replication factor : {result.replication_factor:.3f}")
+    print(f"construction       : {result.construction_time*1e3:.2f} ms, "
+          f"{result.construction_bytes/1e3:.1f} KB exchanged")
+    print(f"load imbalance     : {result.load_imbalance():.2f} (max/mean)")
+    if result.translations:
+        print(f"address translations: {result.translations}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    harness = EXPERIMENTS[args.name]
+    kwargs = {}
+    if args.scale_delta is not None:
+        if args.name == "metadata":
+            print("note: --scale-delta does not apply to 'metadata'")
+        else:
+            kwargs["scale_delta"] = args.scale_delta
+    rows = harness(**kwargs)
+    print(format_table(rows, title=args.name))
+    if args.name == "fig10":
+        print(
+            f"geomean OSTI speedup over UNOPT: "
+            f"{experiments.fig10_speedup(rows):.2f}x (paper: ~2.6x)"
+        )
+    return 0
+
+
+def _command_inputs(_args: argparse.Namespace) -> int:
+    rows = experiments.table1_rows()
+    print(format_table(rows, title="workload catalog (Table 1 stand-ins)"))
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.compiler.analysis import data_flow_description
+    from repro.compiler.spec import FieldDecl, Init, OperatorSpec
+    from repro.partition.strategy import OperatorClass
+
+    specs = {
+        "bfs": OperatorSpec(
+            name="bfs",
+            style=OperatorClass.PUSH,
+            field=FieldDecl(
+                "dist", np.uint32, reduce="min",
+                init=Init.infinity_except_source(),
+            ),
+            edge_kernel=lambda values, weights: values + 1,
+        ),
+        "sssp": OperatorSpec(
+            name="sssp",
+            style=OperatorClass.PUSH,
+            field=FieldDecl(
+                "dist", np.uint32, reduce="min",
+                init=Init.infinity_except_source(),
+            ),
+            edge_kernel=lambda values, weights: values + weights,
+            needs_weights=True,
+        ),
+        "cc": OperatorSpec(
+            name="cc",
+            style=OperatorClass.PUSH,
+            field=FieldDecl(
+                "label", np.uint32, reduce="min", init=Init.global_id()
+            ),
+            edge_kernel=lambda values, weights: values,
+            symmetrize_input=True,
+        ),
+    }
+    print(data_flow_description(specs[args.app]))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(output_path=args.output, quick=not args.full)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "experiment": _command_experiment,
+        "inputs": _command_inputs,
+        "analyze": _command_analyze,
+        "report": _command_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

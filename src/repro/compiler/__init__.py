@@ -1,0 +1,47 @@
+"""The Gluon sync compiler (§3.3).
+
+The paper's applications do not write communication code: a compiler
+statically analyzes the operator — which fields it reads and writes, in
+which direction data flows, what reduction combines concurrent writes —
+and generates the synchronization structures plus the sync call placement
+("we have implemented this in a compiler for Galois").
+
+This subpackage is the Python rendering of that compiler.  An application
+is written as a *declarative operator specification*
+(:class:`~repro.compiler.spec.OperatorSpec`): field declarations and a
+vectorized edge kernel.  :func:`compile_operator` then generates a complete
+:class:`~repro.apps.base.VertexProgram` — state allocation, the local
+super-step, the Gluon field specs, and the strategy-legality analysis —
+from application-agnostic templates.
+
+Example (sssp in six declarative lines)::
+
+    spec = OperatorSpec(
+        name="sssp",
+        style=OperatorClass.PUSH,
+        field=FieldDecl("dist", np.uint32, reduce="min",
+                        init=Init.infinity_except_source()),
+        edge_kernel=lambda source_values, weights: source_values + weights,
+        needs_weights=True,
+    )
+    sssp = compile_operator(spec)   # a ready-to-run VertexProgram
+"""
+
+from repro.compiler.analysis import (
+    SyncRequirements,
+    analyze_operator,
+    required_patterns,
+)
+from repro.compiler.codegen import CompiledVertexProgram, compile_operator
+from repro.compiler.spec import FieldDecl, Init, OperatorSpec
+
+__all__ = [
+    "OperatorSpec",
+    "FieldDecl",
+    "Init",
+    "compile_operator",
+    "CompiledVertexProgram",
+    "analyze_operator",
+    "SyncRequirements",
+    "required_patterns",
+]

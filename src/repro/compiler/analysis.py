@@ -1,0 +1,109 @@
+"""Static analysis of operator specifications (§3.1-§3.3).
+
+Given an :class:`~repro.compiler.spec.OperatorSpec`, the analysis derives
+what the paper's compiler derives from application source:
+
+* the data-flow direction (all spec-expressible operators flow
+  source -> destination, the case §3.2 analyzes);
+* which synchronization patterns (reduce and/or broadcast) each
+  partitioning strategy needs for this operator; and
+* which strategies are *legal* for it (§3.1's operator/strategy matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.compiler.spec import OperatorSpec
+from repro.errors import StrategyError
+from repro.partition.strategy import (
+    OperatorClass,
+    PartitionStrategy,
+    check_strategy_legal,
+)
+
+
+@dataclass(frozen=True)
+class SyncRequirements:
+    """What one (operator, strategy) pair needs per synchronization."""
+
+    strategy: PartitionStrategy
+    needs_reduce: bool
+    needs_broadcast: bool
+    legal: bool
+
+
+#: §3.2's per-strategy pattern table for source->destination data flow.
+_PATTERNS: Dict[PartitionStrategy, Tuple[bool, bool]] = {
+    PartitionStrategy.UVC: (True, True),  # gather-apply-scatter
+    PartitionStrategy.CVC: (True, True),  # both, on restricted subsets
+    PartitionStrategy.IEC: (False, True),  # halo exchange
+    PartitionStrategy.OEC: (True, False),  # reduce + local reset
+}
+
+
+def required_patterns(
+    strategy: PartitionStrategy,
+) -> Tuple[bool, bool]:
+    """(needs_reduce, needs_broadcast) for src->dst flow under ``strategy``."""
+    return _PATTERNS[strategy]
+
+
+def analyze_operator(spec: OperatorSpec) -> Dict[PartitionStrategy, SyncRequirements]:
+    """Derive sync requirements and legality for every strategy.
+
+    The reduction test: every spec field reduces through a named
+    :class:`ReductionOp`, so ``is_reduction`` is always true here — the
+    spec language cannot express non-reduction updates (they would need
+    OEC/IEC anyway, which the legality check reflects).
+    """
+    results = {}
+    for strategy in PartitionStrategy:
+        needs_reduce, needs_broadcast = required_patterns(strategy)
+        try:
+            check_strategy_legal(
+                strategy,
+                spec.style,
+                is_reduction=True,
+                single_value_push=spec.single_value_push,
+            )
+            legal = True
+        except StrategyError:
+            legal = False
+        results[strategy] = SyncRequirements(
+            strategy=strategy,
+            needs_reduce=needs_reduce,
+            needs_broadcast=needs_broadcast,
+            legal=legal,
+        )
+    return results
+
+
+def check_spec_legal_for(
+    spec: OperatorSpec, strategy: PartitionStrategy
+) -> None:
+    """Raise :class:`StrategyError` if ``strategy`` cannot run ``spec``."""
+    check_strategy_legal(
+        strategy,
+        spec.style,
+        is_reduction=True,
+        single_value_push=spec.single_value_push,
+    )
+
+
+def data_flow_description(spec: OperatorSpec) -> str:
+    """Human-readable summary of the inferred synchronization plan."""
+    lines = [f"operator {spec.name}: {spec.style.value}-style, "
+             f"field {spec.field.name!r} ({spec.field.reduce}-reduction)"]
+    for strategy, req in analyze_operator(spec).items():
+        patterns = []
+        if req.needs_reduce:
+            patterns.append("reduce")
+        if req.needs_broadcast:
+            patterns.append("broadcast")
+        legality = "" if req.legal else "  [ILLEGAL for this operator]"
+        lines.append(
+            f"  {strategy.value:>4}: {' + '.join(patterns)}{legality}"
+        )
+    return "\n".join(lines)

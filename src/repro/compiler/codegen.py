@@ -1,0 +1,203 @@
+"""Template code generation: OperatorSpec -> VertexProgram.
+
+These are the paper's "application-agnostic preprocessor templates"
+(§3.3): one generic push super-step and one generic pull super-step,
+specialized at runtime by the spec's edge kernel, guard, and reduction.
+The generated program runs unchanged on every engine, partitioning
+policy, optimization level, and host count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.apps.base import (
+    AppContext,
+    StepOutcome,
+    VertexProgram,
+    gather_frontier_edges,
+)
+from repro.compiler.analysis import check_spec_legal_for
+from repro.compiler.spec import CompileError, OperatorSpec
+from repro.core.sync_structures import FieldSpec
+from repro.partition.base import LocalPartition
+from repro.partition.strategy import OperatorClass
+from repro.runtime.timing import WorkStats
+
+#: Vectorized scatter-combine per reduction (duplicate-destination safe).
+_SCATTER: Dict[str, Callable] = {
+    "min": np.minimum.at,
+    "max": np.maximum.at,
+    "add": np.add.at,
+    "bor": np.bitwise_or.at,
+}
+
+
+class CompiledVertexProgram(VertexProgram):
+    """A vertex program generated from an :class:`OperatorSpec`."""
+
+    def __init__(self, spec: OperatorSpec) -> None:
+        if spec.field.reduce not in _SCATTER:
+            raise CompileError(
+                f"{spec.name}: reduction {spec.field.reduce!r} has no "
+                "deterministic scatter-combine; compiled operators support "
+                f"{sorted(_SCATTER)}"
+            )
+        self.spec = spec
+        self.name = spec.name
+        self.needs_weights = spec.needs_weights
+        self.symmetrize_input = spec.symmetrize_input
+        self.operator_class = spec.style
+        self.is_reduction = True
+        self.iterate_locally = spec.iterate_locally
+        self.uses_frontier = spec.uses_frontier
+        self.supports_pull = spec.style is OperatorClass.PULL
+
+    # -- per-host setup --------------------------------------------------------
+
+    def make_state(self, part: LocalPartition, ctx: AppContext) -> Dict:
+        decl = self.spec.field
+        values = decl.init(part, ctx, np.dtype(decl.dtype))
+        if values.shape != (part.num_nodes,):
+            raise CompileError(
+                f"{self.name}: initializer produced shape {values.shape} "
+                f"for {part.num_nodes} proxies"
+            )
+        return {decl.name: np.ascontiguousarray(values, dtype=decl.dtype)}
+
+    def make_fields(self, part: LocalPartition, state: Dict) -> List[FieldSpec]:
+        decl = self.spec.field
+        return [
+            FieldSpec(
+                name=decl.name,
+                values=state[decl.name],
+                reduce_op=decl.reduction,
+            )
+        ]
+
+    def initial_frontier(
+        self, part: LocalPartition, state: Dict, ctx: AppContext
+    ) -> np.ndarray:
+        values = state[self.spec.field.name]
+        if self.spec.source_guard is not None:
+            # Data-driven: start from the proxies that already pass the
+            # guard (e.g. the source node of sssp).
+            return np.asarray(self.spec.source_guard(values), dtype=bool)
+        return np.ones(part.num_nodes, dtype=bool)
+
+    # -- the generated super-step -------------------------------------------------
+
+    def step(
+        self,
+        part: LocalPartition,
+        state: Dict,
+        frontier: np.ndarray,
+        direction: str = "push",
+    ) -> StepOutcome:
+        if self.spec.style is OperatorClass.PUSH:
+            return self._push_step(part, state, frontier)
+        return self._pull_step(part, state, frontier)
+
+    def _push_step(
+        self, part: LocalPartition, state: Dict, frontier: np.ndarray
+    ) -> StepOutcome:
+        values = state[self.spec.field.name]
+        usable = frontier
+        if self.spec.source_guard is not None:
+            usable = frontier & np.asarray(
+                self.spec.source_guard(values), dtype=bool
+            )
+        src_rep, dst, positions = gather_frontier_edges(part.graph, usable)
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(len(dst), int(usable.sum()))
+        if len(dst) == 0:
+            return StepOutcome(updated=updated, work=work)
+        candidates = self._run_kernel(part, values, src_rep, positions)
+        before = values.copy()
+        _SCATTER[self.spec.field.reduce](values, dst, candidates)
+        updated = values != before
+        return StepOutcome(updated=updated, work=work)
+
+    def _pull_step(
+        self, part: LocalPartition, state: Dict, frontier: np.ndarray
+    ) -> StepOutcome:
+        # Pull template: every local node reduces contributions from its
+        # in-neighbors that are in the frontier (and pass the guard).
+        values = state[self.spec.field.name]
+        transpose = part.graph.transpose()
+        node_rep, neighbor, positions = gather_frontier_edges(
+            transpose, np.ones(part.num_nodes, dtype=bool)
+        )
+        updated = np.zeros(part.num_nodes, dtype=bool)
+        work = WorkStats(len(neighbor), part.num_nodes)
+        if len(neighbor) == 0:
+            return StepOutcome(updated=updated, work=work)
+        active = frontier[neighbor]
+        if self.spec.source_guard is not None:
+            active &= np.asarray(
+                self.spec.source_guard(values[neighbor]), dtype=bool
+            )
+        if not np.any(active):
+            return StepOutcome(updated=updated, work=work)
+        node_rep = node_rep[active]
+        candidates = self._run_kernel(
+            part, values, neighbor[active], positions[active], transpose
+        )
+        before = values.copy()
+        _SCATTER[self.spec.field.reduce](values, node_rep, candidates)
+        updated = values != before
+        return StepOutcome(updated=updated, work=work)
+
+    def _run_kernel(
+        self,
+        part: LocalPartition,
+        values: np.ndarray,
+        sources: np.ndarray,
+        positions: np.ndarray,
+        graph=None,
+    ) -> np.ndarray:
+        """Evaluate the edge kernel in a wide dtype, clip back to field dtype.
+
+        Integer kernels run in int64 so expressions like ``INF + weight``
+        cannot wrap; results are clipped into the field dtype's range.
+        """
+        graph = graph if graph is not None else part.graph
+        dtype = np.dtype(self.spec.field.dtype)
+        wide = np.float64 if dtype.kind == "f" else np.int64
+        source_values = values[sources].astype(wide)
+        if graph.weights is not None:
+            weights = graph.weights[positions].astype(wide)
+        else:
+            weights = np.ones(len(positions), dtype=wide)
+        candidates = np.asarray(self.spec.edge_kernel(source_values, weights))
+        if dtype.kind in "ui":
+            info = np.iinfo(dtype)
+            candidates = np.clip(candidates, info.min, info.max)
+        return candidates.astype(dtype)
+
+
+def compile_operator(spec: OperatorSpec) -> CompiledVertexProgram:
+    """Compile an operator specification into a runnable vertex program.
+
+    Legality across strategies is *not* fixed here — it is re-checked per
+    partition by the executor (via the program's declared operator class),
+    exactly like the runtime policy selection of §3.3.
+    """
+    program = CompiledVertexProgram(spec)
+    # Eagerly validate that at least one strategy can run the operator.
+    legal_somewhere = False
+    from repro.partition.strategy import PartitionStrategy
+
+    for strategy in PartitionStrategy:
+        try:
+            check_spec_legal_for(spec, strategy)
+            legal_somewhere = True
+        except Exception:
+            continue
+    if not legal_somewhere:
+        raise CompileError(
+            f"{spec.name}: no partitioning strategy can run this operator"
+        )
+    return program

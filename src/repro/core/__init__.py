@@ -1,0 +1,51 @@
+"""Gluon core: the communication-optimizing substrate (the paper's §3-§4).
+
+The pieces:
+
+* :mod:`repro.core.sync_structures` — the reduce/broadcast synchronization
+  API (extract / reduce / reset / set) that engines plug into (§3.3).
+* :mod:`repro.core.patterns` — per-strategy communication plans exploiting
+  structural invariants (§3.2, the OSI optimization).
+* :mod:`repro.core.memoization` — memoized address translation (§4.1, half
+  of the OTI optimization).
+* :mod:`repro.core.metadata` — adaptive metadata encoding for updated
+  values: full / bit-vector / indices / empty modes (§4.2, the other half).
+* :mod:`repro.core.substrate` — :class:`GluonSubstrate`, which composes all
+  of the above per host.
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.memoization import AddressBook, exchange_address_books
+from repro.core.metadata import MetadataMode, select_mode
+from repro.core.optimization import OptimizationLevel
+from repro.core.patterns import SyncPlan, build_sync_plan
+from repro.core.substrate import GluonSubstrate, setup_substrates
+from repro.core.sync_structures import (
+    ADD,
+    ASSIGN,
+    BOR,
+    MAX,
+    MIN,
+    FieldSpec,
+    ReductionOp,
+)
+
+__all__ = [
+    "BitVector",
+    "AddressBook",
+    "exchange_address_books",
+    "MetadataMode",
+    "select_mode",
+    "OptimizationLevel",
+    "SyncPlan",
+    "build_sync_plan",
+    "GluonSubstrate",
+    "setup_substrates",
+    "FieldSpec",
+    "ReductionOp",
+    "MIN",
+    "MAX",
+    "ADD",
+    "BOR",
+    "ASSIGN",
+]

@@ -1,0 +1,113 @@
+"""Packed bit-vectors used as update metadata on the wire (§4.2).
+
+A :class:`BitVector` wraps a numpy ``uint8`` array of packed bits with the
+operations the metadata encoder needs: construction from boolean masks,
+popcount, byte (de)serialization, and selected-index extraction.  The wire
+size is exactly ``ceil(n / 8)`` bytes, which is what the mode-selection
+arithmetic in :mod:`repro.core.metadata` assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+
+class BitVector:
+    """A fixed-length vector of bits backed by packed uint8 storage."""
+
+    def __init__(self, num_bits: int) -> None:
+        if num_bits < 0:
+            raise ValueError(f"num_bits must be >= 0, got {num_bits}")
+        self._num_bits = num_bits
+        self._words = np.zeros((num_bits + 7) // 8, dtype=np.uint8)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_bool_array(cls, mask: np.ndarray) -> "BitVector":
+        """Build a bit-vector from a boolean numpy array."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 1:
+            raise ValueError("mask must be 1-D")
+        bv = cls(len(mask))
+        bv._words = np.packbits(mask, bitorder="little")
+        if len(bv._words) == 0:
+            bv._words = np.zeros(0, dtype=np.uint8)
+        return bv
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_bits: int) -> "BitVector":
+        """Reconstruct a bit-vector of ``num_bits`` from its wire bytes."""
+        expected = (num_bits + 7) // 8
+        if len(data) != expected:
+            raise SerializationError(
+                f"bit-vector of {num_bits} bits needs {expected} bytes, "
+                f"got {len(data)}"
+            )
+        bv = cls(num_bits)
+        bv._words = np.frombuffer(data, dtype=np.uint8).copy()
+        return bv
+
+    # -- element access -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_bits
+
+    def test(self, index: int) -> bool:
+        """Whether the bit at ``index`` is set."""
+        self._check(index)
+        return bool((self._words[index >> 3] >> (index & 7)) & 1)
+
+    def set(self, index: int) -> None:
+        """Set the bit at ``index``."""
+        self._check(index)
+        self._words[index >> 3] |= np.uint8(1 << (index & 7))
+
+    def clear(self, index: int) -> None:
+        """Clear the bit at ``index``."""
+        self._check(index)
+        self._words[index >> 3] &= np.uint8(~(1 << (index & 7)) & 0xFF)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._num_bits:
+            raise IndexError(f"bit {index} out of range [0, {self._num_bits})")
+
+    # -- bulk operations -------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (popcount)."""
+        return int(np.unpackbits(self._words, bitorder="little").sum())
+
+    def to_bool_array(self) -> np.ndarray:
+        """Expand to a boolean numpy array of length ``len(self)``."""
+        bits = np.unpackbits(self._words, bitorder="little")
+        return bits[: self._num_bits].astype(bool)
+
+    def set_indices(self) -> np.ndarray:
+        """Indices of set bits, ascending, as uint32."""
+        return np.flatnonzero(self.to_bool_array()).astype(np.uint32)
+
+    def to_bytes(self) -> bytes:
+        """Wire representation: exactly ``ceil(len / 8)`` bytes."""
+        return self._words.tobytes()
+
+    @staticmethod
+    def wire_size(num_bits: int) -> int:
+        """Bytes a bit-vector of ``num_bits`` occupies on the wire."""
+        if num_bits < 0:
+            raise ValueError(f"num_bits must be >= 0, got {num_bits}")
+        return (num_bits + 7) // 8
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._num_bits == other._num_bits and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    __hash__ = None  # mutable
+
+    def __repr__(self) -> str:
+        return f"BitVector(num_bits={self._num_bits}, set={self.count()})"

@@ -1,0 +1,198 @@
+"""Memoization of address translation (§4.1).
+
+Before any computation, every host tells each master-owning peer which of
+that peer's nodes it mirrors — once.  Both sides keep the resulting proxy
+arrays in an agreed order, so synchronization messages never carry global
+IDs and no global<->local translation happens during execution.
+
+The exchange message from host A to host B carries, for A's mirrors whose
+masters live on B:
+
+* the mirrors' global IDs (in A's memoized order), and
+* two bit-vectors recording which of those mirrors have local in-edges and
+  local out-edges on A.
+
+The bit-vectors let B compute the *structural-invariant subsets* of §3.2:
+only mirrors with in-edges can be written (so only they participate in
+reduce), and only mirrors with out-edges are read (so only they receive
+broadcast).  This is how the per-strategy communication patterns — reduce
+only for OEC, broadcast only for IEC, row/column subsets for CVC — fall out
+of one generic mechanism.
+
+The exchange runs through the real transport, so its cost is part of the
+measured graph-construction communication (Table 2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.errors import SerializationError, SyncError
+from repro.network.transport import InProcessTransport
+from repro.partition.base import PartitionedGraph
+
+
+@dataclass
+class AddressBook:
+    """One host's memoized proxy arrays, per peer.
+
+    All arrays hold *local* IDs after translation.  For a peer ``h``:
+
+    * ``mirrors_all[h]`` — my mirrors whose master is on ``h`` (memoized
+      order; I send these in reduce and receive into them in broadcast).
+    * ``masters_all[h]`` — my masters mirrored on ``h``, aligned
+      element-by-element with ``h``'s ``mirrors_all[me]``.
+    * ``mirrors_reduce`` / ``mirrors_broadcast`` — structural subsets of
+      ``mirrors_all``: mirrors with local in-edges / out-edges.
+    * ``mirrors_any`` — mirrors with *either* edge direction (fields that
+      are written or read at both endpoints, e.g. BC's phases).
+    * ``masters_reduce`` / ``masters_broadcast`` / ``masters_any`` — the
+      peer-side subsets of ``masters_all`` aligned with the peer's
+      restricted mirror arrays.
+    """
+
+    host: int
+    num_hosts: int
+    mirrors_all: Dict[int, np.ndarray] = field(default_factory=dict)
+    mirrors_reduce: Dict[int, np.ndarray] = field(default_factory=dict)
+    mirrors_broadcast: Dict[int, np.ndarray] = field(default_factory=dict)
+    mirrors_any: Dict[int, np.ndarray] = field(default_factory=dict)
+    masters_all: Dict[int, np.ndarray] = field(default_factory=dict)
+    masters_reduce: Dict[int, np.ndarray] = field(default_factory=dict)
+    masters_broadcast: Dict[int, np.ndarray] = field(default_factory=dict)
+    masters_any: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    def peers_with_my_mirrors(self) -> List[int]:
+        """Peers that own masters of my mirrors (I reduce-send to them)."""
+        return sorted(h for h, arr in self.mirrors_all.items() if len(arr))
+
+    def peers_with_my_masters(self) -> List[int]:
+        """Peers that mirror my masters (I broadcast-send to them)."""
+        return sorted(h for h, arr in self.masters_all.items() if len(arr))
+
+
+def _encode_exchange(
+    gids: np.ndarray, has_in: np.ndarray, has_out: np.ndarray
+) -> bytes:
+    """Encode one memoization exchange message."""
+    count = len(gids)
+    return (
+        struct.pack("<I", count)
+        + np.ascontiguousarray(gids, dtype=np.uint32).tobytes()
+        + BitVector.from_bool_array(has_in).to_bytes()
+        + BitVector.from_bool_array(has_out).to_bytes()
+    )
+
+
+def _decode_exchange(payload: bytes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode one memoization exchange message."""
+    if len(payload) < 4:
+        raise SerializationError("memoization message truncated")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    offset = 4
+    gid_bytes = count * 4
+    bv_bytes = BitVector.wire_size(count)
+    expected = offset + gid_bytes + 2 * bv_bytes
+    if len(payload) != expected:
+        raise SerializationError(
+            f"memoization message: expected {expected} bytes, got {len(payload)}"
+        )
+    gids = np.frombuffer(payload[offset : offset + gid_bytes], dtype=np.uint32)
+    offset += gid_bytes
+    has_in = BitVector.from_bytes(
+        payload[offset : offset + bv_bytes], count
+    ).to_bool_array()
+    offset += bv_bytes
+    has_out = BitVector.from_bytes(
+        payload[offset : offset + bv_bytes], count
+    ).to_bool_array()
+    return gids.copy(), has_in, has_out
+
+
+def exchange_address_books(
+    partitioned: PartitionedGraph, transport: InProcessTransport
+) -> List[AddressBook]:
+    """Run the memoization exchange for every host; returns per-host books.
+
+    This is the one-time, pre-computation collective of §4.1.  Its traffic
+    flows through ``transport`` and is therefore part of the measured graph
+    construction communication.
+    """
+    num_hosts = partitioned.num_hosts
+    if transport.num_hosts != num_hosts:
+        raise SyncError(
+            f"transport has {transport.num_hosts} hosts for a "
+            f"{num_hosts}-host partition"
+        )
+    books = [AddressBook(host=h, num_hosts=num_hosts) for h in range(num_hosts)]
+
+    # Local phase: group my mirrors by owning peer and compute edge flags.
+    for part in partitioned.partitions:
+        book = books[part.host]
+        out_deg = part.graph.out_degree()
+        in_deg = part.graph.in_degree()
+        mirror_lids = part.mirror_locals()
+        owners = part.mirror_master_host
+        for peer in range(num_hosts):
+            if peer == part.host:
+                continue
+            mine = mirror_lids[owners == peer]
+            book.mirrors_all[peer] = mine
+            book.mirrors_reduce[peer] = mine[in_deg[mine] > 0]
+            book.mirrors_broadcast[peer] = mine[out_deg[mine] > 0]
+            book.mirrors_any[peer] = mine[
+                (in_deg[mine] > 0) | (out_deg[mine] > 0)
+            ]
+
+    # Exchange phase: ship (gids, has_in, has_out) to each owning peer.
+    for part in partitioned.partitions:
+        book = books[part.host]
+        in_deg = part.graph.in_degree()
+        out_deg = part.graph.out_degree()
+        for peer in range(num_hosts):
+            if peer == part.host:
+                continue
+            mine = book.mirrors_all[peer]
+            if len(mine) == 0:
+                continue
+            payload = _encode_exchange(
+                part.local_to_global[mine],
+                in_deg[mine] > 0,
+                out_deg[mine] > 0,
+            )
+            transport.send(part.host, peer, payload)
+
+    # Translate phase: owners map received global IDs to local master IDs.
+    for part in partitioned.partitions:
+        book = books[part.host]
+        for sender, payload in transport.receive_all(part.host):
+            gids, has_in, has_out = _decode_exchange(payload)
+            lids = np.fromiter(
+                (part.to_local(gid) for gid in gids),
+                dtype=np.uint32,
+                count=len(gids),
+            )
+            if len(lids) and lids.max() >= part.num_masters:
+                raise SyncError(
+                    f"host {part.host}: peer {sender} mirrors a node this "
+                    "host does not master"
+                )
+            book.masters_all[sender] = lids
+            book.masters_reduce[sender] = lids[has_in]
+            book.masters_broadcast[sender] = lids[has_out]
+            book.masters_any[sender] = lids[has_in | has_out]
+    empty = np.empty(0, dtype=np.uint32)
+    for book in books:
+        for peer in range(num_hosts):
+            if peer == book.host:
+                continue
+            book.masters_all.setdefault(peer, empty)
+            book.masters_reduce.setdefault(peer, empty)
+            book.masters_broadcast.setdefault(peer, empty)
+            book.masters_any.setdefault(peer, empty)
+    return books

@@ -1,0 +1,106 @@
+"""Adaptive metadata encoding for updated values (§4.2).
+
+With memoization (§4.1), the sender and receiver agree up-front on an
+ordered array of proxies per (host pair, direction).  Each round, only a
+subset of those proxies has updates; the sender picks the cheapest of four
+encodings for "which proxies do these values belong to":
+
+* ``FULL`` — no metadata: values for *every* agreed proxy (dense updates).
+* ``BITVEC`` — a packed bit-vector over the agreed array plus values for
+  the set bits (sparse updates).
+* ``INDICES`` — explicit u32 positions plus values (very sparse updates).
+* ``EMPTY`` — nothing changed; a bare header is sent.
+
+Without memoization, updates travel as explicit (global-ID, value) pairs —
+the ``GLOBAL_IDS`` mode used by UNOPT/OSI and by the Gemini baseline.
+
+The paper selects the mode by comparing the encoded sizes ("the number of
+bits set in the bit-vector is used to determine which mode yields the
+smallest message"); :func:`select_mode` does exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.bitvector import BitVector
+
+#: Bytes of the fixed per-message header (mode tag + dtype code).
+HEADER_BYTES = 2
+#: Bytes of a u32 element-count field.
+COUNT_BYTES = 4
+#: Bytes of one u32 index or global ID.
+INDEX_BYTES = 4
+
+
+class MetadataMode(enum.IntEnum):
+    """Wire encodings for one synchronization message."""
+
+    EMPTY = 0
+    FULL = 1
+    BITVEC = 2
+    INDICES = 3
+    GLOBAL_IDS = 4
+
+
+def encoded_size(
+    mode: MetadataMode, num_agreed: int, num_updates: int, value_size: int
+) -> int:
+    """Exact wire size (bytes) of a message in ``mode``.
+
+    Args:
+        mode: candidate encoding.
+        num_agreed: length of the memoized proxy array for this host pair.
+        num_updates: number of updated proxies this round.
+        value_size: bytes per value.
+    """
+    if num_updates > num_agreed:
+        raise ValueError(
+            f"num_updates {num_updates} exceeds agreed array {num_agreed}"
+        )
+    if mode is MetadataMode.EMPTY:
+        return HEADER_BYTES
+    if mode is MetadataMode.FULL:
+        return HEADER_BYTES + COUNT_BYTES + num_agreed * value_size
+    if mode is MetadataMode.BITVEC:
+        return (
+            HEADER_BYTES
+            + COUNT_BYTES
+            + BitVector.wire_size(num_agreed)
+            + num_updates * value_size
+        )
+    if mode is MetadataMode.INDICES:
+        return (
+            HEADER_BYTES
+            + COUNT_BYTES
+            + num_updates * (INDEX_BYTES + value_size)
+        )
+    if mode is MetadataMode.GLOBAL_IDS:
+        return (
+            HEADER_BYTES
+            + COUNT_BYTES
+            + num_updates * (INDEX_BYTES + value_size)
+        )
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def select_mode(
+    num_agreed: int, num_updates: int, value_size: int
+) -> MetadataMode:
+    """Pick the smallest memoized encoding for this round's updates.
+
+    Implements the paper's rules: no updates -> EMPTY; dense -> FULL (no
+    metadata at all); sparse -> BITVEC; very sparse -> INDICES.  The choice
+    is made by exact size comparison, with ties broken toward the mode with
+    the cheaper decode (FULL < BITVEC < INDICES).
+    """
+    if num_updates == 0:
+        return MetadataMode.EMPTY
+    candidates = (MetadataMode.FULL, MetadataMode.BITVEC, MetadataMode.INDICES)
+    return min(
+        candidates,
+        key=lambda mode: (
+            encoded_size(mode, num_agreed, num_updates, value_size),
+            int(mode),
+        ),
+    )

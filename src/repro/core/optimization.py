@@ -1,0 +1,48 @@
+"""Optimization levels for the Gluon substrate (§5.6, Figure 10).
+
+The two optimization families are independent switches:
+
+* **structural** (OSI): exploit the partitioning strategy's structural
+  invariants so only the required halves/subsets of the reduce and
+  broadcast traffic are sent (§3).
+* **temporal** (OTI): exploit the temporal invariance of the partition —
+  memoized address translation (no global IDs on the wire) plus adaptive
+  metadata encoding of updated values (§4).
+
+``UNOPT`` disables both (the gather-apply-scatter baseline), ``OSTI`` is
+standard Gluon.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OptimizationLevel(enum.Enum):
+    """The four configurations evaluated in Figure 10."""
+
+    UNOPT = "unopt"
+    OSI = "osi"
+    OTI = "oti"
+    OSTI = "osti"
+
+    @property
+    def structural(self) -> bool:
+        """Whether structural-invariant optimizations are on."""
+        return self in (OptimizationLevel.OSI, OptimizationLevel.OSTI)
+
+    @property
+    def temporal(self) -> bool:
+        """Whether temporal-invariance optimizations are on."""
+        return self in (OptimizationLevel.OTI, OptimizationLevel.OSTI)
+
+    @classmethod
+    def from_name(cls, name: str) -> "OptimizationLevel":
+        """Parse an optimization level from its lowercase name."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            known = ", ".join(level.value for level in cls)
+            raise ValueError(
+                f"unknown optimization level {name!r} (known: {known})"
+            )

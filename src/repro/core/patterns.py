@@ -1,0 +1,95 @@
+"""Per-strategy communication plans (§3.2).
+
+A :class:`SyncPlan` fixes, for one host, exactly which proxies take part in
+the reduce and broadcast phases of a synchronization, per peer.  With
+structural-invariant optimization (OSI) enabled the plan uses the
+restricted subsets recorded during memoization — mirrors with local
+in-edges for reduce, mirrors with local out-edges for broadcast — which
+reproduces the paper's per-strategy patterns:
+
+* **OEC** — mirrors have no out-edges, so every broadcast subset is empty:
+  reduce-only synchronization (§3.2's "reset the mirrors locally").
+* **IEC** — mirrors have no in-edges: broadcast-only (halo exchange).
+* **CVC** — the reduce subset is the "column" mirrors and the broadcast
+  subset the "row" mirrors, shrinking each host's partner count.
+* **UVC** — both subsets are (potentially) full: gather-apply-scatter.
+
+With OSI disabled, both phases run over *all* mirrors — the unoptimized
+gather-apply-scatter baseline of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.memoization import AddressBook
+
+
+@dataclass(frozen=True)
+class SyncPlan:
+    """One host's proxy sets for each sync phase, per peer.
+
+    All arrays hold local IDs; pairs of arrays on opposite hosts are
+    aligned element-by-element by the memoization exchange.
+
+    Attributes:
+        reduce_send: peer -> my mirrors whose values I send in reduce.
+        reduce_recv: peer -> my masters receiving that peer's reduce.
+        broadcast_send: peer -> my masters whose values I broadcast.
+        broadcast_recv: peer -> my mirrors receiving that peer's broadcast.
+    """
+
+    host: int
+    reduce_send: Dict[int, np.ndarray]
+    reduce_recv: Dict[int, np.ndarray]
+    broadcast_send: Dict[int, np.ndarray]
+    broadcast_recv: Dict[int, np.ndarray]
+
+    @property
+    def needs_reduce(self) -> bool:
+        """Whether any peer exchanges reduce data with this host."""
+        return any(len(a) for a in self.reduce_send.values()) or any(
+            len(a) for a in self.reduce_recv.values()
+        )
+
+    @property
+    def needs_broadcast(self) -> bool:
+        """Whether any peer exchanges broadcast data with this host."""
+        return any(len(a) for a in self.broadcast_send.values()) or any(
+            len(a) for a in self.broadcast_recv.values()
+        )
+
+    def reduce_partners(self) -> int:
+        """Number of peers this host sends reduce data to."""
+        return sum(1 for a in self.reduce_send.values() if len(a))
+
+    def broadcast_partners(self) -> int:
+        """Number of peers this host sends broadcast data to."""
+        return sum(1 for a in self.broadcast_send.values() if len(a))
+
+
+def build_sync_plan(book: AddressBook, structural: bool) -> SyncPlan:
+    """Build the host's :class:`SyncPlan` from its memoized address book.
+
+    Args:
+        book: the host's memoization result.
+        structural: whether OSI is enabled (restricted proxy subsets).
+    """
+    if structural:
+        return SyncPlan(
+            host=book.host,
+            reduce_send=dict(book.mirrors_reduce),
+            reduce_recv=dict(book.masters_reduce),
+            broadcast_send=dict(book.masters_broadcast),
+            broadcast_recv=dict(book.mirrors_broadcast),
+        )
+    return SyncPlan(
+        host=book.host,
+        reduce_send=dict(book.mirrors_all),
+        reduce_recv=dict(book.masters_all),
+        broadcast_send=dict(book.masters_all),
+        broadcast_recv=dict(book.mirrors_all),
+    )

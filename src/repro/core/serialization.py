@@ -1,0 +1,182 @@
+"""Wire format for synchronization messages.
+
+Every message is real ``bytes``: benchmark communication volumes are exact
+``len()`` measurements of these buffers.  Layout (little-endian):
+
+====== =========================================================
+offset contents
+====== =========================================================
+0      mode tag (one byte; :class:`~repro.core.metadata.MetadataMode`)
+1      value dtype code (one byte)
+2..    mode-specific body
+====== =========================================================
+
+Bodies:
+
+* ``EMPTY`` — nothing.
+* ``FULL`` — u32 count, then ``count`` values.
+* ``BITVEC`` — u32 bit count, packed bit-vector, then one value per set bit.
+* ``INDICES`` — u32 count, ``count`` u32 positions, then ``count`` values.
+* ``GLOBAL_IDS`` — u32 count, ``count`` u32 global IDs, then values.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitvector import BitVector
+from repro.core.metadata import MetadataMode
+from repro.errors import SerializationError
+
+_DTYPE_CODES = {
+    np.dtype(np.uint32): 0,
+    np.dtype(np.int32): 1,
+    np.dtype(np.float32): 2,
+    np.dtype(np.float64): 3,
+    np.dtype(np.uint64): 4,
+    np.dtype(np.int64): 5,
+    np.dtype(np.uint8): 6,
+}
+_DTYPE_BY_CODE = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+def dtype_code(dtype: np.dtype) -> int:
+    """Wire code for a supported value dtype."""
+    try:
+        return _DTYPE_CODES[np.dtype(dtype)]
+    except KeyError:
+        supported = ", ".join(str(d) for d in _DTYPE_CODES)
+        raise SerializationError(
+            f"unsupported sync dtype {dtype} (supported: {supported})"
+        )
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """A decoded synchronization message.
+
+    Attributes:
+        mode: The metadata encoding used.
+        values: The transported values (empty for EMPTY mode).
+        selection: Positions into the memoized array (BITVEC/INDICES), the
+            raw global IDs (GLOBAL_IDS), or ``None`` (FULL/EMPTY).
+    """
+
+    mode: MetadataMode
+    values: np.ndarray
+    selection: Optional[np.ndarray]
+
+
+def encode_message(
+    mode: MetadataMode,
+    values: np.ndarray,
+    *,
+    num_agreed: int = 0,
+    selection: Optional[np.ndarray] = None,
+) -> bytes:
+    """Encode one synchronization message.
+
+    Args:
+        mode: encoding to use.
+        values: values to ship (ignored for EMPTY).
+        num_agreed: memoized array length (BITVEC only; sized bit-vector).
+        selection: positions (BITVEC/INDICES) or global IDs (GLOBAL_IDS).
+    """
+    values = np.ascontiguousarray(values)
+    header = struct.pack("<BB", int(mode), dtype_code(values.dtype))
+    if mode is MetadataMode.EMPTY:
+        return header
+    if mode is MetadataMode.FULL:
+        return header + struct.pack("<I", len(values)) + values.tobytes()
+    if mode is MetadataMode.BITVEC:
+        if selection is None:
+            raise SerializationError("BITVEC mode requires selection positions")
+        bitvec = BitVector(num_agreed)
+        mask = np.zeros(num_agreed, dtype=bool)
+        mask[selection] = True
+        bitvec = BitVector.from_bool_array(mask)
+        if len(values) != len(selection):
+            raise SerializationError(
+                f"BITVEC: {len(selection)} positions for {len(values)} values"
+            )
+        return (
+            header
+            + struct.pack("<I", num_agreed)
+            + bitvec.to_bytes()
+            + values.tobytes()
+        )
+    if mode in (MetadataMode.INDICES, MetadataMode.GLOBAL_IDS):
+        if selection is None:
+            raise SerializationError(f"{mode.name} mode requires a selection")
+        selection = np.ascontiguousarray(selection, dtype=np.uint32)
+        if len(values) != len(selection):
+            raise SerializationError(
+                f"{mode.name}: {len(selection)} ids for {len(values)} values"
+            )
+        return (
+            header
+            + struct.pack("<I", len(values))
+            + selection.tobytes()
+            + values.tobytes()
+        )
+    raise SerializationError(f"unknown mode {mode!r}")
+
+
+def decode_message(payload: bytes) -> SyncMessage:
+    """Decode one synchronization message produced by :func:`encode_message`."""
+    if len(payload) < 2:
+        raise SerializationError(f"message too short: {len(payload)} bytes")
+    mode_tag, code = struct.unpack_from("<BB", payload, 0)
+    try:
+        mode = MetadataMode(mode_tag)
+    except ValueError:
+        raise SerializationError(f"unknown mode tag {mode_tag}")
+    try:
+        dtype = _DTYPE_BY_CODE[code]
+    except KeyError:
+        raise SerializationError(f"unknown dtype code {code}")
+    body = payload[2:]
+    if mode is MetadataMode.EMPTY:
+        if body:
+            raise SerializationError("EMPTY message with a non-empty body")
+        return SyncMessage(mode, np.empty(0, dtype=dtype), None)
+    if len(body) < 4:
+        raise SerializationError("message truncated before count field")
+    (count,) = struct.unpack_from("<I", body, 0)
+    body = body[4:]
+    if mode is MetadataMode.FULL:
+        expected = count * dtype.itemsize
+        if len(body) != expected:
+            raise SerializationError(
+                f"FULL body: expected {expected} bytes, got {len(body)}"
+            )
+        return SyncMessage(mode, np.frombuffer(body, dtype=dtype).copy(), None)
+    if mode is MetadataMode.BITVEC:
+        bitvec_bytes = BitVector.wire_size(count)
+        if len(body) < bitvec_bytes:
+            raise SerializationError("BITVEC body truncated in bit-vector")
+        bitvec = BitVector.from_bytes(body[:bitvec_bytes], count)
+        positions = bitvec.set_indices()
+        value_body = body[bitvec_bytes:]
+        expected = len(positions) * dtype.itemsize
+        if len(value_body) != expected:
+            raise SerializationError(
+                f"BITVEC values: expected {expected} bytes, got {len(value_body)}"
+            )
+        values = np.frombuffer(value_body, dtype=dtype).copy()
+        return SyncMessage(mode, values, positions)
+    if mode in (MetadataMode.INDICES, MetadataMode.GLOBAL_IDS):
+        ids_bytes = count * 4
+        expected = ids_bytes + count * dtype.itemsize
+        if len(body) != expected:
+            raise SerializationError(
+                f"{mode.name} body: expected {expected} bytes, got {len(body)}"
+            )
+        selection = np.frombuffer(body[:ids_bytes], dtype=np.uint32).copy()
+        values = np.frombuffer(body[ids_bytes:], dtype=dtype).copy()
+        return SyncMessage(mode, values, selection)
+    raise SerializationError(f"unhandled mode {mode!r}")

@@ -1,0 +1,351 @@
+"""The Gluon substrate: per-host synchronization engine.
+
+One :class:`GluonSubstrate` instance lives on each simulated host and
+composes everything in this subpackage: the memoized address book (§4.1),
+the structural-invariant sync plan (§3.2), the adaptive metadata encoder
+(§4.2), and the wire format.  A synchronization of one field is a four-step
+collective orchestrated by the distributed executor:
+
+1. every host calls :meth:`GluonSubstrate.send_reduce`,
+2. every host calls :meth:`GluonSubstrate.receive_reduce`,
+3. every host calls :meth:`GluonSubstrate.send_broadcast`,
+4. every host calls :meth:`GluonSubstrate.receive_broadcast`.
+
+The strict phase order means each receive drains exactly the messages of
+its own phase — the in-process rendering of BSP-style bulk communication.
+
+Optimization levels (Figure 10):
+
+* temporal off (UNOPT/OSI) — messages carry (global-ID, value) pairs and
+  each end pays address translation (counted in :class:`SubstrateStats`).
+* temporal on (OTI/OSTI) — messages are in memoized order and the encoder
+  picks the cheapest of FULL / BITVEC / INDICES / EMPTY per message.
+* structural off (UNOPT/OTI) — full gather-apply-scatter proxy sets.
+* structural on (OSI/OSTI) — restricted sets from the sync plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.memoization import AddressBook, exchange_address_books
+from repro.core.metadata import MetadataMode, select_mode
+from repro.core.optimization import OptimizationLevel
+from repro.core.patterns import SyncPlan, build_sync_plan
+from repro.core.serialization import decode_message, encode_message
+from repro.core.sync_structures import FieldSpec
+from repro.errors import SyncError
+from repro.network.transport import InProcessTransport
+from repro.partition.base import LocalPartition, PartitionedGraph
+
+
+@dataclass
+class SubstrateStats:
+    """Per-host synchronization counters.
+
+    Attributes:
+        translations: Global<->local ID translations performed (the time
+            overhead the memoization optimization removes, §4.1).
+        mode_counts: Messages sent per metadata mode.
+        sync_calls: Number of field synchronizations executed.
+    """
+
+    translations: int = 0
+    mode_counts: Dict[MetadataMode, int] = dataclass_field(default_factory=dict)
+    sync_calls: int = 0
+
+    def count_mode(self, mode: MetadataMode) -> None:
+        """Record one sent message of ``mode``."""
+        self.mode_counts[mode] = self.mode_counts.get(mode, 0) + 1
+
+
+class GluonSubstrate:
+    """Synchronization substrate for one simulated host."""
+
+    def __init__(
+        self,
+        partition: LocalPartition,
+        transport: InProcessTransport,
+        level: OptimizationLevel,
+        book: AddressBook,
+    ) -> None:
+        self.partition = partition
+        self.transport = transport
+        self.level = level
+        self.book = book
+        self.plan: SyncPlan = build_sync_plan(book, level.structural)
+        self.stats = SubstrateStats()
+
+    @property
+    def host(self) -> int:
+        """This substrate's host id."""
+        return self.partition.host
+
+    @property
+    def num_local_nodes(self) -> int:
+        """Number of local proxies."""
+        return self.partition.num_nodes
+
+    # -- reduce phase ---------------------------------------------------------
+
+    # -- per-field proxy-set selection ----------------------------------------
+
+    def _select(self, locations: frozenset, by_in, by_out, by_any, by_all):
+        """Pick memoized arrays for a field's read or write locations.
+
+        Implements the paper's ``sync<WriteLocation, ReadLocation>``
+        specialization: with structural optimization, only proxies whose
+        local edges allow the declared access take part.
+        """
+        if not self.level.structural:
+            return by_all
+        if locations == frozenset({"destination"}):
+            return by_in
+        if locations == frozenset({"source"}):
+            return by_out
+        return by_any
+
+    def _reduce_send_arrays(self, field: FieldSpec):
+        # A proxy must be *written* during compute to contribute: writes at
+        # the destination need in-edges, writes at the source out-edges.
+        return self._select(
+            field.writes,
+            self.book.mirrors_reduce,
+            self.book.mirrors_broadcast,
+            self.book.mirrors_any,
+            self.book.mirrors_all,
+        )
+
+    def _reduce_recv_arrays(self, field: FieldSpec):
+        return self._select(
+            field.writes,
+            self.book.masters_reduce,
+            self.book.masters_broadcast,
+            self.book.masters_any,
+            self.book.masters_all,
+        )
+
+    def _broadcast_send_arrays(self, field: FieldSpec):
+        # A proxy must be *read* during compute to need the canonical
+        # value: reads at the source need out-edges, at the destination
+        # in-edges.
+        return self._select(
+            field.reads,
+            self.book.masters_reduce,
+            self.book.masters_broadcast,
+            self.book.masters_any,
+            self.book.masters_all,
+        )
+
+    def _broadcast_recv_arrays(self, field: FieldSpec):
+        return self._select(
+            field.reads,
+            self.book.mirrors_reduce,
+            self.book.mirrors_broadcast,
+            self.book.mirrors_any,
+            self.book.mirrors_all,
+        )
+
+    def send_reduce(self, field: FieldSpec, dirty: np.ndarray) -> None:
+        """Ship updated mirror values toward their masters.
+
+        Args:
+            field: the synchronized field on this host.
+            dirty: boolean mask over local IDs of proxies written this
+                round (the field-specific bit-vector of §4.2).
+        """
+        self._check_dirty(dirty)
+        self.stats.sync_calls += 1
+        send_arrays = self._reduce_send_arrays(field)
+        for peer in sorted(send_arrays):
+            agreed = send_arrays[peer]
+            if len(agreed) == 0:
+                continue
+            updated_mask = dirty[agreed]
+            if self.level.temporal:
+                payload = self._encode_memoized(field, agreed, updated_mask)
+            else:
+                payload = self._encode_global_ids(field, agreed, updated_mask)
+                if payload is None:
+                    continue
+            self.transport.send(self.host, peer, payload)
+            # Mirrors are reset after their contribution is shipped so the
+            # next round accumulates fresh values (§3.2, OEC discussion).
+            field.reset(agreed[updated_mask])
+
+    def receive_reduce(self, field: FieldSpec) -> np.ndarray:
+        """Apply incoming mirror contributions at masters.
+
+        Returns the boolean mask (over local IDs) of masters whose value
+        changed — the input to the broadcast phase's dirty set.
+        """
+        changed = np.zeros(self.num_local_nodes, dtype=bool)
+        recv_arrays = self._reduce_recv_arrays(field)
+        for sender, payload in self.transport.receive_all(self.host):
+            lids, values = self._decode(payload, recv_arrays, sender)
+            if lids is None:
+                continue
+            changed_here = field.reduce(lids, values)
+            changed[lids[changed_here]] = True
+        return changed
+
+    # -- broadcast phase ------------------------------------------------------
+
+    def send_broadcast(self, field: FieldSpec, dirty: np.ndarray) -> None:
+        """Ship updated master values toward their mirrors.
+
+        Args:
+            field: the synchronized field on this host.
+            dirty: boolean mask over local IDs; True at masters whose
+                (broadcast) value changed this round.
+        """
+        self._check_dirty(dirty)
+        send_arrays = self._broadcast_send_arrays(field)
+        for peer in sorted(send_arrays):
+            agreed = send_arrays[peer]
+            if len(agreed) == 0:
+                continue
+            updated_mask = dirty[agreed]
+            if self.level.temporal:
+                payload = self._encode_memoized(
+                    field, agreed, updated_mask, broadcast=True
+                )
+            else:
+                payload = self._encode_global_ids(
+                    field, agreed, updated_mask, broadcast=True
+                )
+                if payload is None:
+                    continue
+            self.transport.send(self.host, peer, payload)
+
+    def receive_broadcast(self, field: FieldSpec) -> np.ndarray:
+        """Install canonical master values at mirrors.
+
+        Returns the boolean mask of mirrors whose value changed (feeds the
+        next round's frontier).
+        """
+        changed = np.zeros(self.num_local_nodes, dtype=bool)
+        recv_arrays = self._broadcast_recv_arrays(field)
+        for sender, payload in self.transport.receive_all(self.host):
+            lids, values = self._decode(payload, recv_arrays, sender)
+            if lids is None:
+                continue
+            changed_here = field.set(lids, values)
+            changed[lids[changed_here]] = True
+        return changed
+
+    # -- encoding helpers -----------------------------------------------------
+
+    def _encode_memoized(
+        self,
+        field: FieldSpec,
+        agreed: np.ndarray,
+        updated_mask: np.ndarray,
+        broadcast: bool = False,
+    ) -> bytes:
+        """Encode one memoized-order message (OTI/OSTI path)."""
+        extract = field.extract_broadcast if broadcast else field.extract
+        num_updates = int(updated_mask.sum())
+        mode = select_mode(len(agreed), num_updates, field.value_size)
+        self.stats.count_mode(mode)
+        if mode is MetadataMode.EMPTY:
+            return encode_message(mode, np.empty(0, dtype=field.dtype))
+        if mode is MetadataMode.FULL:
+            return encode_message(mode, extract(agreed))
+        positions = np.flatnonzero(updated_mask).astype(np.uint32)
+        values = extract(agreed[positions])
+        return encode_message(
+            mode, values, num_agreed=len(agreed), selection=positions
+        )
+
+    def _encode_global_ids(
+        self,
+        field: FieldSpec,
+        agreed: np.ndarray,
+        updated_mask: np.ndarray,
+        broadcast: bool = False,
+    ):
+        """Encode one (global-ID, value) message (UNOPT/OSI path).
+
+        Returns ``None`` when nothing was updated: without the memoized
+        agreement the receiver does not expect a message, so none is sent.
+        """
+        sub = agreed[updated_mask]
+        if len(sub) == 0:
+            return None
+        extract = field.extract_broadcast if broadcast else field.extract
+        gids = self.partition.local_to_global[sub]
+        self.stats.translations += len(sub)
+        self.stats.count_mode(MetadataMode.GLOBAL_IDS)
+        return encode_message(
+            MetadataMode.GLOBAL_IDS, extract(sub), selection=gids
+        )
+
+    def _decode(
+        self,
+        payload: bytes,
+        recv_arrays: Dict[int, np.ndarray],
+        sender: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode a message into (local IDs, values); (None, None) if empty."""
+        message = decode_message(payload)
+        if message.mode is MetadataMode.EMPTY:
+            return None, None
+        if message.mode is MetadataMode.GLOBAL_IDS:
+            part = self.partition
+            lids = np.fromiter(
+                (part.to_local(gid) for gid in message.selection),
+                dtype=np.uint32,
+                count=len(message.selection),
+            )
+            self.stats.translations += len(lids)
+            return lids, message.values
+        agreed = recv_arrays.get(sender)
+        if agreed is None:
+            raise SyncError(
+                f"host {self.host}: unexpected memoized message from "
+                f"host {sender}"
+            )
+        if message.mode is MetadataMode.FULL:
+            if len(message.values) != len(agreed):
+                raise SyncError(
+                    f"host {self.host}: FULL message from {sender} has "
+                    f"{len(message.values)} values for {len(agreed)} proxies"
+                )
+            return agreed, message.values
+        # BITVEC / INDICES: selection holds positions in the agreed array.
+        positions = message.selection
+        if len(positions) and positions.max() >= len(agreed):
+            raise SyncError(
+                f"host {self.host}: position {positions.max()} out of range "
+                f"for agreed array of {len(agreed)} from host {sender}"
+            )
+        return agreed[positions], message.values
+
+    def _check_dirty(self, dirty: np.ndarray) -> None:
+        if dirty.dtype != np.bool_ or len(dirty) != self.num_local_nodes:
+            raise SyncError(
+                f"host {self.host}: dirty mask must be a bool array of "
+                f"length {self.num_local_nodes}"
+            )
+
+
+def setup_substrates(
+    partitioned: PartitionedGraph,
+    transport: InProcessTransport,
+    level: OptimizationLevel = OptimizationLevel.OSTI,
+) -> List[GluonSubstrate]:
+    """Create one substrate per host, running the memoization exchange.
+
+    The exchange happens regardless of optimization level (its arrays also
+    drive the structural subsets), but with temporal optimization disabled
+    the memoized order is never used on the wire.
+    """
+    books = exchange_address_books(partitioned, transport)
+    return [
+        GluonSubstrate(part, transport, level, books[part.host])
+        for part in partitioned.partitions
+    ]

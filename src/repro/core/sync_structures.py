@@ -1,0 +1,234 @@
+"""The Gluon synchronization API: reduction operations and field specs.
+
+This is the Python rendering of the paper's reduce/broadcast structures
+(Figure 5).  An application declares, per node label it wants synchronized,
+a :class:`FieldSpec` naming
+
+* the per-host numpy array holding the label (indexed by local ID),
+* the :class:`ReductionOp` that combines mirror contributions at the master
+  (``reduce``), with its identity value and reset semantics (``reset``),
+* and optionally a *derived broadcast*: a hook run at masters after the
+  reduce phase plus a second array whose values are broadcast (used by
+  pull-style pagerank, where partial sums reduce but contributions
+  broadcast).
+
+Bulk extract/set (the GPU variants mentioned in §3.3) fall out naturally:
+all accessors are vectorized numpy operations over index arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SyncError
+
+
+@dataclass(frozen=True)
+class ReductionOp:
+    """A reduction with identity and reset semantics.
+
+    Attributes:
+        name: Short name ("min", "add", ...).
+        combine: Vectorized combine of (current, incoming) -> reduced.
+        identity_for: Maps a numpy dtype to the identity value.
+        idempotent: Whether re-applying the same contribution is harmless.
+            Idempotent reductions (min/max/or) let mirrors *keep* their
+            value at reset (§2.3: sssp keeps labels); non-idempotent ones
+            (add) must reset mirrors to the identity (push pagerank).
+    """
+
+    name: str
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity_for: Callable[[np.dtype], object]
+    idempotent: bool
+
+    def identity(self, dtype: np.dtype) -> object:
+        """The identity value of this reduction for ``dtype``."""
+        return self.identity_for(np.dtype(dtype))
+
+    def reset_values(self, values: np.ndarray, indices: np.ndarray) -> None:
+        """Reset ``values[indices]`` after a reduce phase (mirror side).
+
+        Keeps values for idempotent reductions, writes the identity
+        otherwise — exactly the paper's per-operator reset rule.
+        """
+        if not self.idempotent and len(indices):
+            values[indices] = self.identity(values.dtype)
+
+
+def _max_for(dtype: np.dtype) -> object:
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).max
+    return np.inf
+
+
+def _min_for(dtype: np.dtype) -> object:
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).min
+    return -np.inf
+
+
+MIN = ReductionOp(
+    name="min",
+    combine=np.minimum,
+    identity_for=_max_for,
+    idempotent=True,
+)
+
+MAX = ReductionOp(
+    name="max",
+    combine=np.maximum,
+    identity_for=_min_for,
+    idempotent=True,
+)
+
+ADD = ReductionOp(
+    name="add",
+    combine=lambda a, b: a + b,
+    identity_for=lambda dtype: dtype.type(0),
+    idempotent=False,
+)
+
+BOR = ReductionOp(
+    name="bor",
+    combine=np.bitwise_or,
+    identity_for=lambda dtype: dtype.type(0),
+    idempotent=True,
+)
+
+ASSIGN = ReductionOp(
+    name="assign",
+    combine=lambda a, b: b,
+    identity_for=lambda dtype: dtype.type(0),
+    idempotent=True,
+)
+
+REDUCTIONS: Dict[str, ReductionOp] = {
+    op.name: op for op in (MIN, MAX, ADD, BOR, ASSIGN)
+}
+
+
+#: Valid edge-endpoint locations for field reads/writes (Figure 4's
+#: ``WriteAtDestination`` / ``ReadAtSource`` template parameters).
+LOCATIONS = frozenset({"source", "destination"})
+
+
+@dataclass
+class FieldSpec:
+    """One synchronized node label on one host.
+
+    Attributes:
+        name: Field name (must match across hosts).
+        values: numpy array of the label, indexed by local node ID.
+        reduce_op: Reduction combining mirror values into the master.
+        broadcast_values: Array broadcast to mirrors; defaults to
+            ``values`` (same-field sync, the common case).
+        on_master_after_reduce: Optional hook run at each host between the
+            reduce and broadcast phases.  Receives the boolean mask of
+            masters whose reduced value changed and returns the mask of
+            masters to broadcast (or ``None`` to broadcast the changed
+            ones).  Pull-style pagerank uses this to turn reduced partial
+            sums into the contribution values it broadcasts.
+        writes: Edge endpoints where the compute phase may *write* this
+            field — the paper's ``WriteAtDestination``/``WriteAtSource``
+            sync parameters.  With structural optimization, only mirrors
+            carrying the matching edge direction take part in the reduce.
+        reads: Edge endpoints where the compute phase *reads* this field —
+            ``ReadAtSource``/``ReadAtDestination``.  Only mirrors that can
+            be read receive the broadcast.  BC's backward pass writes at
+            the source and reads at the destination; the default is the
+            push/pull source->destination flow of §3.2.
+    """
+
+    name: str
+    values: np.ndarray
+    reduce_op: ReductionOp
+    broadcast_values: Optional[np.ndarray] = None
+    on_master_after_reduce: Optional[
+        Callable[[np.ndarray], Optional[np.ndarray]]
+    ] = None
+    writes: frozenset = frozenset({"destination"})
+    reads: frozenset = frozenset({"source"})
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, np.ndarray) or self.values.ndim != 1:
+            raise SyncError(f"field {self.name!r}: values must be a 1-D array")
+        if self.broadcast_values is None:
+            self.broadcast_values = self.values
+        elif (
+            not isinstance(self.broadcast_values, np.ndarray)
+            or self.broadcast_values.shape != self.values.shape
+        ):
+            raise SyncError(
+                f"field {self.name!r}: broadcast_values must match values' shape"
+            )
+        self.writes = frozenset(self.writes)
+        self.reads = frozenset(self.reads)
+        for name, locations in (("writes", self.writes), ("reads", self.reads)):
+            if not locations or not locations <= LOCATIONS:
+                raise SyncError(
+                    f"field {self.name!r}: {name} must be a non-empty "
+                    f"subset of {sorted(LOCATIONS)}"
+                )
+
+    @property
+    def dtype(self) -> np.dtype:
+        """dtype of the synchronized values."""
+        return self.values.dtype
+
+    @property
+    def value_size(self) -> int:
+        """Bytes per value on the wire."""
+        return int(self.values.dtype.itemsize)
+
+    # -- the paper's five accessor functions, in bulk form --------------------
+
+    def extract(self, local_ids: np.ndarray) -> np.ndarray:
+        """Bulk ``extract`` for the reduce phase (mirror side)."""
+        return self.values[local_ids]
+
+    def extract_broadcast(self, local_ids: np.ndarray) -> np.ndarray:
+        """Bulk ``extract`` for the broadcast phase (master side)."""
+        return self.broadcast_values[local_ids]
+
+    def reduce(self, local_ids: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        """Bulk ``reduce`` at masters; returns the changed mask.
+
+        Duplicate local IDs within one call are not supported (and cannot
+        occur: a master appears at most once per peer's memoized array, and
+        each peer's contributions are applied in a separate call).
+        """
+        if len(local_ids) != len(incoming):
+            raise SyncError(
+                f"field {self.name!r}: reduce got {len(local_ids)} ids for "
+                f"{len(incoming)} values"
+            )
+        current = self.values[local_ids]
+        reduced = self.reduce_op.combine(current, incoming.astype(self.dtype))
+        changed = reduced != current
+        self.values[local_ids] = reduced
+        return changed
+
+    def reset(self, local_ids: np.ndarray) -> None:
+        """Bulk ``reset`` at mirrors after the reduce phase."""
+        self.reduce_op.reset_values(self.values, local_ids)
+
+    def set(self, local_ids: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        """Bulk ``set`` at mirrors during broadcast; returns changed mask."""
+        if len(local_ids) != len(incoming):
+            raise SyncError(
+                f"field {self.name!r}: set got {len(local_ids)} ids for "
+                f"{len(incoming)} values"
+            )
+        incoming = incoming.astype(self.broadcast_values.dtype)
+        current = self.broadcast_values[local_ids]
+        changed = current != incoming
+        self.broadcast_values[local_ids] = incoming
+        if self.broadcast_values is not self.values:
+            # Derived broadcast: the reduce-side array is not touched at
+            # mirrors; only the broadcast array is cached there.
+            return changed
+        return changed

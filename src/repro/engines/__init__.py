@@ -1,0 +1,49 @@
+"""Compute engines: the shared-memory systems Gluon scales out (§5).
+
+* :class:`GaloisEngine` — asynchronous within a host: each BSP round runs
+  the operator to a *local fixpoint* (chaotic relaxation), like Galois.
+* :class:`LigraEngine` — level-synchronous edgeMap with Ligra's
+  push/pull direction optimization.
+* :class:`IrGLEngine` — bulk-synchronous GPU engine: high edge throughput,
+  kernel-launch overhead, and host<->device transfer charged per sync.
+* :class:`GeminiEngine` / :class:`GunrockEngine` — baseline systems'
+  engines (used with their restricted partitioners and gid-based sync).
+"""
+
+from repro.engines.base import Engine
+from repro.engines.galois import GaloisEngine
+from repro.engines.gemini import GeminiEngine, GeminiPartitioner
+from repro.engines.gunrock import GunrockEngine
+from repro.engines.irgl import IrGLEngine
+from repro.engines.ligra import LigraEngine
+
+ENGINE_BY_NAME = {
+    "galois": GaloisEngine,
+    "ligra": LigraEngine,
+    "irgl": IrGLEngine,
+    "gemini": GeminiEngine,
+    "gunrock": GunrockEngine,
+}
+
+
+def make_engine(name: str, **kwargs):
+    """Construct a compute engine by name."""
+    try:
+        cls = ENGINE_BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_BY_NAME))
+        raise ValueError(f"unknown engine {name!r} (known: {known})")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Engine",
+    "GaloisEngine",
+    "LigraEngine",
+    "IrGLEngine",
+    "GeminiEngine",
+    "GeminiPartitioner",
+    "GunrockEngine",
+    "make_engine",
+    "ENGINE_BY_NAME",
+]

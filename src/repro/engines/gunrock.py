@@ -1,0 +1,46 @@
+"""Gunrock baseline: single-node multi-GPU system (§5.5, Table 5).
+
+Like other existing multi-GPU systems, Gunrock "can handle only outgoing
+edge-cuts" — the paper evaluates its random edge-cut as the best of its OEC
+policies — and it is restricted to a single physical node (it cannot
+scale past the GPUs of one machine and runs out of memory beyond
+twitter40-sized inputs).  The system layer enforces both restrictions.
+
+Computationally it is a bulk-synchronous GPU engine comparable to IrGL's;
+intra-node GPU-to-GPU links are faster than the inter-node fabric, which
+the system layer models with a higher-bandwidth network parameter set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import VertexProgram
+from repro.engines.base import Engine, RoundOutcome
+from repro.runtime.timing import ComputeCostParameters
+
+
+class GunrockEngine(Engine):
+    """Bulk-synchronous GPU engine restricted to single-node use."""
+
+    name = "gunrock"
+    is_gpu = True
+    cost = ComputeCostParameters(
+        per_edge_s=0.35e-9,
+        per_node_s=0.7e-9,
+        step_overhead_s=5.0e-5,
+        translation_s=4.0e-8,
+        device_bandwidth_bytes_per_s=11.0e9,
+        device_latency_s=1.0e-5,
+    )
+
+    def compute_round(
+        self,
+        app: VertexProgram,
+        part,
+        state: Dict,
+        frontier: np.ndarray,
+    ) -> RoundOutcome:
+        return self._single_step(app, part, state, frontier)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type to distinguish library
+failures from programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph structures or invalid graph arguments."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a graph file that does not match its format."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid partitioning requests or broken partitions."""
+
+
+class StrategyError(PartitionError):
+    """Raised when a partitioning strategy is illegal for an operator."""
+
+
+class TransportError(ReproError):
+    """Raised for misuse of the simulated network transport."""
+
+
+class SerializationError(ReproError):
+    """Raised when a wire message cannot be encoded or decoded."""
+
+
+class SyncError(ReproError):
+    """Raised when a Gluon synchronization call is malformed."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a distributed execution cannot proceed."""

@@ -1,0 +1,51 @@
+"""Graph substrate: CSR graphs, generators, I/O, and property reports.
+
+This subpackage provides the shared-memory graph representation used by
+every simulated host, plus generators for the scaled-down stand-ins of the
+paper's inputs (rmat*, kron*, twitter40, clueweb12, wdc12).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    kronecker,
+    path_graph,
+    rmat,
+    star_graph,
+    watts_strogatz,
+)
+from repro.graph.io import (
+    read_binary,
+    read_edgelist,
+    write_binary,
+    write_edgelist,
+)
+from repro.graph.properties import GraphProperties, compute_properties
+from repro.graph.validation import validate_graph
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "rmat",
+    "kronecker",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "read_edgelist",
+    "write_edgelist",
+    "read_binary",
+    "write_binary",
+    "GraphProperties",
+    "compute_properties",
+    "validate_graph",
+]

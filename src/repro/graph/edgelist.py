@@ -1,0 +1,140 @@
+"""Edge lists: the interchange format between generators and CSR builders.
+
+An :class:`EdgeList` is a thin, validated wrapper around parallel numpy
+arrays ``src``, ``dst``, and optional ``weight``.  Generators produce edge
+lists; partitioners consume them to assign edges to hosts; `CSRGraph`
+builds adjacency from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """A list of directed edges over nodes ``0..num_nodes-1``.
+
+    Attributes:
+        num_nodes: Number of nodes in the graph (may exceed max endpoint).
+        src: uint32 array of edge sources.
+        dst: uint32 array of edge destinations.
+        weight: Optional uint32 array of edge weights (same length).
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    weight: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 0:
+            raise GraphError(f"num_nodes must be >= 0, got {self.num_nodes}")
+        src = np.ascontiguousarray(self.src, dtype=np.uint32)
+        dst = np.ascontiguousarray(self.dst, dtype=np.uint32)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise GraphError(
+                f"src/dst must be 1-D arrays of equal length, got shapes "
+                f"{src.shape} and {dst.shape}"
+            )
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if self.weight is not None:
+            weight = np.ascontiguousarray(self.weight, dtype=np.uint32)
+            if weight.shape != src.shape:
+                raise GraphError(
+                    f"weight length {weight.shape} does not match edge "
+                    f"count {src.shape}"
+                )
+            object.__setattr__(self, "weight", weight)
+        if len(src) > 0:
+            max_endpoint = int(max(src.max(), dst.max()))
+            if max_endpoint >= self.num_nodes:
+                raise GraphError(
+                    f"edge endpoint {max_endpoint} out of range for "
+                    f"{self.num_nodes} nodes"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(len(self.src))
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether edges carry weights."""
+        return self.weight is not None
+
+    def with_unit_weights(self) -> "EdgeList":
+        """Return a copy with all-ones weights (no-op if already weighted)."""
+        if self.weight is not None:
+            return self
+        return EdgeList(
+            self.num_nodes,
+            self.src,
+            self.dst,
+            np.ones(self.num_edges, dtype=np.uint32),
+        )
+
+    def with_random_weights(
+        self, rng: np.random.Generator, low: int = 1, high: int = 100
+    ) -> "EdgeList":
+        """Return a copy with integer weights drawn uniformly from [low, high]."""
+        if low < 0 or high < low:
+            raise GraphError(f"invalid weight range [{low}, {high}]")
+        weight = rng.integers(low, high + 1, size=self.num_edges, dtype=np.uint32)
+        return EdgeList(self.num_nodes, self.src, self.dst, weight)
+
+    def deduplicate(self) -> "EdgeList":
+        """Return a copy with duplicate (src, dst) edges removed.
+
+        For weighted lists the *minimum* weight among duplicates is kept,
+        which is the natural semantics for shortest-path workloads.
+        """
+        if self.num_edges == 0:
+            return self
+        key = self.src.astype(np.uint64) * np.uint64(self.num_nodes) + self.dst
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_key[1:] != sorted_key[:-1]
+        if self.weight is None:
+            keep = order[first]
+            return EdgeList(self.num_nodes, self.src[keep], self.dst[keep])
+        # Group-wise minimum weight: sort by (key, weight) so the first entry
+        # of each group carries the smallest weight.
+        order = np.lexsort((self.weight, key))
+        sorted_key = key[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_key[1:] != sorted_key[:-1]
+        keep = order[first]
+        return EdgeList(
+            self.num_nodes, self.src[keep], self.dst[keep], self.weight[keep]
+        )
+
+    def remove_self_loops(self) -> "EdgeList":
+        """Return a copy with self-loop edges removed."""
+        mask = self.src != self.dst
+        weight = self.weight[mask] if self.weight is not None else None
+        return EdgeList(self.num_nodes, self.src[mask], self.dst[mask], weight)
+
+    def symmetrize(self) -> "EdgeList":
+        """Return the union of this list and its reverse, deduplicated.
+
+        Used to build undirected inputs for connected components.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        weight = None
+        if self.weight is not None:
+            weight = np.concatenate([self.weight, self.weight])
+        return EdgeList(self.num_nodes, src, dst, weight).deduplicate()
+
+    def reversed(self) -> "EdgeList":
+        """Return the edge list with every edge direction flipped."""
+        return EdgeList(self.num_nodes, self.dst, self.src, self.weight)

@@ -1,0 +1,277 @@
+"""Synthetic graph generators.
+
+These produce the scaled-down stand-ins for the paper's inputs (Table 1):
+
+* :func:`rmat` — recursive-matrix scale-free graphs with the graph500
+  parameters (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) used for rmat26/rmat28.
+* :func:`kronecker` — stochastic Kronecker graphs (kron30 stand-in).
+* :func:`web_like` / :func:`twitter_like` — RMAT variants whose degree skew
+  matches the web crawls (huge in-degree hubs) and twitter40 respectively.
+* Deterministic topologies (path, cycle, star, grid, complete) for tests.
+
+All generators are deterministic given a seed and return an
+:class:`~repro.graph.edgelist.EdgeList`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.edgelist import EdgeList
+from repro.utils.rng import make_rng
+
+#: graph500 RMAT probabilities used by the paper for rmat26/rmat28/kron30.
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def _rmat_edges(
+    scale: int,
+    num_edges: int,
+    probs: Tuple[float, float, float, float],
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``num_edges`` RMAT edges over ``2**scale`` nodes, vectorized."""
+    a, b, c, d = probs
+    total = a + b + c + d
+    if abs(total - 1.0) > 1e-9:
+        raise GraphError(f"RMAT probabilities must sum to 1, got {total}")
+    src = np.zeros(num_edges, dtype=np.uint64)
+    dst = np.zeros(num_edges, dtype=np.uint64)
+    for level in range(scale):
+        r = rng.random(num_edges)
+        # Quadrant choice: 0 -> a (0,0), 1 -> b (0,1), 2 -> c (1,0), 3 -> d.
+        quadrant = np.zeros(num_edges, dtype=np.uint8)
+        quadrant[r >= a] = 1
+        quadrant[r >= a + b] = 2
+        quadrant[r >= a + b + c] = 3
+        src = (src << 1) | (quadrant >> 1).astype(np.uint64)
+        dst = (dst << 1) | (quadrant & 1).astype(np.uint64)
+    return src.astype(np.uint32), dst.astype(np.uint32)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 0,
+    probs: Tuple[float, float, float, float] = GRAPH500_PROBS,
+    deduplicate: bool = True,
+    remove_self_loops: bool = True,
+) -> EdgeList:
+    """Generate an RMAT graph with ``2**scale`` nodes.
+
+    Args:
+        scale: log2 of the number of nodes.
+        edge_factor: average directed edges per node (paper uses 16).
+        seed: RNG seed.
+        probs: quadrant probabilities (a, b, c, d).
+        deduplicate: drop duplicate edges (keeps graph simple).
+        remove_self_loops: drop self loops.
+    """
+    if scale < 0 or scale > 30:
+        raise GraphError(f"scale must be in [0, 30], got {scale}")
+    num_nodes = 1 << scale
+    num_edges = num_nodes * edge_factor
+    rng = make_rng(seed)
+    src, dst = _rmat_edges(scale, num_edges, probs, rng)
+    edges = EdgeList(num_nodes, src, dst)
+    if remove_self_loops:
+        edges = edges.remove_self_loops()
+    if deduplicate:
+        edges = edges.deduplicate()
+    return edges
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 0,
+    probs: Tuple[float, float, float, float] = GRAPH500_PROBS,
+) -> EdgeList:
+    """Generate a stochastic Kronecker graph (kron30 stand-in).
+
+    Kronecker generation with a 2x2 initiator is the same recursive process
+    as RMAT but the convention (after graph500) keeps self loops and
+    multi-edges; we keep self loops and deduplicate to stay simple, and
+    symmetrize like the paper's kron30 input (undirected).
+    """
+    if scale < 0 or scale > 30:
+        raise GraphError(f"scale must be in [0, 30], got {scale}")
+    num_nodes = 1 << scale
+    rng = make_rng(seed)
+    src, dst = _rmat_edges(scale, num_nodes * edge_factor // 2, probs, rng)
+    edges = EdgeList(num_nodes, src, dst)
+    return edges.symmetrize().remove_self_loops()
+
+
+def twitter_like(scale: int = 14, seed: int = 7) -> EdgeList:
+    """A twitter40 stand-in: denser (|E|/|V| ~= 35), strong out-degree skew.
+
+    The asymmetric b > c quadrant probabilities concentrate the *row*
+    (source) marginal: max out-degree far exceeds max in-degree, like
+    twitter40's 2.99M out vs 0.77M in (Table 1).
+    """
+    return rmat(scale, edge_factor=35, seed=seed, probs=(0.57, 0.28, 0.10, 0.05))
+
+
+def web_like(scale: int = 14, seed: int = 11) -> EdgeList:
+    """A clueweb12/wdc12 stand-in: dense, with huge *in*-degree hubs.
+
+    Web crawls have max in-degree orders of magnitude above max out-degree
+    (Table 1: clueweb12 has 75M in vs 7.4K out), obtained here with
+    asymmetric c > b quadrant probabilities concentrating the *column*
+    (destination) marginal.
+    """
+    return rmat(
+        scale, edge_factor=40, seed=seed, probs=(0.57, 0.10, 0.28, 0.05)
+    )
+
+
+def erdos_renyi(num_nodes: int, avg_degree: float, seed: int = 0) -> EdgeList:
+    """Uniform random directed graph with the given expected out-degree."""
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+    if avg_degree < 0:
+        raise GraphError(f"avg_degree must be >= 0, got {avg_degree}")
+    rng = make_rng(seed)
+    num_edges = int(round(num_nodes * avg_degree))
+    if num_nodes == 0 or num_edges == 0:
+        return EdgeList(num_nodes, np.array([], np.uint32), np.array([], np.uint32))
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    return EdgeList(num_nodes, src, dst).remove_self_loops().deduplicate()
+
+
+def path_graph(num_nodes: int) -> EdgeList:
+    """Directed path 0 -> 1 -> ... -> n-1 (worst case diameter)."""
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+    if num_nodes < 2:
+        return EdgeList(num_nodes, np.array([], np.uint32), np.array([], np.uint32))
+    src = np.arange(num_nodes - 1, dtype=np.uint32)
+    return EdgeList(num_nodes, src, src + 1)
+
+
+def cycle_graph(num_nodes: int) -> EdgeList:
+    """Directed cycle over ``num_nodes`` nodes."""
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+    if num_nodes == 0:
+        return EdgeList(0, np.array([], np.uint32), np.array([], np.uint32))
+    src = np.arange(num_nodes, dtype=np.uint32)
+    dst = np.roll(src, -1)
+    return EdgeList(num_nodes, src, dst)
+
+
+def star_graph(num_nodes: int) -> EdgeList:
+    """Node 0 points at every other node (max out-degree hub)."""
+    if num_nodes < 1:
+        raise GraphError(f"star graph needs >= 1 node, got {num_nodes}")
+    dst = np.arange(1, num_nodes, dtype=np.uint32)
+    src = np.zeros(num_nodes - 1, dtype=np.uint32)
+    return EdgeList(num_nodes, src, dst)
+
+
+def complete_graph(num_nodes: int) -> EdgeList:
+    """All ordered pairs (u, v), u != v."""
+    if num_nodes < 0:
+        raise GraphError(f"num_nodes must be >= 0, got {num_nodes}")
+    src, dst = np.meshgrid(
+        np.arange(num_nodes, dtype=np.uint32),
+        np.arange(num_nodes, dtype=np.uint32),
+        indexing="ij",
+    )
+    mask = src != dst
+    return EdgeList(num_nodes, src[mask], dst[mask])
+
+
+def barabasi_albert(
+    num_nodes: int, attach: int = 4, seed: int = 0
+) -> EdgeList:
+    """Preferential-attachment scale-free graph (Barabási–Albert).
+
+    Grows a graph one node at a time; each new node attaches to ``attach``
+    existing nodes sampled proportionally to degree.  Returned symmetric
+    (both directions), like the model's undirected edges.  Complements
+    RMAT: similar power-law tails, very different local structure.
+    """
+    if attach < 1:
+        raise GraphError(f"attach must be >= 1, got {attach}")
+    if num_nodes <= attach:
+        raise GraphError(
+            f"num_nodes must exceed attach ({attach}), got {num_nodes}"
+        )
+    rng = make_rng(seed)
+    sources = []
+    targets = []
+    # The "repeated nodes" trick: sampling uniformly from this list is
+    # degree-proportional sampling.
+    repeated = list(range(attach))
+    for node in range(attach, num_nodes):
+        pool = np.asarray(repeated)
+        chosen = np.unique(rng.choice(pool, size=attach))
+        for target in chosen.tolist():
+            sources.append(node)
+            targets.append(target)
+            repeated.append(node)
+            repeated.append(target)
+    edges = EdgeList(
+        num_nodes,
+        np.asarray(sources, dtype=np.uint32),
+        np.asarray(targets, dtype=np.uint32),
+    )
+    return edges.symmetrize()
+
+
+def watts_strogatz(
+    num_nodes: int, nearest: int = 4, rewire: float = 0.1, seed: int = 0
+) -> EdgeList:
+    """Small-world graph (Watts–Strogatz ring lattice with rewiring).
+
+    Each node connects to its ``nearest`` clockwise ring neighbours; each
+    such edge is rewired to a random endpoint with probability ``rewire``.
+    Symmetric output.  High clustering + short paths: a qualitatively
+    different stress test from scale-free inputs.
+    """
+    if num_nodes < 3:
+        raise GraphError(f"num_nodes must be >= 3, got {num_nodes}")
+    if not 1 <= nearest < num_nodes:
+        raise GraphError(f"nearest must be in [1, num_nodes), got {nearest}")
+    if not 0.0 <= rewire <= 1.0:
+        raise GraphError(f"rewire must be in [0, 1], got {rewire}")
+    rng = make_rng(seed)
+    src = np.repeat(np.arange(num_nodes, dtype=np.int64), nearest)
+    offsets = np.tile(np.arange(1, nearest + 1, dtype=np.int64), num_nodes)
+    dst = (src + offsets) % num_nodes
+    rewired = rng.random(len(dst)) < rewire
+    dst[rewired] = rng.integers(0, num_nodes, size=int(rewired.sum()))
+    edges = EdgeList(
+        num_nodes, src.astype(np.uint32), dst.astype(np.uint32)
+    )
+    return edges.remove_self_loops().symmetrize()
+
+
+def grid_graph(rows: int, cols: int) -> EdgeList:
+    """2-D grid with bidirectional edges between 4-neighbors.
+
+    High-diameter input; the mirror-image stress test to scale-free graphs.
+    """
+    if rows < 0 or cols < 0:
+        raise GraphError(f"rows/cols must be >= 0, got {rows}x{cols}")
+    num_nodes = rows * cols
+    srcs = []
+    dsts = []
+    ids = np.arange(num_nodes, dtype=np.uint32).reshape(rows, cols)
+    if cols > 1:
+        srcs.append(ids[:, :-1].ravel())
+        dsts.append(ids[:, 1:].ravel())
+    if rows > 1:
+        srcs.append(ids[:-1, :].ravel())
+        dsts.append(ids[1:, :].ravel())
+    if not srcs:
+        return EdgeList(num_nodes, np.array([], np.uint32), np.array([], np.uint32))
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return EdgeList(num_nodes, src, dst).symmetrize()

@@ -1,0 +1,57 @@
+"""Graph property reports (the paper's Table 1).
+
+:func:`compute_properties` produces the |V|, |E|, density, and max in/out
+degree statistics that Table 1 reports for each input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """Summary statistics of one input graph (one Table 1 column)."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+
+    def as_row(self) -> dict:
+        """Return the Table 1 row as a plain dict (for the bench harness)."""
+        return {
+            "input": self.name,
+            "|V|": self.num_nodes,
+            "|E|": self.num_edges,
+            "|E|/|V|": round(self.avg_degree, 1),
+            "max Dout": self.max_out_degree,
+            "max Din": self.max_in_degree,
+        }
+
+
+def compute_properties(graph, name: str = "graph") -> GraphProperties:
+    """Compute Table 1 statistics for a :class:`CSRGraph` or :class:`EdgeList`."""
+    if isinstance(graph, EdgeList):
+        graph = CSRGraph.from_edgelist(graph)
+    if not isinstance(graph, CSRGraph):
+        raise TypeError(f"expected CSRGraph or EdgeList, got {type(graph)!r}")
+    out_deg = graph.out_degree()
+    in_deg = graph.in_degree()
+    num_nodes = graph.num_nodes
+    num_edges = graph.num_edges
+    return GraphProperties(
+        name=name,
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        avg_degree=(num_edges / num_nodes) if num_nodes else 0.0,
+        max_out_degree=int(out_deg.max()) if num_nodes else 0,
+        max_in_degree=int(in_deg.max()) if num_nodes else 0,
+    )

@@ -1,0 +1,32 @@
+"""Structural validation of CSR graphs.
+
+Used by tests and by the partitioners' self-checks: a freshly built local
+graph must be internally consistent before Gluon memoization runs over it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def validate_graph(graph: CSRGraph) -> None:
+    """Raise :class:`GraphError` if ``graph`` violates a CSR invariant.
+
+    Checks: monotone indptr, endpoints in range, weight alignment.  The
+    constructor already enforces these; this re-checks after any external
+    mutation of the underlying arrays.
+    """
+    indptr = graph.indptr
+    if indptr[0] != 0:
+        raise GraphError("indptr[0] must be 0")
+    if indptr[-1] != graph.num_edges:
+        raise GraphError("indptr[-1] must equal num_edges")
+    if np.any(np.diff(indptr) < 0):
+        raise GraphError("indptr must be non-decreasing")
+    if graph.num_edges > 0 and int(graph.indices.max()) >= graph.num_nodes:
+        raise GraphError("edge destination out of range")
+    if graph.weights is not None and graph.weights.shape != graph.indices.shape:
+        raise GraphError("weights misaligned with edges")

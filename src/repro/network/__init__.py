@@ -1,0 +1,27 @@
+"""Simulated network: transport, byte accounting, and timing models.
+
+The transport carries *real serialized byte buffers* between simulated
+hosts, so every communication-volume number in the benchmarks is an exact
+``len(payload)`` measurement.  Wall-clock communication time is estimated
+with an alpha-beta (latency + bandwidth) cost model, with parameter sets for
+the LCI and MPI transports the paper evaluates.
+"""
+
+from repro.network.cost_model import (
+    LCI_PARAMETERS,
+    MPI_PARAMETERS,
+    CostModel,
+    NetworkParameters,
+)
+from repro.network.stats import CommStats, RoundTraffic
+from repro.network.transport import InProcessTransport
+
+__all__ = [
+    "InProcessTransport",
+    "CommStats",
+    "RoundTraffic",
+    "CostModel",
+    "NetworkParameters",
+    "LCI_PARAMETERS",
+    "MPI_PARAMETERS",
+]

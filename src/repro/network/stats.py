@@ -1,0 +1,101 @@
+"""Communication accounting: exact per-host-pair bytes and message counts.
+
+Figure 8(b) and the per-bar volumes in Figure 10 come straight from this
+module: every payload handed to the transport is recorded here with its
+real serialized length.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class RoundTraffic:
+    """Traffic of one BSP round: list of (src, dst, bytes) messages."""
+
+    messages: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of payload bytes this round."""
+        return sum(nbytes for _, _, nbytes in self.messages)
+
+    @property
+    def num_messages(self) -> int:
+        """Number of messages this round."""
+        return len(self.messages)
+
+    def bytes_by_host(self, num_hosts: int) -> Tuple[List[int], List[int]]:
+        """Return (sent, received) byte totals per host."""
+        sent = [0] * num_hosts
+        received = [0] * num_hosts
+        for src, dst, nbytes in self.messages:
+            sent[src] += nbytes
+            received[dst] += nbytes
+        return sent, received
+
+
+class CommStats:
+    """Accumulates traffic over an entire distributed execution."""
+
+    def __init__(self, num_hosts: int) -> None:
+        if num_hosts <= 0:
+            raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
+        self.num_hosts = num_hosts
+        self.rounds: List[RoundTraffic] = [RoundTraffic()]
+        self._pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._pair_messages: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        """Record one message of ``nbytes`` payload from ``src`` to ``dst``."""
+        if not 0 <= src < self.num_hosts or not 0 <= dst < self.num_hosts:
+            raise ValueError(f"host pair ({src}, {dst}) out of range")
+        if nbytes < 0:
+            raise ValueError(f"message size must be >= 0, got {nbytes}")
+        self.rounds[-1].messages.append((src, dst, nbytes))
+        self._pair_bytes[(src, dst)] += nbytes
+        self._pair_messages[(src, dst)] += 1
+
+    def end_round(self) -> RoundTraffic:
+        """Close the current round and open a new one; returns the closed one."""
+        finished = self.rounds[-1]
+        self.rounds.append(RoundTraffic())
+        return finished
+
+    @property
+    def current_round(self) -> RoundTraffic:
+        """The still-open round."""
+        return self.rounds[-1]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes across all rounds."""
+        return sum(r.total_bytes for r in self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        """Total message count across all rounds."""
+        return sum(r.num_messages for r in self.rounds)
+
+    def pair_bytes(self, src: int, dst: int) -> int:
+        """Total bytes sent from ``src`` to ``dst``."""
+        return self._pair_bytes.get((src, dst), 0)
+
+    def pair_messages(self, src: int, dst: int) -> int:
+        """Total messages sent from ``src`` to ``dst``."""
+        return self._pair_messages.get((src, dst), 0)
+
+    def communication_partners(self, host: int) -> int:
+        """Number of distinct hosts ``host`` ever sent to (§5.6)."""
+        return len({dst for (src, dst) in self._pair_bytes if src == host})
+
+    def max_partners(self) -> int:
+        """Maximum communication-partner count over all hosts."""
+        if not self._pair_bytes:
+            return 0
+        return max(
+            self.communication_partners(host) for host in range(self.num_hosts)
+        )

@@ -1,0 +1,77 @@
+"""In-process message transport between simulated hosts.
+
+Carries real ``bytes`` payloads through per-host mailboxes.  The executor
+runs hosts in BSP phases, so delivery is immediate: every host finishes its
+sends for a phase before any host drains its mailbox.  All traffic is
+recorded in a :class:`~repro.network.stats.CommStats` for exact volume
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.network.stats import CommStats
+
+
+class InProcessTransport:
+    """Mailbox-based transport connecting ``num_hosts`` simulated hosts."""
+
+    def __init__(self, num_hosts: int, stats: Optional[CommStats] = None) -> None:
+        if num_hosts <= 0:
+            raise TransportError(f"num_hosts must be >= 1, got {num_hosts}")
+        self.num_hosts = num_hosts
+        self.stats = stats if stats is not None else CommStats(num_hosts)
+        self._mailboxes: List[List[Tuple[int, bytes]]] = [
+            [] for _ in range(num_hosts)
+        ]
+
+    def send(self, src: int, dst: int, payload: bytes) -> None:
+        """Send ``payload`` from host ``src`` to host ``dst``.
+
+        Self-sends are rejected: Gluon never synchronizes a proxy with
+        itself, so a self-send indicates a substrate bug.
+        """
+        self._check_host(src)
+        self._check_host(dst)
+        if src == dst:
+            raise TransportError(f"host {src} attempted to send to itself")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TransportError(
+                f"payload must be bytes-like, got {type(payload)!r}"
+            )
+        payload = bytes(payload)
+        self._mailboxes[dst].append((src, payload))
+        self.stats.record(src, dst, len(payload))
+
+    def receive_all(self, host: int) -> List[Tuple[int, bytes]]:
+        """Drain and return all (sender, payload) pairs queued for ``host``."""
+        self._check_host(host)
+        inbox = self._mailboxes[host]
+        self._mailboxes[host] = []
+        return inbox
+
+    def pending(self, host: int) -> int:
+        """Number of undelivered messages queued for ``host``."""
+        self._check_host(host)
+        return len(self._mailboxes[host])
+
+    def end_round(self) -> None:
+        """Mark a BSP round boundary in the statistics.
+
+        All mailboxes must be drained first — a queued message at a round
+        boundary means some host never consumed synchronization data.
+        """
+        undelivered = [h for h in range(self.num_hosts) if self._mailboxes[h]]
+        if undelivered:
+            raise TransportError(
+                f"round ended with undelivered messages for hosts {undelivered}"
+            )
+        self.stats.end_round()
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise TransportError(
+                f"host {host} out of range [0, {self.num_hosts})"
+            )

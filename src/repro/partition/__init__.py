@@ -1,0 +1,78 @@
+"""Graph partitioning: strategies, partitioners, and partition metrics.
+
+Implements the four partitioning strategies of §3.1 (OEC, IEC, CVC, UVC)
+with the concrete policies used in §5.2: chunk-based edge cuts for OEC/IEC,
+2-D cartesian vertex cut for CVC, hybrid vertex cut for UVC, plus the random
+edge cut used by the Gunrock baseline.
+"""
+
+from repro.partition.base import (
+    EdgeAssignment,
+    LocalPartition,
+    PartitionedGraph,
+    build_partitioned_graph,
+)
+from repro.partition.cartesian import CartesianVertexCut
+from repro.partition.edge_cut import IncomingEdgeCut, OutgoingEdgeCut
+from repro.partition.hybrid import HybridVertexCut
+from repro.partition.jagged import JaggedVertexCut
+from repro.partition.metrics import (
+    PartitionMetrics,
+    assert_partition_valid,
+    compute_metrics,
+    verify_partition,
+)
+from repro.partition.random_cut import RandomEdgeCut
+from repro.partition.strategy import (
+    DataFlow,
+    OperatorClass,
+    PartitionStrategy,
+    check_strategy_legal,
+)
+
+PARTITIONER_BY_NAME = {
+    "oec": OutgoingEdgeCut,
+    "iec": IncomingEdgeCut,
+    "cvc": CartesianVertexCut,
+    "hvc": HybridVertexCut,
+    "jagged": JaggedVertexCut,
+    "random": RandomEdgeCut,
+}
+
+
+def make_partitioner(name: str, **kwargs):
+    """Construct a partitioner by its short policy name.
+
+    Mirrors the paper's command-line-flag selection of partitioning policy
+    (§3.3): ``oec``, ``iec``, ``cvc``, ``hvc``, or ``random``.
+    """
+    try:
+        cls = PARTITIONER_BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(PARTITIONER_BY_NAME))
+        raise ValueError(f"unknown partitioner {name!r} (known: {known})")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "PartitionStrategy",
+    "OperatorClass",
+    "DataFlow",
+    "check_strategy_legal",
+    "EdgeAssignment",
+    "LocalPartition",
+    "PartitionedGraph",
+    "build_partitioned_graph",
+    "OutgoingEdgeCut",
+    "IncomingEdgeCut",
+    "CartesianVertexCut",
+    "HybridVertexCut",
+    "JaggedVertexCut",
+    "RandomEdgeCut",
+    "PartitionMetrics",
+    "compute_metrics",
+    "verify_partition",
+    "assert_partition_valid",
+    "make_partitioner",
+    "PARTITIONER_BY_NAME",
+]

@@ -1,0 +1,316 @@
+"""Partitioned graphs: edge assignment -> per-host local graphs with proxies.
+
+The unified model of §3.1: a partitioning policy assigns every *edge* to a
+host; a proxy node is created on a host for every endpoint of an edge it
+owns; each global node designates exactly one proxy as its *master* and the
+rest are *mirrors*.  The two invariants of §2.2 hold by construction:
+
+a) every global node has exactly one master proxy, and
+b) every local edge connects two proxies on the same host.
+
+Local IDs are assigned **masters first** (0..num_masters-1), then mirrors.
+This makes "is this proxy a master?" a range check and lets the GPU-style
+bulk extract/set operate on contiguous slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.partition.strategy import PartitionStrategy
+
+
+@dataclass(frozen=True)
+class EdgeAssignment:
+    """Output of a partitioning policy, before local graphs are built.
+
+    Attributes:
+        num_hosts: Number of hosts.
+        master_host: Per-global-node host that owns the master proxy.
+        edge_host: Per-edge host that owns the edge (aligned with the
+            EdgeList handed to the partitioner).
+        extra_proxies: Optional per-host arrays of additional global IDs to
+            materialize as (edge-less) mirror proxies.  Used by baselines
+            with dual in/out representations (Gemini), whose mirror sets are
+            larger than the computation edges alone imply.
+    """
+
+    num_hosts: int
+    master_host: np.ndarray
+    edge_host: np.ndarray
+    extra_proxies: Optional[List[np.ndarray]] = None
+
+    def __post_init__(self) -> None:
+        if self.extra_proxies is not None and len(self.extra_proxies) != self.num_hosts:
+            raise PartitionError(
+                "extra_proxies must have one entry per host"
+            )
+        master_host = np.ascontiguousarray(self.master_host, dtype=np.int32)
+        edge_host = np.ascontiguousarray(self.edge_host, dtype=np.int32)
+        if self.num_hosts <= 0:
+            raise PartitionError(f"num_hosts must be >= 1, got {self.num_hosts}")
+        for name, arr in (("master_host", master_host), ("edge_host", edge_host)):
+            if len(arr) and (arr.min() < 0 or arr.max() >= self.num_hosts):
+                raise PartitionError(
+                    f"{name} contains host ids outside [0, {self.num_hosts})"
+                )
+        object.__setattr__(self, "master_host", master_host)
+        object.__setattr__(self, "edge_host", edge_host)
+
+
+class LocalPartition:
+    """One host's share of the partitioned graph.
+
+    Attributes:
+        host: Host id.
+        graph: Local CSR graph over local IDs.
+        local_to_global: uint32 map local ID -> global ID.
+        num_masters: Locals ``0..num_masters-1`` are masters.
+        mirror_master_host: For each *mirror* (indexed from 0 at local ID
+            ``num_masters``), the host owning its master proxy.
+    """
+
+    def __init__(
+        self,
+        host: int,
+        graph: CSRGraph,
+        local_to_global: np.ndarray,
+        num_masters: int,
+        mirror_master_host: np.ndarray,
+    ) -> None:
+        if graph.num_nodes != len(local_to_global):
+            raise PartitionError(
+                "local graph size does not match local_to_global map"
+            )
+        if not 0 <= num_masters <= graph.num_nodes:
+            raise PartitionError("num_masters out of range")
+        if len(mirror_master_host) != graph.num_nodes - num_masters:
+            raise PartitionError("mirror_master_host size mismatch")
+        self.host = host
+        self.graph = graph
+        self.local_to_global = np.ascontiguousarray(
+            local_to_global, dtype=np.uint32
+        )
+        self.num_masters = num_masters
+        self.mirror_master_host = np.ascontiguousarray(
+            mirror_master_host, dtype=np.int32
+        )
+        self._global_to_local = {
+            int(gid): lid for lid, gid in enumerate(self.local_to_global)
+        }
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of local proxies (masters + mirrors)."""
+        return self.graph.num_nodes
+
+    @property
+    def num_mirrors(self) -> int:
+        """Number of mirror proxies."""
+        return self.num_nodes - self.num_masters
+
+    def is_master(self, local_id: int) -> bool:
+        """Whether the proxy at ``local_id`` is a master."""
+        if not 0 <= local_id < self.num_nodes:
+            raise IndexError(f"local id {local_id} out of range")
+        return local_id < self.num_masters
+
+    def master_locals(self) -> np.ndarray:
+        """Local IDs of all master proxies (a contiguous range)."""
+        return np.arange(self.num_masters, dtype=np.uint32)
+
+    def mirror_locals(self) -> np.ndarray:
+        """Local IDs of all mirror proxies (a contiguous range)."""
+        return np.arange(self.num_masters, self.num_nodes, dtype=np.uint32)
+
+    def to_global(self, local_id: int) -> int:
+        """Translate a local ID to its global ID."""
+        if not 0 <= local_id < self.num_nodes:
+            raise IndexError(f"local id {local_id} out of range")
+        return int(self.local_to_global[local_id])
+
+    def to_local(self, global_id: int) -> int:
+        """Translate a global ID to this host's local ID.
+
+        Raises ``KeyError`` if this host holds no proxy for the node.
+        """
+        return self._global_to_local[int(global_id)]
+
+    def has_proxy(self, global_id: int) -> bool:
+        """Whether this host holds a proxy for the global node."""
+        return int(global_id) in self._global_to_local
+
+    def master_host_of_mirror(self, local_id: int) -> int:
+        """Host owning the master of the mirror at ``local_id``."""
+        if not self.num_masters <= local_id < self.num_nodes:
+            raise IndexError(f"local id {local_id} is not a mirror")
+        return int(self.mirror_master_host[local_id - self.num_masters])
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalPartition(host={self.host}, masters={self.num_masters}, "
+            f"mirrors={self.num_mirrors}, edges={self.graph.num_edges})"
+        )
+
+
+@dataclass
+class PartitionedGraph:
+    """A whole-graph partition: one :class:`LocalPartition` per host.
+
+    Attributes:
+        strategy: The strategy class the policy belongs to (drives the
+            structural-invariant communication plan).
+        policy_name: Human-readable policy name (e.g. ``"cvc"``).
+        num_global_nodes: Node count of the input graph.
+        num_global_edges: Edge count of the input graph.
+        master_host: Per-global-node owner host.
+        partitions: Per-host local partitions.
+    """
+
+    strategy: PartitionStrategy
+    policy_name: str
+    num_global_nodes: int
+    num_global_edges: int
+    master_host: np.ndarray
+    partitions: List[LocalPartition] = field(default_factory=list)
+    #: True when the policy materializes edge-less mirrors (dual-rep
+    #: baselines); relaxes the "every mirror has an edge" verification.
+    has_edgeless_mirrors: bool = False
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of hosts."""
+        return len(self.partitions)
+
+    def replication_factor(self) -> float:
+        """Average number of proxies per global node (§5.2)."""
+        if self.num_global_nodes == 0:
+            return 0.0
+        total_proxies = sum(p.num_nodes for p in self.partitions)
+        return total_proxies / self.num_global_nodes
+
+
+def _chunk_boundaries(weights: np.ndarray, num_chunks: int) -> np.ndarray:
+    """Split ``len(weights)`` items into contiguous chunks of ~equal weight.
+
+    Returns an array of ``num_chunks + 1`` boundaries.  This is the
+    chunk-based blocking used by the paper's edge-cut policies (after
+    Gemini): node ranges chosen so each host receives roughly the same
+    total node weight (out-degree, in-degree, or a blend).
+    """
+    if num_chunks <= 0:
+        raise PartitionError(f"num_chunks must be >= 1, got {num_chunks}")
+    n = len(weights)
+    # Give every node weight >= 1 so empty-degree tails still spread out.
+    cumulative = np.cumsum(weights.astype(np.float64) + 1.0)
+    total = cumulative[-1] if n else 0.0
+    targets = total * np.arange(1, num_chunks, dtype=np.float64) / num_chunks
+    cuts = np.searchsorted(cumulative, targets, side="left")
+    boundaries = np.empty(num_chunks + 1, dtype=np.int64)
+    boundaries[0] = 0
+    boundaries[1:-1] = cuts
+    boundaries[-1] = n
+    return np.maximum.accumulate(boundaries)
+
+
+def build_partitioned_graph(
+    edges: EdgeList,
+    assignment: EdgeAssignment,
+    strategy: PartitionStrategy,
+    policy_name: str,
+) -> PartitionedGraph:
+    """Materialize per-host local graphs from an edge assignment.
+
+    For each host: gather its edges, create proxies for their endpoints plus
+    any master-owned isolated nodes, order local IDs masters-first, and
+    build the local CSR.
+    """
+    if len(assignment.master_host) != edges.num_nodes:
+        raise PartitionError(
+            f"master_host has {len(assignment.master_host)} entries for "
+            f"{edges.num_nodes} nodes"
+        )
+    if len(assignment.edge_host) != edges.num_edges:
+        raise PartitionError(
+            f"edge_host has {len(assignment.edge_host)} entries for "
+            f"{edges.num_edges} edges"
+        )
+    num_hosts = assignment.num_hosts
+    partitioned = PartitionedGraph(
+        strategy=strategy,
+        policy_name=policy_name,
+        num_global_nodes=edges.num_nodes,
+        num_global_edges=edges.num_edges,
+        master_host=assignment.master_host,
+        has_edgeless_mirrors=assignment.extra_proxies is not None,
+    )
+    # Scratch gid -> lid lookup reused across hosts.
+    gid_to_lid = np.full(edges.num_nodes, -1, dtype=np.int64)
+    for host in range(num_hosts):
+        edge_mask = assignment.edge_host == host
+        src = edges.src[edge_mask]
+        dst = edges.dst[edge_mask]
+        weight = edges.weight[edge_mask] if edges.weight is not None else None
+        if assignment.extra_proxies is not None:
+            extra = np.ascontiguousarray(
+                assignment.extra_proxies[host], dtype=np.uint32
+            )
+            incident = np.unique(np.concatenate([src, dst, extra]))
+        else:
+            incident = np.unique(np.concatenate([src, dst]))
+        owned = np.flatnonzero(assignment.master_host == host).astype(np.uint32)
+        # Masters: every node owned by this host (incident or isolated).
+        # Mirrors: incident nodes owned elsewhere.
+        incident_owner = assignment.master_host[incident]
+        mirrors = incident[incident_owner != host].astype(np.uint32)
+        local_to_global = np.concatenate([owned, mirrors])
+        num_masters = len(owned)
+        gid_to_lid[local_to_global] = np.arange(len(local_to_global))
+        local_src = gid_to_lid[src].astype(np.uint32)
+        local_dst = gid_to_lid[dst].astype(np.uint32)
+        graph = CSRGraph.from_edges(
+            len(local_to_global), local_src, local_dst, weight
+        )
+        mirror_master_host = assignment.master_host[mirrors]
+        partitioned.partitions.append(
+            LocalPartition(
+                host=host,
+                graph=graph,
+                local_to_global=local_to_global,
+                num_masters=num_masters,
+                mirror_master_host=mirror_master_host,
+            )
+        )
+        gid_to_lid[local_to_global] = -1  # reset scratch
+    return partitioned
+
+
+class Partitioner:
+    """Base class for partitioning policies.
+
+    Subclasses implement :meth:`assign` to produce an
+    :class:`EdgeAssignment`; :meth:`partition` then builds the per-host
+    graphs.  ``strategy`` and ``name`` identify the policy.
+    """
+
+    #: Strategy class of the policy (set by subclasses).
+    strategy: PartitionStrategy = PartitionStrategy.UVC
+    #: Short policy name used in reports and factory lookup.
+    name: str = "base"
+
+    def assign(self, edges: EdgeList, num_hosts: int) -> EdgeAssignment:
+        """Assign every edge (and every node's master) to a host."""
+        raise NotImplementedError
+
+    def partition(self, edges: EdgeList, num_hosts: int) -> PartitionedGraph:
+        """Partition ``edges`` across ``num_hosts`` hosts."""
+        if num_hosts <= 0:
+            raise PartitionError(f"num_hosts must be >= 1, got {num_hosts}")
+        assignment = self.assign(edges, num_hosts)
+        return build_partitioned_graph(edges, assignment, self.strategy, self.name)

@@ -1,0 +1,39 @@
+"""Random outgoing edge cut — the policy Gunrock-style systems use (§5.5).
+
+Nodes are assigned to hosts uniformly at random; every out-edge follows its
+source's master.  Structurally this is an OEC, but without the chunked
+locality/balance of :class:`~repro.partition.edge_cut.OutgoingEdgeCut`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.partition.base import EdgeAssignment, Partitioner
+from repro.partition.strategy import PartitionStrategy
+from repro.utils.rng import make_rng
+
+
+class RandomEdgeCut(Partitioner):
+    """Random node assignment with OEC edge placement."""
+
+    strategy = PartitionStrategy.OEC
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def assign(self, edges: EdgeList, num_hosts: int) -> EdgeAssignment:
+        rng = make_rng(self.seed)
+        if edges.num_nodes:
+            master_host = rng.integers(
+                0, num_hosts, size=edges.num_nodes, dtype=np.int32
+            )
+        else:
+            master_host = np.array([], dtype=np.int32)
+        if edges.num_edges:
+            edge_host = master_host[edges.src]
+        else:
+            edge_host = np.array([], dtype=np.int32)
+        return EdgeAssignment(num_hosts, master_host, edge_host)

@@ -1,0 +1,113 @@
+"""Partitioning strategies and their interaction with operator structure.
+
+§3.1 of the paper classifies partitioning policies into four strategies —
+UVC, CVC, IEC, OEC — and notes that a strategy is only *legal* for an
+operator with matching structure: e.g. a push-style operator may use UVC,
+CVC, or IEC only if it pushes a single reduced value along its out-edges.
+:func:`check_strategy_legal` encodes those rules.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import StrategyError
+
+
+class PartitionStrategy(enum.Enum):
+    """The four strategy classes of §3.1 (Figure 3)."""
+
+    #: Unconstrained Vertex-Cut: any proxy may have in- and out-edges.
+    UVC = "uvc"
+    #: Cartesian Vertex-Cut: only the master has both edge directions.
+    CVC = "cvc"
+    #: Incoming Edge-Cut: all in-edges at the master.
+    IEC = "iec"
+    #: Outgoing Edge-Cut: all out-edges at the master.
+    OEC = "oec"
+
+
+class OperatorClass(enum.Enum):
+    """Shape of the application operator (§2.1)."""
+
+    #: Reads the active node, conditionally writes out-neighbors.
+    PUSH = "push"
+    #: Reads in-neighbors, conditionally writes the active node.
+    PULL = "pull"
+
+
+class DataFlow(enum.Enum):
+    """Direction data moves along an edge during the compute phase.
+
+    For both push operators (write destination) and pull operators (read
+    source), data flows source -> destination; §3.2 discusses only this case
+    and so do we.
+    """
+
+    SOURCE_TO_DESTINATION = "src->dst"
+
+
+def check_strategy_legal(
+    strategy: PartitionStrategy,
+    operator: OperatorClass,
+    is_reduction: bool,
+    single_value_push: bool = True,
+) -> None:
+    """Raise :class:`StrategyError` if ``strategy`` is illegal for the operator.
+
+    Args:
+        strategy: requested partitioning strategy.
+        operator: push- or pull-style operator.
+        is_reduction: whether the operator's update is a reduction
+            (required for pull with UVC/CVC/OEC, and for push combining).
+        single_value_push: for push operators, whether the node pushes the
+            same value along all out-edges (required for UVC/CVC/IEC).
+    """
+    if operator is OperatorClass.PULL:
+        if strategy is not PartitionStrategy.IEC and not is_reduction:
+            raise StrategyError(
+                f"{strategy.value} with a pull-style operator requires the "
+                "update to be a reduction; use IEC otherwise"
+            )
+    elif operator is OperatorClass.PUSH:
+        if strategy is not PartitionStrategy.OEC:
+            if not single_value_push:
+                raise StrategyError(
+                    f"{strategy.value} with a push-style operator requires "
+                    "pushing the same value on all out-edges; use OEC "
+                    "otherwise"
+                )
+            if not is_reduction:
+                raise StrategyError(
+                    f"{strategy.value} with a push-style operator requires "
+                    "combining pushed values with a reduction; use OEC "
+                    "otherwise"
+                )
+    else:  # pragma: no cover - exhaustive over enum
+        raise StrategyError(f"unknown operator class {operator!r}")
+
+
+#: Structural invariants per strategy (Figure 3): whether a *mirror* proxy
+#: may have outgoing / incoming local edges.  Used by partition verification
+#: and, with OSI enabled, by the communication-plan builder.
+MIRROR_MAY_HAVE_OUT_EDGES = {
+    PartitionStrategy.UVC: True,
+    PartitionStrategy.CVC: True,  # but then it has no in-edges
+    PartitionStrategy.IEC: True,
+    PartitionStrategy.OEC: False,
+}
+
+MIRROR_MAY_HAVE_IN_EDGES = {
+    PartitionStrategy.UVC: True,
+    PartitionStrategy.CVC: True,  # but then it has no out-edges
+    PartitionStrategy.IEC: False,
+    PartitionStrategy.OEC: True,
+}
+
+#: CVC additionally forbids a mirror from having both directions at once.
+MIRROR_MAY_HAVE_BOTH_DIRECTIONS = {
+    PartitionStrategy.UVC: True,
+    PartitionStrategy.CVC: False,
+    PartitionStrategy.IEC: False,
+    PartitionStrategy.OEC: False,
+}

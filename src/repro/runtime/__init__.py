@@ -1,0 +1,18 @@
+"""Distributed runtime: BSP executor over simulated hosts, timing, stats."""
+
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.stats import RoundRecord, RunResult
+from repro.runtime.timing import (
+    ComputeCostParameters,
+    WorkStats,
+    round_communication_time,
+)
+
+__all__ = [
+    "DistributedExecutor",
+    "RunResult",
+    "RoundRecord",
+    "ComputeCostParameters",
+    "WorkStats",
+    "round_communication_time",
+]

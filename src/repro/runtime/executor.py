@@ -1,0 +1,378 @@
+"""The BSP distributed executor (§2.2).
+
+Execution proceeds in rounds: every host applies the operator to its own
+partition (through its engine), then all hosts take part in a global
+communication phase run by the Gluon substrate — reduce, master-side
+apply, broadcast — field by field.  The executor is also the metrology
+layer: it converts counted work into simulated computation time, closes
+each transport round to capture its exact byte trace, and applies the
+alpha-beta model for communication time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.optimization import OptimizationLevel
+from repro.core.substrate import GluonSubstrate, setup_substrates
+from repro.core.sync_structures import FieldSpec
+from repro.errors import ExecutionError
+from repro.network.cost_model import CostModel, LCI_PARAMETERS, NetworkParameters
+from repro.network.transport import InProcessTransport
+from repro.partition.base import PartitionedGraph
+from repro.partition.strategy import check_strategy_legal
+from repro.runtime.stats import RoundRecord, RunResult
+from repro.runtime.timing import round_communication_time
+
+#: Simulated cost of the substrate scanning one proxy's dirty bit during a
+#: field synchronization.  This is the (small) per-round price of the
+#: Gluon layer that Table 4 measures on a single host.
+SYNC_SCAN_PER_NODE_S = 2.0e-10
+
+if TYPE_CHECKING:  # imported for annotations only (avoids an import cycle)
+    from repro.apps.base import AppContext, VertexProgram
+    from repro.engines.base import Engine, RoundOutcome
+
+
+class DistributedExecutor:
+    """Runs one application on one partitioned graph.
+
+    ``engine`` may be a single compute engine (homogeneous cluster) or one
+    engine per host — the heterogeneous CPU+GPU clusters of the paper's
+    Figure 1, where the device-optimized engine is chosen per host at
+    runtime (§5.7).  The Gluon substrate is engine-agnostic, so nothing
+    else changes.
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedGraph,
+        engine,
+        app: VertexProgram,
+        ctx: AppContext,
+        level: OptimizationLevel = OptimizationLevel.OSTI,
+        network: NetworkParameters = LCI_PARAMETERS,
+        enable_sync: bool = True,
+        system_name: Optional[str] = None,
+    ) -> None:
+        if not enable_sync and partitioned.num_hosts > 1:
+            raise ExecutionError(
+                "synchronization can only be disabled on a single host"
+            )
+        check_strategy_legal(
+            partitioned.strategy, app.operator_class, app.is_reduction
+        )
+        self.partitioned = partitioned
+        if isinstance(engine, (list, tuple)):
+            if len(engine) != partitioned.num_hosts:
+                raise ExecutionError(
+                    f"got {len(engine)} engines for "
+                    f"{partitioned.num_hosts} hosts"
+                )
+            self.engines = list(engine)
+        else:
+            self.engines = [engine] * partitioned.num_hosts
+        self.engine = self.engines[0]
+        self.app = app
+        self.ctx = ctx
+        self.level = level
+        self.cost_model = CostModel(network)
+        self.enable_sync = enable_sync
+        if system_name is not None:
+            self.system_name = system_name
+        elif len(set(e.name for e in self.engines)) > 1:
+            self.system_name = "heterogeneous+gluon"
+        else:
+            self.system_name = f"{self.engine.name}+gluon"
+        self.transport: Optional[InProcessTransport] = None
+        self.substrates: List[GluonSubstrate] = []
+        self.states: List[Dict] = []
+        self.fields: List[List[FieldSpec]] = []
+        self._result: Optional[RunResult] = None
+        self._frontiers: List[np.ndarray] = []
+        # Substrate stats carried over from before a repartition.
+        self._carried_translations = 0
+        self._carried_mode_counts: Dict = {}
+
+    # -- setup ------------------------------------------------------------------
+
+    def _setup(self, result: RunResult) -> None:
+        started = time.perf_counter()
+        num_hosts = self.partitioned.num_hosts
+        self.transport = InProcessTransport(num_hosts)
+        if self.enable_sync:
+            self.substrates = setup_substrates(
+                self.partitioned, self.transport, self.level
+            )
+            result.construction_bytes += self.transport.stats.total_bytes
+            self.transport.end_round()
+        self.states = [
+            self.app.make_state(part, self.ctx)
+            for part in self.partitioned.partitions
+        ]
+        self.fields = [
+            self.app.make_fields(part, state)
+            for part, state in zip(self.partitioned.partitions, self.states)
+        ]
+        field_counts = {len(f) for f in self.fields}
+        if len(field_counts) != 1:
+            raise ExecutionError("hosts disagree on synchronized field count")
+        self._frontiers = [
+            self.app.initial_frontier(part, state, self.ctx)
+            for part, state in zip(self.partitioned.partitions, self.states)
+        ]
+        result.construction_time += time.perf_counter() - started
+        result.replication_factor = self.partitioned.replication_factor()
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, max_rounds: int = 100_000) -> RunResult:
+        """Execute to global quiescence (or ``max_rounds`` more rounds).
+
+        Calling ``run`` again on an unconverged executor *resumes* where it
+        stopped, accumulating into the same :class:`RunResult` — the hook
+        that makes mid-run :meth:`repartition` possible.
+        """
+        if self._result is None:
+            self._result = RunResult(
+                system=self.system_name,
+                app=self.app.name,
+                policy=self.partitioned.policy_name,
+                num_hosts=self.partitioned.num_hosts,
+            )
+            self._setup(self._result)
+        result = self._result
+        if result.converged:
+            return result
+        frontiers = self._frontiers
+        parts = self.partitioned.partitions
+        num_hosts = len(parts)
+        start_round = result.num_rounds + 1
+        for round_index in range(start_round, start_round + max_rounds):
+            outcomes = [
+                self.engines[h].compute_round(
+                    self.app, parts[h], self.states[h], frontiers[h]
+                )
+                for h in range(num_hosts)
+            ]
+            comp_times = [
+                self.engines[h].compute_time(outcomes[h].work)
+                for h in range(num_hosts)
+            ]
+            if self.enable_sync:
+                num_fields = len(self.fields[0])
+                for h in range(num_hosts):
+                    comp_times[h] += (
+                        parts[h].num_nodes * num_fields * SYNC_SCAN_PER_NODE_S
+                    )
+            pre_translations = [
+                sub.stats.translations for sub in self.substrates
+            ]
+            next_frontiers = [o.updated.copy() for o in outcomes]
+            if self.enable_sync:
+                self._synchronize(outcomes, next_frontiers)
+            else:
+                self._apply_hooks_locally(next_frontiers)
+            comm_time, comm_bytes, comm_messages = self._close_round(
+                comp_times, pre_translations
+            )
+            active = sum(int(f.sum()) for f in next_frontiers)
+            result.rounds.append(
+                RoundRecord(
+                    round_index=round_index,
+                    comp_time_per_host=comp_times,
+                    comm_time=comm_time,
+                    comm_bytes=comm_bytes,
+                    comm_messages=comm_messages,
+                    active_nodes=active,
+                )
+            )
+            if self.app.uses_frontier:
+                if active == 0:
+                    result.converged = True
+                    break
+                frontiers = next_frontiers
+                self._frontiers = frontiers
+            else:
+                residual_sum = sum(
+                    self.app.local_residual(state) for state in self.states
+                )
+                if self.app.is_globally_converged(
+                    residual_sum, round_index, self.ctx
+                ):
+                    result.converged = True
+                    break
+        self._finalize(result)
+        return result
+
+    # -- repartitioning (§4.1 footnote) --------------------------------------------
+
+    def repartition(self, new_partitioned: PartitionedGraph) -> None:
+        """Replace the partition mid-run; memoization is redone (§4.1).
+
+        Canonical (master) values of every per-node state array migrate to
+        the new layout, new substrates run a fresh memoization exchange
+        (its traffic is added to the construction bytes), and the frontier
+        is rebuilt so a subsequent :meth:`run` resumes seamlessly.
+        """
+        if self._result is None:
+            raise ExecutionError("repartition requires a started run")
+        if self._result.converged:
+            raise ExecutionError("cannot repartition a converged run")
+        if new_partitioned.num_global_nodes != self.partitioned.num_global_nodes:
+            raise ExecutionError(
+                "repartitioning must keep the same global graph"
+            )
+        if new_partitioned.num_hosts != self.partitioned.num_hosts:
+            raise ExecutionError(
+                "repartitioning to a different host count is not supported"
+            )
+        check_strategy_legal(
+            new_partitioned.strategy,
+            self.app.operator_class,
+            self.app.is_reduction,
+        )
+        from repro.runtime.migration import migrate_states
+
+        started = time.perf_counter()
+        self._carry_substrate_stats()
+        old_frontier_global = self._gather_frontier_global()
+        new_states = migrate_states(
+            self.partitioned, self.states, new_partitioned, self.app, self.ctx
+        )
+        self.partitioned = new_partitioned
+        self.transport = InProcessTransport(new_partitioned.num_hosts)
+        if self.enable_sync:
+            self.substrates = setup_substrates(
+                new_partitioned, self.transport, self.level
+            )
+            self._result.construction_bytes += self.transport.stats.total_bytes
+            self.transport.end_round()
+        self.states = new_states
+        self.fields = [
+            self.app.make_fields(part, state)
+            for part, state in zip(new_partitioned.partitions, new_states)
+        ]
+        self._frontiers = [
+            old_frontier_global[part.local_to_global]
+            for part in new_partitioned.partitions
+        ]
+        self._result.construction_time += time.perf_counter() - started
+        self._result.policy = new_partitioned.policy_name
+        self._result.replication_factor = new_partitioned.replication_factor()
+
+    def _gather_frontier_global(self) -> np.ndarray:
+        """Union the per-host frontiers into a global boolean mask."""
+        frontier = np.zeros(self.partitioned.num_global_nodes, dtype=bool)
+        for part, local in zip(self.partitioned.partitions, self._frontiers):
+            frontier[part.local_to_global[local]] = True
+        return frontier
+
+    # -- synchronization ------------------------------------------------------------
+
+    def _synchronize(
+        self,
+        outcomes: List[RoundOutcome],
+        next_frontiers: List[np.ndarray],
+    ) -> None:
+        """Run the reduce/apply/broadcast collective for every field."""
+        num_hosts = len(self.substrates)
+        num_fields = len(self.fields[0])
+        for field_index in range(num_fields):
+            fields = [self.fields[h][field_index] for h in range(num_hosts)]
+            for h in range(num_hosts):
+                self.substrates[h].send_reduce(fields[h], outcomes[h].updated)
+            reduce_changed = [
+                self.substrates[h].receive_reduce(fields[h])
+                for h in range(num_hosts)
+            ]
+            broadcast_dirty = []
+            for h in range(num_hosts):
+                part = self.partitioned.partitions[h]
+                if fields[h].on_master_after_reduce is not None:
+                    dirty = fields[h].on_master_after_reduce(reduce_changed[h])
+                else:
+                    dirty = reduce_changed[h] | outcomes[h].updated
+                    dirty[part.num_masters :] = False
+                broadcast_dirty.append(dirty)
+                next_frontiers[h] |= reduce_changed[h] | dirty
+            for h in range(num_hosts):
+                self.substrates[h].send_broadcast(fields[h], broadcast_dirty[h])
+            for h in range(num_hosts):
+                changed = self.substrates[h].receive_broadcast(fields[h])
+                next_frontiers[h] |= changed
+
+    def _apply_hooks_locally(self, next_frontiers: List[np.ndarray]) -> None:
+        """Run master-side apply hooks when sync is disabled (1 host)."""
+        for h, field_list in enumerate(self.fields):
+            for field in field_list:
+                if field.on_master_after_reduce is not None:
+                    no_changes = np.zeros(len(field.values), dtype=bool)
+                    dirty = field.on_master_after_reduce(no_changes)
+                    if dirty is not None:
+                        next_frontiers[h] |= dirty
+
+    # -- timing ---------------------------------------------------------------------
+
+    def _close_round(
+        self, comp_times: List[float], pre_translations: List[int]
+    ):
+        """Close the transport round; return (comm_time, bytes, messages)."""
+        num_hosts = self.partitioned.num_hosts
+        if self.transport is None:
+            return 0.0, 0, 0
+        traffic = self.transport.stats.current_round
+        self.transport.end_round()
+        extras = [0.0] * num_hosts
+        if self.substrates:
+            for h, sub in enumerate(self.substrates):
+                delta = sub.stats.translations - pre_translations[h]
+                extras[h] += delta * self.engines[h].cost.translation_s
+        sent, received = traffic.bytes_by_host(num_hosts)
+        for h in range(num_hosts):
+            cost = self.engines[h].cost
+            if not (
+                self.engines[h].is_gpu and cost.device_bandwidth_bytes_per_s
+            ):
+                continue
+            moved = sent[h] + received[h]
+            if moved:
+                extras[h] += (
+                    moved / cost.device_bandwidth_bytes_per_s
+                    + 2 * cost.device_latency_s
+                )
+        comm_time = round_communication_time(
+            traffic, num_hosts, self.cost_model, extras
+        )
+        return comm_time, traffic.total_bytes, traffic.num_messages
+
+    def _finalize(self, result: RunResult) -> None:
+        # Recomputed (not accumulated) so resumed runs stay correct.
+        result.translations = self._carried_translations
+        result.mode_counts = dict(self._carried_mode_counts)
+        for sub in self.substrates:
+            result.translations += sub.stats.translations
+            for mode, count in sub.stats.mode_counts.items():
+                result.mode_counts[mode] = (
+                    result.mode_counts.get(mode, 0) + count
+                )
+
+    def _carry_substrate_stats(self) -> None:
+        """Fold retiring substrates' stats into the carried totals."""
+        for sub in self.substrates:
+            self._carried_translations += sub.stats.translations
+            for mode, count in sub.stats.mode_counts.items():
+                self._carried_mode_counts[mode] = (
+                    self._carried_mode_counts.get(mode, 0) + count
+                )
+
+    # -- results ----------------------------------------------------------------------
+
+    def gather_result(self, key: str) -> np.ndarray:
+        """Assemble the global result array for state field ``key``."""
+        return self.app.gather_master_values(
+            self.partitioned.partitions, self.states, key
+        )

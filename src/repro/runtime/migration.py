@@ -1,0 +1,110 @@
+"""State migration across repartitionings (§4.1's footnote).
+
+Gluon's memoization assumes partitions are temporally invariant; when the
+graph *is* re-partitioned, state moves to the new layout and memoization
+is simply redone.  :func:`migrate_states` performs the state move: for
+every per-node array an application declares migratable, the canonical
+(master) values of the old layout are assembled and re-scattered to every
+proxy of the new layout.  Non-node state (scalars, cached edge arrays) is
+rebuilt by the application's ``make_state``.
+
+A vertex program opts its arrays in through ``migratable_node_arrays``;
+the default migrates exactly the arrays its field specs synchronize, which
+is correct for the label-propagation applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import AppContext, VertexProgram
+from repro.errors import ExecutionError
+from repro.partition.base import PartitionedGraph
+
+
+def migratable_keys(
+    app: VertexProgram, state: Dict, num_nodes: int
+) -> List[str]:
+    """Which state keys move across a repartitioning.
+
+    Uses the app's ``migratable_node_arrays`` attribute when present;
+    otherwise every 1-D numpy array of exactly ``num_nodes`` entries
+    migrates (scalars, edge caches, and other sizes are rebuilt).
+    """
+    declared = getattr(app, "migratable_node_arrays", None)
+    if declared is not None:
+        return list(declared)
+    keys = []
+    for key, value in state.items():
+        if (
+            isinstance(value, np.ndarray)
+            and value.ndim == 1
+            and len(value) == num_nodes
+        ):
+            keys.append(key)
+    return keys
+
+
+def gather_global(
+    partitioned: PartitionedGraph, states: List[Dict], key: str
+) -> np.ndarray:
+    """Assemble the canonical global array for ``key`` from master values."""
+    sample = states[0][key]
+    result = np.zeros(partitioned.num_global_nodes, dtype=sample.dtype)
+    for part, state in zip(partitioned.partitions, states):
+        master_gids = part.local_to_global[: part.num_masters]
+        result[master_gids] = state[key][: part.num_masters]
+    return result
+
+
+def migrate_states(
+    old_partitioned: PartitionedGraph,
+    old_states: List[Dict],
+    new_partitioned: PartitionedGraph,
+    app: VertexProgram,
+    ctx: AppContext,
+) -> List[Dict]:
+    """Move application state from one partition layout to another.
+
+    Every migratable per-node array keeps its canonical (master) values;
+    proxies in the new layout are seeded with the canonical value, which
+    is safe for both idempotent labels (everyone holds the truth) and
+    accumulators (masters hold the folded total, and mirror copies are
+    reset to the identity so nothing is double counted).
+    """
+    if old_partitioned.num_global_nodes != new_partitioned.num_global_nodes:
+        raise ExecutionError("migration requires the same global node set")
+    if not getattr(app, "supports_migration", True):
+        raise ExecutionError(
+            f"{app.name} carries per-proxy state that cannot be migrated "
+            "across partitions"
+        )
+    keys = migratable_keys(
+        app, old_states[0], old_partitioned.partitions[0].num_nodes
+    )
+    global_values = {
+        key: gather_global(old_partitioned, old_states, key) for key in keys
+    }
+    new_states = [
+        app.make_state(part, ctx) for part in new_partitioned.partitions
+    ]
+    for part, state in zip(new_partitioned.partitions, new_states):
+        for key in keys:
+            canonical = global_values[key][part.local_to_global]
+            state[key][...] = canonical
+    # Accumulator fields: only masters may carry the canonical totals;
+    # mirror copies revert to the reduction identity.
+    fields_per_host = [
+        app.make_fields(part, state)
+        for part, state in zip(new_partitioned.partitions, new_states)
+    ]
+    for part, state, fields in zip(
+        new_partitioned.partitions, new_states, fields_per_host
+    ):
+        for field in fields:
+            if not field.reduce_op.idempotent:
+                mirrors = part.mirror_locals()
+                field.values[mirrors] = field.reduce_op.identity(field.dtype)
+    return new_states

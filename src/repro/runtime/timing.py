@@ -1,0 +1,102 @@
+"""Simulated-time accounting.
+
+The simulation cannot reproduce cluster wall-clock, so time is modeled:
+
+* **Computation** — each engine declares per-edge / per-node throughput
+  constants; a round's computation time is the *maximum* over hosts (BSP
+  semantics), and the max/mean ratio is the paper's load-imbalance metric
+  (§5.4).
+* **Communication** — the alpha-beta model of
+  :mod:`repro.network.cost_model` over the round's exact message trace,
+  plus per-host extras: address-translation work (UNOPT/OSI; §4.1) and
+  host<->device transfer for GPU engines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.network.cost_model import CostModel
+from repro.network.stats import RoundTraffic
+
+
+@dataclass(frozen=True)
+class WorkStats:
+    """Computation work one host performed in one BSP round."""
+
+    edges_processed: int = 0
+    nodes_processed: int = 0
+    inner_steps: int = 1
+
+    def merge(self, other: "WorkStats") -> "WorkStats":
+        """Accumulate another step's work into this round's total."""
+        return WorkStats(
+            edges_processed=self.edges_processed + other.edges_processed,
+            nodes_processed=self.nodes_processed + other.nodes_processed,
+            inner_steps=self.inner_steps + other.inner_steps,
+        )
+
+
+@dataclass(frozen=True)
+class ComputeCostParameters:
+    """Throughput constants of one compute engine.
+
+    Attributes:
+        per_edge_s: Seconds per edge relaxed.
+        per_node_s: Seconds per active node processed.
+        step_overhead_s: Fixed cost per local super-step (kernel launch /
+            parallel-loop setup).
+        translation_s: Seconds per global<->local ID translation (paid only
+            when temporal optimization is off).
+        device_bandwidth_bytes_per_s: Host<->device copy bandwidth for GPU
+            engines (``None`` for CPU engines: no transfer charged).
+        device_latency_s: Fixed host<->device transfer setup per round.
+    """
+
+    per_edge_s: float
+    per_node_s: float
+    step_overhead_s: float
+    translation_s: float = 5e-9
+    device_bandwidth_bytes_per_s: Optional[float] = None
+    device_latency_s: float = 0.0
+
+    def compute_time(self, work: WorkStats) -> float:
+        """Simulated seconds of one host's computation in one round."""
+        return (
+            work.edges_processed * self.per_edge_s
+            + work.nodes_processed * self.per_node_s
+            + work.inner_steps * self.step_overhead_s
+        )
+
+
+def round_communication_time(
+    traffic: RoundTraffic,
+    num_hosts: int,
+    cost_model: CostModel,
+    per_host_extra_s: Optional[Sequence[float]] = None,
+) -> float:
+    """Critical-path communication time of one round.
+
+    Per host: time to emit its outgoing messages, drain its incoming ones,
+    plus any per-host extra (translation work, device transfers).  The
+    round's time is the maximum over hosts, plus a log-depth termination
+    all-reduce.
+    """
+    send_time = [0.0] * num_hosts
+    recv_time = [0.0] * num_hosts
+    for src, dst, nbytes in traffic.messages:
+        cost = cost_model.message_time(nbytes)
+        send_time[src] += cost
+        recv_time[dst] += cost
+    extras = per_host_extra_s if per_host_extra_s is not None else [0.0] * num_hosts
+    per_host = [
+        send_time[h] + recv_time[h] + extras[h] for h in range(num_hosts)
+    ]
+    barrier = (
+        2.0 * cost_model.parameters.latency_s * max(1, math.ceil(math.log2(max(num_hosts, 2))))
+        if num_hosts > 1
+        else 0.0
+    )
+    return (max(per_host) if per_host else 0.0) + barrier

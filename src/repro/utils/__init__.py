@@ -1,0 +1,18 @@
+"""Small shared utilities: seeded RNG helpers and argument validation."""
+
+from repro.utils.rng import make_rng, split_seed
+from repro.utils.validation import (
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "split_seed",
+    "check_index",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

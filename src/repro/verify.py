@@ -1,0 +1,144 @@
+"""End-to-end verification of distributed runs against the oracles.
+
+``verify_run(result, edges)`` recomputes the answer with the sequential
+oracle matching the run's application and compares master values — the
+programmatic version of "check the cluster against one machine".  Used by
+examples and available to downstream users as a first-class API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import oracles
+from repro.errors import ReproError
+from repro.graph.edgelist import EdgeList
+from repro.runtime.stats import RunResult
+from repro.systems import prepare_input
+
+
+class VerificationError(ReproError):
+    """Raised when a distributed result disagrees with its oracle."""
+
+
+@dataclass(frozen=True)
+class Verification:
+    """Outcome of one verification."""
+
+    app: str
+    matched: bool
+    max_abs_error: float
+    detail: str = ""
+
+
+#: Per-app: (state key, oracle runner, float tolerance or None for exact).
+_CHECKS = {
+    "bfs": ("dist", lambda e, ctx: oracles.bfs_distances(e, ctx.source), None),
+    "sssp": (
+        "dist",
+        lambda e, ctx: oracles.sssp_distances(e, ctx.source),
+        None,
+    ),
+    "cc": ("label", lambda e, ctx: oracles.component_labels(e), None),
+    "pr": (
+        "rank",
+        lambda e, ctx: oracles.pagerank_values(
+            e, ctx.damping, ctx.tolerance, ctx.max_iterations
+        ),
+        1e-6,
+    ),
+    "pr-push": (
+        "rank",
+        lambda e, ctx: oracles.pagerank_values(
+            e, ctx.damping, tolerance=1e-12, max_iterations=500
+        ),
+        1e-3,
+    ),
+    "kcore": (
+        "alive",
+        lambda e, ctx: oracles.kcore_membership(e, ctx.k),
+        None,
+    ),
+    "bc": (
+        "delta",
+        lambda e, ctx: oracles.bc_dependencies(e, ctx.source),
+        1e-6,
+    ),
+}
+
+
+def verify_run(
+    result: RunResult,
+    edges: EdgeList,
+    raise_on_mismatch: bool = True,
+) -> Verification:
+    """Check a :func:`repro.systems.run_app` result against its oracle.
+
+    Args:
+        result: a run result carrying its executor (as ``run_app`` returns).
+        edges: the *original* input graph handed to ``run_app`` (the
+            verifier re-applies the app's input preparation itself).
+        raise_on_mismatch: raise :class:`VerificationError` instead of
+            returning a failed :class:`Verification`.
+    """
+    executor = getattr(result, "executor", None)
+    if executor is None:
+        raise VerificationError(
+            "result carries no executor; verify_run needs the object "
+            "returned by run_app"
+        )
+    if result.app not in _CHECKS:
+        raise VerificationError(f"no oracle for application {result.app!r}")
+    key, runner, tolerance = _CHECKS[result.app]
+    prepared = prepare_input(
+        result.app,
+        edges,
+        source=executor.ctx.source,
+        tolerance=executor.ctx.tolerance,
+        max_iterations=executor.ctx.max_iterations,
+        k=executor.ctx.k,
+    )
+    # Re-preparation must agree with the run's context (same seeds).
+    if prepared.ctx.source != executor.ctx.source:
+        raise VerificationError(
+            "verification re-prepared a different source; pass the same "
+            "input graph the run used"
+        )
+    expected = runner(prepared.edges, executor.ctx)
+    got = executor.app.gather_master_values(
+        executor.partitioned.partitions, executor.states, key
+    )
+    if len(got) != len(expected):
+        outcome = Verification(
+            app=result.app,
+            matched=False,
+            max_abs_error=float("inf"),
+            detail=f"size mismatch: {len(got)} vs {len(expected)}",
+        )
+    elif tolerance is None:
+        matched = bool(
+            np.array_equal(got.astype(np.uint64), expected.astype(np.uint64))
+        )
+        max_err = (
+            0.0
+            if matched
+            else float(
+                np.abs(
+                    got.astype(np.int64) - expected.astype(np.int64)
+                ).max()
+            )
+        )
+        outcome = Verification(result.app, matched, max_err)
+    else:
+        errors = np.abs(got.astype(np.float64) - expected)
+        max_err = float(errors.max()) if len(errors) else 0.0
+        outcome = Verification(result.app, max_err <= tolerance, max_err)
+    if raise_on_mismatch and not outcome.matched:
+        raise VerificationError(
+            f"{result.app} on {result.system} diverged from the oracle "
+            f"(max |error| = {outcome.max_abs_error}) {outcome.detail}"
+        )
+    return outcome

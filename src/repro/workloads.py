@@ -1,0 +1,73 @@
+"""Named workload graphs: scaled-down stand-ins for the paper's inputs.
+
+Table 1 lists six inputs, up to 128 B edges.  The stand-ins below preserve
+the properties that drive the paper's results — power-law degree skew, the
+*direction* of the skew (rmat/twitter: out-degree hubs; the web crawls:
+in-degree hubs), and density — at sizes a laptop partitions in well under a
+second.  Every stand-in maps to exactly one paper input:
+
+========== =============== =========================
+stand-in    paper input     preserved characteristics
+========== =============== =========================
+rmat22s     rmat26          graph500 probabilities, |E|/|V| = 16
+rmat24s     rmat28          same, one scale larger
+kron25s     kron30          symmetrized Kronecker, |E|/|V| = 16
+twitter40s  twitter40       |E|/|V| ~= 35, extreme max out-degree
+clueweb12s  clueweb12       |E|/|V| ~= 40, extreme max *in*-degree
+wdc12s      wdc12           largest input, in-degree skew
+========== =============== =========================
+
+(The trailing ``s`` marks "scaled".)  All are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import kronecker, rmat, twitter_like, web_like
+
+#: Default generator scale per stand-in; chosen so the full benchmark
+#: suite runs in minutes.  ``scale_delta`` in :func:`load_workload` shifts
+#: all of them for quicker tests or bigger studies.
+_BUILDERS: Dict[str, Callable[[int], EdgeList]] = {
+    "rmat22s": lambda delta: rmat(12 + delta, edge_factor=16, seed=1),
+    "rmat24s": lambda delta: rmat(14 + delta, edge_factor=16, seed=2),
+    "kron25s": lambda delta: kronecker(13 + delta, edge_factor=16, seed=3),
+    "twitter40s": lambda delta: twitter_like(12 + delta, seed=7),
+    "clueweb12s": lambda delta: web_like(13 + delta, seed=11),
+    "wdc12s": lambda delta: web_like(14 + delta, seed=13),
+}
+
+#: Map from stand-in name to the paper input it substitutes.
+PAPER_INPUT_OF = {
+    "rmat22s": "rmat26",
+    "rmat24s": "rmat28",
+    "kron25s": "kron30",
+    "twitter40s": "twitter40",
+    "clueweb12s": "clueweb12",
+    "wdc12s": "wdc12",
+}
+
+WORKLOAD_NAMES = tuple(_BUILDERS)
+
+_CACHE: Dict[tuple, EdgeList] = {}
+
+
+def load_workload(name: str, scale_delta: int = 0) -> EdgeList:
+    """Build (and cache) the named stand-in graph.
+
+    Args:
+        name: one of :data:`WORKLOAD_NAMES`.
+        scale_delta: shift applied to the generator scale (negative for
+            faster tests, positive for larger studies).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(WORKLOAD_NAMES)
+        raise ValueError(f"unknown workload {name!r} (known: {known})")
+    key = (name, scale_delta)
+    if key not in _CACHE:
+        _CACHE[key] = builder(scale_delta)
+    return _CACHE[key]

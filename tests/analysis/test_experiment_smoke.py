@@ -1,0 +1,90 @@
+"""Tiny-scale smoke tests for the remaining experiment harnesses.
+
+The benchmark suite runs these at full scale; here they run at minimal
+scale so a refactor that breaks a harness's plumbing fails in seconds.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+
+
+def test_table2_smoke():
+    rows = experiments.table2_rows(
+        scale_delta=-3, hosts=(2,), inputs=("rmat24s",)
+    )
+    assert len(rows) == 3
+    assert {row["system"] for row in rows} == {"d-ligra", "d-galois", "gemini"}
+    format_table(rows)
+
+
+def test_table2_single_host_smoke():
+    rows = experiments.table2_single_host_rows(
+        scale_delta=-3, inputs=("rmat22s",)
+    )
+    assert len(rows) == 3
+    assert all(row["construction_s"] > 0 for row in rows)
+
+
+def test_table4_smoke():
+    rows = experiments.table4_rows(
+        scale_delta=-3, inputs=("rmat24s",), apps=("bfs",)
+    )
+    assert len(rows) == 1
+    for system in ("ligra", "d-ligra", "galois", "d-galois", "gemini"):
+        assert rows[0][system] > 0
+
+
+def test_table5_smoke():
+    rows = experiments.table5_rows(
+        scale_delta=-3, inputs=("rmat22s",), apps=("bfs",)
+    )
+    assert len(rows) == 1
+    assert "gunrock" in rows[0]
+    assert "d-irgl(cvc)" in rows[0]
+
+
+def test_fig8_smoke():
+    rows = experiments.fig8_series(
+        scale_delta=-3,
+        hosts=(2, 4),
+        inputs=("rmat24s",),
+        apps=("bfs",),
+        systems=("d-galois",),
+    )
+    assert len(rows) == 2
+    assert rows[0]["hosts"] == 2 and rows[1]["hosts"] == 4
+
+
+def test_fig9_smoke():
+    rows = experiments.fig9_series(
+        scale_delta=-3, gpus=(4,), inputs=("rmat24s",), apps=("bfs",)
+    )
+    assert len(rows) == 1
+    assert rows[0]["gpus"] == 4
+
+
+def test_table3_smoke():
+    rows = experiments.table3_rows(
+        scale_delta=-3,
+        cpu_hosts=(2,),
+        gpu_hosts=(2,),
+        inputs=("rmat24s",),
+        apps=("bfs",),
+    )
+    assert len(rows) == 1
+    assert "ms" in rows[0]["d-galois"]
+
+
+def test_load_imbalance_smoke():
+    rows = experiments.load_imbalance_rows(
+        scale_delta=-3, num_hosts=2, inputs=("clueweb12s",), apps=("bfs",)
+    )
+    assert all(row["max/mean"] >= 1.0 for row in rows)
+
+
+def test_headline_summary_smoke():
+    rows = experiments.headline_summary(scale_delta=-3)
+    assert len(rows) == 4
+    assert all("measured" in row for row in rows)

@@ -1,0 +1,95 @@
+"""Tests for the experiment harnesses (at tiny scales for speed)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table
+from repro.core.optimization import OptimizationLevel
+
+
+class TestTable1:
+    def test_rows_cover_all_workloads(self):
+        rows = experiments.table1_rows(scale_delta=-3)
+        assert len(rows) == 6
+        assert {row["stands in for"] for row in rows} == set(
+            experiments.PAPER_TABLE1
+        )
+
+    def test_rows_render(self):
+        text = format_table(experiments.table1_rows(scale_delta=-3))
+        assert "rmat24s" in text
+
+
+class TestBenchNetwork:
+    def test_cpu_systems_use_scaled_lci(self):
+        params = experiments.bench_network("d-galois", 16)
+        assert params.name == "lci-scaled"
+
+    def test_gunrock_uses_intranode(self):
+        params = experiments.bench_network("gunrock", 4)
+        assert params.name == "intra-node-scaled"
+
+    def test_dirgl_switches_fabric_with_size(self):
+        intra = experiments.bench_network("d-irgl", 4)
+        inter = experiments.bench_network("d-irgl", 16)
+        assert intra.name == "intra-node-scaled"
+        assert inter.name == "lci-scaled"
+
+    def test_gpu_fabric_faster_than_cpu_fabric(self):
+        gpu = experiments.bench_network("d-irgl", 16)
+        cpu = experiments.bench_network("d-galois", 16)
+        assert gpu.bandwidth_bytes_per_s > cpu.bandwidth_bytes_per_s
+
+
+class TestMetadataModeRows:
+    def test_density_sweep_structure(self):
+        rows = experiments.metadata_mode_rows(num_agreed=1024)
+        assert rows[0]["mode"] == "EMPTY"
+        assert rows[-1]["mode"] == "FULL"
+        modes = [row["mode"] for row in rows]
+        assert "BITVEC" in modes and "INDICES" in modes
+
+
+class TestReplicationRows:
+    def test_structure(self):
+        rows = experiments.replication_rows(
+            scale_delta=-3, hosts=(2, 4), workload="rmat24s"
+        )
+        assert len(rows) == 2
+        for row in rows:
+            for policy in ("oec", "iec", "cvc", "hvc", "gemini"):
+                assert row[policy] >= 1.0
+
+
+class TestFig10Speedup:
+    def test_speedup_computation(self):
+        rows = [
+            {"panel": "p", "app": "bfs", "level": "unopt", "time_ms": 4.0},
+            {"panel": "p", "app": "bfs", "level": "osti", "time_ms": 2.0},
+            {"panel": "p", "app": "cc", "level": "unopt", "time_ms": 9.0},
+            {"panel": "p", "app": "cc", "level": "osti", "time_ms": 1.0},
+        ]
+        assert experiments.fig10_speedup(rows) == pytest.approx(
+            (2.0 * 9.0) ** 0.5
+        )
+
+    def test_small_end_to_end(self):
+        rows = experiments.fig10_rows(
+            scale_delta=-2,
+            configs=[("d-galois", "rmat24s", "cvc", 4)],
+            apps=("bfs",),
+        )
+        assert len(rows) == 4
+        assert {row["level"] for row in rows} == {
+            level.value for level in OptimizationLevel
+        }
+        assert experiments.fig10_speedup(rows) > 1.0
+
+
+class TestRoundCountRows:
+    def test_small_end_to_end(self):
+        rows = experiments.round_count_rows(
+            scale_delta=-2, num_hosts=4, inputs=("rmat24s",), apps=("bfs",)
+        )
+        assert len(rows) == 1
+        assert rows[0]["d-ligra rounds"] >= rows[0]["d-galois rounds"]

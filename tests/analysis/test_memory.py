@@ -1,0 +1,71 @@
+"""Unit tests for the paper-scale memory projection."""
+
+import pytest
+
+from repro.analysis.memory import (
+    CPU_HOST_CAPACITY_GB,
+    GPU_HOST_CAPACITY_GB,
+    PAPER_SIZES,
+    project,
+)
+from repro.engines.gemini import GeminiPartitioner
+from repro.partition import make_partitioner
+
+
+class TestProjection:
+    def test_gpu_capacity_smaller_than_cpu(self):
+        assert GPU_HOST_CAPACITY_GB < CPU_HOST_CAPACITY_GB
+
+    def test_known_paper_inputs(self):
+        assert set(PAPER_SIZES) == {
+            "rmat26",
+            "rmat28",
+            "twitter40",
+            "kron30",
+            "clueweb12",
+            "wdc12",
+        }
+
+    def test_unknown_input_rejected(self, small_rmat):
+        partitioned = make_partitioner("cvc").partition(small_rmat, 4)
+        with pytest.raises(ValueError, match="unknown paper input"):
+            project(partitioned, "facebook", is_gpu=False)
+
+    def test_bad_host_scale_rejected(self, small_rmat):
+        partitioned = make_partitioner("cvc").partition(small_rmat, 4)
+        with pytest.raises(ValueError):
+            project(partitioned, "rmat28", is_gpu=False, host_scale=0)
+
+    def test_wdc12_exceeds_gpu_memory(self, small_rmat):
+        """Table 3: D-IrGL cannot hold wdc12 even on 64 GPUs."""
+        partitioned = make_partitioner("cvc").partition(small_rmat, 16)
+        projection = project(partitioned, "wdc12", is_gpu=True, host_scale=4)
+        assert not projection.fits
+
+    def test_wdc12_fits_cpu_cluster(self, small_rmat):
+        """Table 3: the Gluon CPU systems do run wdc12 at 256 hosts."""
+        partitioned = make_partitioner("cvc").partition(small_rmat, 16)
+        projection = project(
+            partitioned, "wdc12", is_gpu=False, host_scale=16
+        )
+        assert projection.fits
+
+    def test_rmat28_fits_gpus(self, small_rmat):
+        partitioned = make_partitioner("cvc").partition(small_rmat, 16)
+        assert project(partitioned, "rmat28", is_gpu=True, host_scale=4).fits
+
+    def test_host_scale_shrinks_footprint(self, small_rmat):
+        partitioned = make_partitioner("cvc").partition(small_rmat, 8)
+        unscaled = project(partitioned, "clueweb12", is_gpu=True)
+        scaled = project(
+            partitioned, "clueweb12", is_gpu=True, host_scale=8
+        )
+        assert scaled.max_host_gb < unscaled.max_host_gb
+
+    def test_dual_representation_doubles_edge_bytes(self, small_rmat):
+        partitioned = GeminiPartitioner().partition(small_rmat, 8)
+        single = project(partitioned, "rmat28", is_gpu=False)
+        dual = project(
+            partitioned, "rmat28", is_gpu=False, dual_representation=True
+        )
+        assert dual.max_host_gb > single.max_host_gb

@@ -1,0 +1,71 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot, scaling_plot
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        text = ascii_plot(
+            {"a": [(1, 1), (10, 10)], "b": [(1, 10), (10, 1)]},
+            title="t",
+        )
+        assert text.startswith("t")
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot({})
+        assert "(no data)" in ascii_plot({"a": []})
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0, 1)]})
+
+    def test_linear_scale_allows_zero(self):
+        text = ascii_plot(
+            {"a": [(0, 0), (5, 5)]}, log_x=False, log_y=False
+        )
+        assert "o" in text
+
+    def test_extreme_corners_land_on_canvas(self):
+        text = ascii_plot(
+            {"a": [(1, 1)], "b": [(100, 100)]}, width=20, height=5
+        )
+        lines = text.splitlines()
+        body = [line for line in lines if line.startswith("|")]
+        assert body[0].rstrip("|").rstrip().endswith("x")  # top right
+        assert body[-1][1] == "o"  # bottom left
+
+    def test_constant_series_handled(self):
+        text = ascii_plot({"flat": [(1, 5), (10, 5)]})
+        assert "o" in text
+
+    def test_axis_annotations(self):
+        text = ascii_plot(
+            {"a": [(2, 3), (20, 30)]}, x_label="hosts", y_label="ms"
+        )
+        assert "hosts:" in text
+        assert "ms:" in text
+        assert "(log)" in text
+
+
+class TestScalingPlot:
+    def test_groups_rows_into_series(self):
+        rows = [
+            {"hosts": 2, "time": 4.0, "system": "a"},
+            {"hosts": 4, "time": 2.0, "system": "a"},
+            {"hosts": 2, "time": 8.0, "system": "b"},
+            {"hosts": 4, "time": 6.0, "system": "b"},
+        ]
+        text = scaling_plot(rows, "hosts", "time", "system", title="s")
+        assert "o=a" in text and "x=b" in text
+
+    def test_sorts_points_by_x(self):
+        rows = [
+            {"x": 10, "y": 1.0, "s": "a"},
+            {"x": 1, "y": 2.0, "s": "a"},
+        ]
+        text = scaling_plot(rows, "x", "y", "s")
+        assert "x: 1 .. 10" in text

@@ -1,0 +1,58 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    target = tmp_path_factory.mktemp("report") / "report.md"
+    text = generate_report(output_path=str(target), quick=True)
+    return target, text
+
+
+class TestGenerateReport:
+    def test_written_file_matches_returned_text(self, quick_report):
+        target, text = quick_report
+        assert target.read_text() == text
+
+    def test_structure(self, quick_report):
+        _, text = quick_report
+        assert text.startswith("# Gluon reproduction report")
+        for heading in (
+            "## Headline factors",
+            "## Table 1 — inputs",
+            "## Figure 10 — communication optimizations",
+            "## Metadata modes (§4.2)",
+        ):
+            assert heading in text
+        assert "geomean OSTI speedup over UNOPT" in text
+        assert "paper: ~2.6x" in text
+
+    def test_quick_mode_noted(self, quick_report):
+        _, text = quick_report
+        assert "mode: quick" in text
+
+
+def test_cli_report(tmp_path, capsys, monkeypatch):
+    import repro.cli as cli
+
+    calls = {}
+
+    def fake_generate(output_path=None, quick=True):
+        calls["output"] = output_path
+        calls["quick"] = quick
+        from pathlib import Path
+
+        Path(output_path).write_text("# stub")
+        return "# stub"
+
+    import repro.analysis.report as report_module
+
+    monkeypatch.setattr(report_module, "generate_report", fake_generate)
+    target = tmp_path / "out.md"
+    assert cli.main(["report", "--output", str(target)]) == 0
+    assert "report written" in capsys.readouterr().out
+    assert calls == {"output": str(target), "quick": True}
+    assert target.read_text() == "# stub"

@@ -1,0 +1,57 @@
+"""Unit tests for table rendering and summary statistics."""
+
+import pytest
+
+from repro.analysis.tables import format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([-1.0])
+
+
+class TestFormatTable:
+    def test_renders_columns_in_order(self):
+        text = format_table([{"b": 1, "a": 2}])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_title_included(self):
+        text = format_table([{"x": 1}], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_float_formatting(self):
+        text = format_table(
+            [{"big": 1234.5, "mid": 3.14159, "small": 0.00123, "zero": 0.0}]
+        )
+        assert "1234" in text
+        assert "3.14" in text
+        assert "0.0012" in text
+
+    def test_alignment(self):
+        text = format_table([{"col": 1}, {"col": 100}])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[1:])) == 1

@@ -1,0 +1,93 @@
+"""BFS correctness against an oracle, across policies/systems/host counts."""
+
+import numpy as np
+import pytest
+
+from repro.systems import prepare_input, run_app
+from tests.conftest import reference_bfs
+
+POLICIES = ["oec", "iec", "cvc", "hvc"]
+
+
+def distributed_bfs(edges, system="d-galois", **kwargs):
+    result = run_app(system, "bfs", edges, **kwargs)
+    return result, result.executor.gather_result("dist").astype(np.uint64)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_matches_oracle_all_policies(small_rmat, policy):
+    prep = prepare_input("bfs", small_rmat)
+    expected = reference_bfs(prep.edges, prep.ctx.source)
+    _, got = distributed_bfs(small_rmat, num_hosts=4, policy=policy)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("num_hosts", [1, 2, 3, 5, 8])
+def test_matches_oracle_all_host_counts(small_rmat, num_hosts):
+    prep = prepare_input("bfs", small_rmat)
+    expected = reference_bfs(prep.edges, prep.ctx.source)
+    _, got = distributed_bfs(small_rmat, num_hosts=num_hosts, policy="cvc")
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize(
+    "system", ["d-galois", "d-ligra", "d-irgl", "gemini", "gunrock"]
+)
+def test_matches_oracle_all_systems(small_rmat, system):
+    prep = prepare_input("bfs", small_rmat)
+    expected = reference_bfs(prep.edges, prep.ctx.source)
+    _, got = distributed_bfs(small_rmat, system=system, num_hosts=4)
+    assert np.array_equal(got, expected)
+
+
+def test_path_graph_levels(small_path):
+    """On a directed path from the source, dist equals position."""
+    _, got = distributed_bfs(
+        small_path, num_hosts=3, policy="oec", source=0
+    )
+    assert got.tolist() == list(range(len(got)))
+
+
+def test_unreachable_nodes_stay_infinite(small_path):
+    inf = np.iinfo(np.uint32).max
+    _, got = distributed_bfs(
+        small_path, num_hosts=2, policy="cvc", source=5
+    )
+    assert np.all(got[:5] == inf)
+    assert got[5] == 0
+
+
+def test_star_graph_single_round_of_updates():
+    from repro.graph.generators import star_graph
+
+    edges = star_graph(50)
+    result, got = distributed_bfs(edges, num_hosts=4, policy="cvc", source=0)
+    assert got[0] == 0
+    assert np.all(got[1:] == 1)
+
+
+def test_grid_graph(small_grid):
+    prep = prepare_input("bfs", small_grid)
+    expected = reference_bfs(prep.edges, prep.ctx.source)
+    _, got = distributed_bfs(small_grid, num_hosts=4, policy="iec")
+    assert np.array_equal(got, expected)
+
+
+def test_explicit_source_respected(small_rmat):
+    source = 17
+    expected = reference_bfs(small_rmat, source)
+    _, got = distributed_bfs(
+        small_rmat, num_hosts=4, policy="cvc", source=source
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_dligra_uses_more_rounds_than_dgalois(medium_rmat):
+    """§5.4: level-synchronous D-Ligra needs more rounds than D-Galois."""
+    ligra, _ = distributed_bfs(
+        medium_rmat, system="d-ligra", num_hosts=4, policy="cvc"
+    )
+    galois, _ = distributed_bfs(
+        medium_rmat, system="d-galois", num_hosts=4, policy="cvc"
+    )
+    assert ligra.num_rounds >= galois.num_rounds

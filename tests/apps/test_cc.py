@@ -1,0 +1,62 @@
+"""Connected-components correctness against a union-find oracle."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edgelist import EdgeList
+from repro.systems import prepare_input, run_app
+from tests.conftest import reference_cc
+
+POLICIES = ["oec", "iec", "cvc", "hvc"]
+
+
+def distributed_cc(edges, system="d-galois", **kwargs):
+    result = run_app(system, "cc", edges, **kwargs)
+    return result, result.executor.gather_result("label").astype(np.uint64)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_matches_oracle_all_policies(small_rmat, policy):
+    prep = prepare_input("cc", small_rmat)
+    expected = reference_cc(prep.edges)
+    _, got = distributed_cc(small_rmat, num_hosts=4, policy=policy)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("system", ["d-ligra", "d-irgl", "gemini"])
+def test_matches_oracle_systems(small_rmat, system):
+    prep = prepare_input("cc", small_rmat)
+    expected = reference_cc(prep.edges)
+    _, got = distributed_cc(small_rmat, system=system, num_hosts=4)
+    assert np.array_equal(got, expected)
+
+
+def test_input_is_symmetrized(small_path):
+    """cc treats the graph as undirected: a directed path is one component."""
+    _, got = distributed_cc(small_path, num_hosts=3, policy="cvc")
+    assert np.all(got == 0)
+
+
+def test_disconnected_components():
+    # Two triangles and an isolated node.
+    src = np.array([0, 1, 2, 4, 5, 6], dtype=np.uint32)
+    dst = np.array([1, 2, 0, 5, 6, 4], dtype=np.uint32)
+    edges = EdgeList(8, src, dst)
+    _, got = distributed_cc(edges, num_hosts=3, policy="hvc")
+    assert got[:3].tolist() == [0, 0, 0]
+    assert got[4:7].tolist() == [4, 4, 4]
+    assert got[3] == 3  # isolated nodes form their own component
+    assert got[7] == 7
+
+
+def test_labels_are_component_minima(small_er):
+    prep = prepare_input("cc", small_er)
+    expected = reference_cc(prep.edges)
+    _, got = distributed_cc(small_er, num_hosts=4, policy="cvc")
+    assert np.array_equal(got, expected)
+
+
+def test_every_node_labeled_at_most_its_id(small_rmat):
+    _, got = distributed_cc(small_rmat, num_hosts=4, policy="oec")
+    ids = np.arange(len(got), dtype=np.uint64)
+    assert np.all(got <= ids)

@@ -1,0 +1,53 @@
+"""k-core correctness against an iterative-peeling oracle."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_graph, star_graph
+from repro.systems import prepare_input, run_app
+from tests.conftest import reference_kcore
+
+
+def distributed_kcore(edges, k, system="d-galois", **kwargs):
+    result = run_app(system, "kcore", edges, k=k, **kwargs)
+    return result, result.executor.gather_result("alive").astype(np.uint64)
+
+
+@pytest.mark.parametrize("policy", ["oec", "iec", "cvc", "hvc"])
+@pytest.mark.parametrize("k", [2, 4])
+def test_matches_oracle(small_rmat, policy, k):
+    prep = prepare_input("kcore", small_rmat, k=k)
+    expected = reference_kcore(prep.edges, k)
+    _, got = distributed_kcore(small_rmat, k, num_hosts=4, policy=policy)
+    assert np.array_equal(got, expected)
+
+
+def test_complete_graph_survives(small_rmat):
+    """K5 is a 4-core: k=4 keeps everything, k=5 kills everything."""
+    edges = complete_graph(5)
+    _, alive = distributed_kcore(edges, 4, num_hosts=2, policy="cvc")
+    assert np.all(alive == 1)
+    _, alive = distributed_kcore(edges, 5, num_hosts=2, policy="cvc")
+    assert np.all(alive == 0)
+
+
+def test_star_collapses_under_k2():
+    """A star has every leaf at degree 1: k=2 peels leaves then the hub."""
+    edges = star_graph(10)
+    _, alive = distributed_kcore(edges, 2, num_hosts=3, policy="oec")
+    assert np.all(alive == 0)
+
+
+def test_k1_keeps_non_isolated(small_rmat):
+    prep = prepare_input("kcore", small_rmat, k=1)
+    expected = reference_kcore(prep.edges, 1)
+    _, got = distributed_kcore(small_rmat, 1, num_hosts=4, policy="cvc")
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("system", ["d-ligra", "d-irgl"])
+def test_other_systems(small_rmat, system):
+    prep = prepare_input("kcore", small_rmat, k=3)
+    expected = reference_kcore(prep.edges, 3)
+    _, got = distributed_kcore(small_rmat, 3, system=system, num_hosts=4)
+    assert np.array_equal(got, expected)

@@ -1,0 +1,81 @@
+"""SSSP correctness against a Dijkstra oracle."""
+
+import numpy as np
+import pytest
+
+from repro.systems import prepare_input, run_app
+from tests.conftest import reference_sssp
+
+POLICIES = ["oec", "iec", "cvc", "hvc"]
+
+
+def distributed_sssp(edges, system="d-galois", **kwargs):
+    result = run_app(system, "sssp", edges, **kwargs)
+    return result, result.executor.gather_result("dist").astype(np.uint64)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_matches_oracle_all_policies(small_rmat, policy):
+    prep = prepare_input("sssp", small_rmat)
+    expected = reference_sssp(prep.edges, prep.ctx.source)
+    _, got = distributed_sssp(small_rmat, num_hosts=4, policy=policy)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("num_hosts", [1, 2, 6])
+def test_matches_oracle_host_counts(small_rmat, num_hosts):
+    prep = prepare_input("sssp", small_rmat)
+    expected = reference_sssp(prep.edges, prep.ctx.source)
+    _, got = distributed_sssp(small_rmat, num_hosts=num_hosts, policy="cvc")
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("system", ["d-ligra", "d-irgl", "gemini"])
+def test_matches_oracle_systems(small_rmat, system):
+    prep = prepare_input("sssp", small_rmat)
+    expected = reference_sssp(prep.edges, prep.ctx.source)
+    _, got = distributed_sssp(small_rmat, system=system, num_hosts=4)
+    assert np.array_equal(got, expected)
+
+
+def test_respects_given_weights(small_path):
+    """A pre-weighted input must not be re-weighted."""
+    weighted = small_path.with_unit_weights()
+    weights = weighted.weight.copy()
+    weights[0] = 10
+    from repro.graph.edgelist import EdgeList
+
+    edges = EdgeList(weighted.num_nodes, weighted.src, weighted.dst, weights)
+    _, got = distributed_sssp(edges, num_hosts=2, policy="oec", source=0)
+    assert got[1] == 10
+    assert got[2] == 11
+
+
+def test_weight_seed_changes_weights(small_rmat):
+    a, _ = distributed_sssp(
+        small_rmat, num_hosts=2, policy="cvc", weight_seed=1
+    )
+    prep1 = prepare_input("sssp", small_rmat, weight_seed=1)
+    prep2 = prepare_input("sssp", small_rmat, weight_seed=2)
+    assert not np.array_equal(prep1.edges.weight, prep2.edges.weight)
+
+
+def test_chaotic_relaxation_still_correct(medium_rmat):
+    """D-Galois relaxes within a round (possibly sending stale values);
+    the min-reduction must still converge to true distances."""
+    prep = prepare_input("sssp", medium_rmat)
+    expected = reference_sssp(prep.edges, prep.ctx.source)
+    _, got = distributed_sssp(
+        medium_rmat, system="d-galois", num_hosts=8, policy="cvc"
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_fewer_rounds_than_ligra(medium_rmat):
+    galois, _ = distributed_sssp(
+        medium_rmat, system="d-galois", num_hosts=4, policy="cvc"
+    )
+    ligra, _ = distributed_sssp(
+        medium_rmat, system="d-ligra", num_hosts=4, policy="cvc"
+    )
+    assert galois.num_rounds <= ligra.num_rounds

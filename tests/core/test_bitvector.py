@@ -1,0 +1,109 @@
+"""Unit and property tests for the packed bit-vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector
+from repro.errors import SerializationError
+
+
+class TestBasics:
+    def test_new_is_clear(self):
+        bv = BitVector(10)
+        assert len(bv) == 10
+        assert bv.count() == 0
+        assert not bv.test(3)
+
+    def test_set_test_clear(self):
+        bv = BitVector(10)
+        bv.set(3)
+        assert bv.test(3)
+        assert bv.count() == 1
+        bv.clear(3)
+        assert not bv.test(3)
+
+    def test_bounds(self):
+        bv = BitVector(8)
+        with pytest.raises(IndexError):
+            bv.test(8)
+        with pytest.raises(IndexError):
+            bv.set(-1)
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_zero_length(self):
+        bv = BitVector(0)
+        assert len(bv) == 0
+        assert bv.count() == 0
+        assert bv.to_bytes() == b""
+
+    def test_wire_size(self):
+        assert BitVector.wire_size(0) == 0
+        assert BitVector.wire_size(1) == 1
+        assert BitVector.wire_size(8) == 1
+        assert BitVector.wire_size(9) == 2
+        with pytest.raises(ValueError):
+            BitVector.wire_size(-1)
+
+
+class TestBulk:
+    def test_from_bool_array(self):
+        mask = np.array([True, False, True, True, False])
+        bv = BitVector.from_bool_array(mask)
+        assert bv.count() == 3
+        assert np.array_equal(bv.to_bool_array(), mask)
+
+    def test_set_indices(self):
+        mask = np.zeros(20, dtype=bool)
+        mask[[2, 7, 19]] = True
+        bv = BitVector.from_bool_array(mask)
+        assert bv.set_indices().tolist() == [2, 7, 19]
+
+    def test_bytes_roundtrip(self):
+        mask = np.array([True] * 3 + [False] * 10)
+        bv = BitVector.from_bool_array(mask)
+        back = BitVector.from_bytes(bv.to_bytes(), len(mask))
+        assert back == bv
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(SerializationError):
+            BitVector.from_bytes(b"\x00\x00", 5)
+
+    def test_equality(self):
+        a = BitVector.from_bool_array(np.array([True, False]))
+        b = BitVector.from_bool_array(np.array([True, False]))
+        c = BitVector.from_bool_array(np.array([False, True]))
+        assert a == b
+        assert a != c
+        assert a != "not a bitvector"
+
+    def test_repr(self):
+        bv = BitVector.from_bool_array(np.array([True, True, False]))
+        assert "set=2" in repr(bv)
+
+
+@given(st.lists(st.booleans(), max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_property_roundtrip(bits):
+    mask = np.array(bits, dtype=bool)
+    bv = BitVector.from_bool_array(mask)
+    assert bv.count() == int(mask.sum())
+    assert len(bv.to_bytes()) == BitVector.wire_size(len(mask))
+    back = BitVector.from_bytes(bv.to_bytes(), len(mask))
+    assert np.array_equal(back.to_bool_array(), mask)
+    assert np.array_equal(
+        back.set_indices(), np.flatnonzero(mask).astype(np.uint32)
+    )
+
+
+@given(st.integers(min_value=1, max_value=200), st.data())
+@settings(max_examples=50, deadline=None)
+def test_property_single_bit_ops(num_bits, data):
+    index = data.draw(st.integers(min_value=0, max_value=num_bits - 1))
+    bv = BitVector(num_bits)
+    bv.set(index)
+    assert bv.test(index)
+    assert bv.count() == 1
+    assert bv.set_indices().tolist() == [index]

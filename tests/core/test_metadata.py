@@ -1,0 +1,118 @@
+"""Unit tests for adaptive metadata mode selection (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata import (
+    COUNT_BYTES,
+    HEADER_BYTES,
+    MetadataMode,
+    encoded_size,
+    select_mode,
+)
+
+
+class TestEncodedSize:
+    def test_empty(self):
+        assert encoded_size(MetadataMode.EMPTY, 100, 0, 4) == HEADER_BYTES
+
+    def test_full(self):
+        assert (
+            encoded_size(MetadataMode.FULL, 100, 40, 4)
+            == HEADER_BYTES + COUNT_BYTES + 400
+        )
+
+    def test_bitvec(self):
+        size = encoded_size(MetadataMode.BITVEC, 80, 10, 4)
+        assert size == HEADER_BYTES + COUNT_BYTES + 10 + 40
+
+    def test_indices(self):
+        size = encoded_size(MetadataMode.INDICES, 80, 10, 4)
+        assert size == HEADER_BYTES + COUNT_BYTES + 10 * (4 + 4)
+
+    def test_global_ids_same_as_indices(self):
+        assert encoded_size(
+            MetadataMode.GLOBAL_IDS, 80, 10, 4
+        ) == encoded_size(MetadataMode.INDICES, 80, 10, 4)
+
+    def test_updates_cannot_exceed_agreed(self):
+        with pytest.raises(ValueError):
+            encoded_size(MetadataMode.FULL, 5, 6, 4)
+
+
+class TestSelectMode:
+    def test_no_updates_is_empty(self):
+        assert select_mode(100, 0, 4) is MetadataMode.EMPTY
+
+    def test_dense_updates_pick_full(self):
+        """Paper rule: dense updates send all values, no metadata.
+
+        FULL wins once the bit-vector overhead exceeds the values saved:
+        for 4-byte values that is within ceil(n/8)/4 updates of everything.
+        """
+        assert select_mode(100, 100, 4) is MetadataMode.FULL
+        assert select_mode(100, 99, 4) is MetadataMode.FULL
+
+    def test_sparse_updates_pick_bitvec(self):
+        """Paper rule: sparse updates send a bit-vector."""
+        assert select_mode(1000, 300, 4) is MetadataMode.BITVEC
+
+    def test_very_sparse_updates_pick_indices(self):
+        """Paper rule: very sparse updates send explicit indices."""
+        assert select_mode(10000, 3, 4) is MetadataMode.INDICES
+
+    def test_selected_mode_is_smallest(self):
+        for num_agreed in (1, 10, 64, 100, 1000):
+            for num_updates in range(0, num_agreed + 1, max(num_agreed // 7, 1)):
+                mode = select_mode(num_agreed, num_updates, 4)
+                if num_updates == 0:
+                    assert mode is MetadataMode.EMPTY
+                    continue
+                best = min(
+                    encoded_size(m, num_agreed, num_updates, 4)
+                    for m in (
+                        MetadataMode.FULL,
+                        MetadataMode.BITVEC,
+                        MetadataMode.INDICES,
+                    )
+                )
+                assert encoded_size(mode, num_agreed, num_updates, 4) == best
+
+    def test_crossover_moves_with_value_size(self):
+        """Bigger values shift the bitvec/indices crossover point."""
+        # With 8-byte values, indices win at higher densities than with 4.
+        agreed = 800
+        crossover_4 = next(
+            k
+            for k in range(1, agreed)
+            if select_mode(agreed, k, 4) is MetadataMode.BITVEC
+        )
+        crossover_8 = next(
+            k
+            for k in range(1, agreed)
+            if select_mode(agreed, k, 8) is MetadataMode.BITVEC
+        )
+        assert crossover_4 <= crossover_8
+
+
+@given(
+    num_agreed=st.integers(min_value=1, max_value=5000),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    value_size=st.sampled_from([1, 4, 8]),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_selection_minimizes_size(num_agreed, density, value_size):
+    num_updates = int(round(density * num_agreed))
+    mode = select_mode(num_agreed, num_updates, value_size)
+    chosen = encoded_size(mode, num_agreed, num_updates, value_size)
+    for other in (
+        MetadataMode.FULL,
+        MetadataMode.BITVEC,
+        MetadataMode.INDICES,
+    ):
+        if num_updates == 0:
+            break
+        assert chosen <= encoded_size(
+            other, num_agreed, num_updates, value_size
+        )

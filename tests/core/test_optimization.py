@@ -1,0 +1,26 @@
+"""Unit tests for optimization-level flags."""
+
+import pytest
+
+from repro.core.optimization import OptimizationLevel
+
+
+def test_flag_matrix():
+    assert not OptimizationLevel.UNOPT.structural
+    assert not OptimizationLevel.UNOPT.temporal
+    assert OptimizationLevel.OSI.structural
+    assert not OptimizationLevel.OSI.temporal
+    assert not OptimizationLevel.OTI.structural
+    assert OptimizationLevel.OTI.temporal
+    assert OptimizationLevel.OSTI.structural
+    assert OptimizationLevel.OSTI.temporal
+
+
+def test_from_name():
+    assert OptimizationLevel.from_name("osti") is OptimizationLevel.OSTI
+    assert OptimizationLevel.from_name("UNOPT") is OptimizationLevel.UNOPT
+
+
+def test_from_name_unknown():
+    with pytest.raises(ValueError, match="unknown optimization level"):
+        OptimizationLevel.from_name("turbo")

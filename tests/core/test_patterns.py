@@ -1,0 +1,103 @@
+"""Unit tests for per-strategy communication plans (§3.2)."""
+
+import numpy as np
+
+from repro.core.memoization import exchange_address_books
+from repro.core.patterns import build_sync_plan
+from repro.network.transport import InProcessTransport
+from repro.partition import make_partitioner
+
+
+def plans_for(edges, policy, num_hosts, structural):
+    partitioned = make_partitioner(policy).partition(edges, num_hosts)
+    transport = InProcessTransport(num_hosts)
+    books = exchange_address_books(partitioned, transport)
+    return partitioned, [build_sync_plan(b, structural) for b in books]
+
+
+class TestStructuralPlans:
+    def test_oec_is_reduce_only(self, small_rmat):
+        """§3.2 OEC: only the reduce pattern is required."""
+        _, plans = plans_for(small_rmat, "oec", 4, structural=True)
+        assert any(p.needs_reduce for p in plans)
+        assert all(not p.needs_broadcast for p in plans)
+
+    def test_iec_is_broadcast_only(self, small_rmat):
+        """§3.2 IEC: only the broadcast (halo-exchange) pattern."""
+        _, plans = plans_for(small_rmat, "iec", 4, structural=True)
+        assert all(not p.needs_reduce for p in plans)
+        assert any(p.needs_broadcast for p in plans)
+
+    def test_uvc_needs_both(self, small_rmat):
+        """§3.2 UVC: full gather-apply-scatter."""
+        _, plans = plans_for(small_rmat, "hvc", 4, structural=True)
+        assert any(p.needs_reduce for p in plans)
+        assert any(p.needs_broadcast for p in plans)
+
+    def test_cvc_uses_disjoint_subsets(self, small_rmat):
+        """§3.2 CVC: each mirror is in the reduce or broadcast subset,
+        never both."""
+        partitioned, plans = plans_for(small_rmat, "cvc", 4, structural=True)
+        for plan in plans:
+            reduce_set = set()
+            for arr in plan.reduce_send.values():
+                reduce_set.update(arr.tolist())
+            broadcast_set = set()
+            for arr in plan.broadcast_recv.values():
+                broadcast_set.update(arr.tolist())
+            assert reduce_set.isdisjoint(broadcast_set)
+
+    def test_cvc_reduces_partner_count(self, medium_rmat):
+        """§5.6: CVC with OSI broadcasts to fewer partners than without."""
+        _, structural = plans_for(medium_rmat, "cvc", 16, structural=True)
+        _, unrestricted = plans_for(medium_rmat, "cvc", 16, structural=False)
+        structural_partners = max(
+            p.broadcast_partners() for p in structural
+        )
+        unrestricted_partners = max(
+            p.broadcast_partners() for p in unrestricted
+        )
+        assert structural_partners < unrestricted_partners
+
+
+class TestUnrestrictedPlans:
+    def test_gas_plans_cover_all_mirrors(self, small_rmat):
+        partitioned, plans = plans_for(small_rmat, "cvc", 4, structural=False)
+        for part, plan in zip(partitioned.partitions, plans):
+            reduce_total = sum(len(a) for a in plan.reduce_send.values())
+            broadcast_total = sum(
+                len(a) for a in plan.broadcast_recv.values()
+            )
+            assert reduce_total == part.num_mirrors
+            assert broadcast_total == part.num_mirrors
+
+    def test_oec_without_osi_broadcasts(self, small_rmat):
+        """With OSI off, even OEC partitions broadcast to all mirrors."""
+        _, plans = plans_for(small_rmat, "oec", 4, structural=False)
+        assert any(p.needs_broadcast for p in plans)
+
+    def test_subsets_are_subsets(self, small_rmat):
+        _, restricted = plans_for(small_rmat, "hvc", 4, structural=True)
+        _, full = plans_for(small_rmat, "hvc", 4, structural=False)
+        for r, f in zip(restricted, full):
+            for peer, arr in r.reduce_send.items():
+                assert set(arr.tolist()) <= set(
+                    f.reduce_send[peer].tolist()
+                )
+            for peer, arr in r.broadcast_recv.items():
+                assert set(arr.tolist()) <= set(
+                    f.broadcast_recv[peer].tolist()
+                )
+
+
+class TestPlanProperties:
+    def test_partner_counts(self, small_rmat):
+        _, plans = plans_for(small_rmat, "cvc", 4, structural=True)
+        for plan in plans:
+            assert 0 <= plan.reduce_partners() <= 3
+            assert 0 <= plan.broadcast_partners() <= 3
+
+    def test_single_host_plan_is_empty(self, small_rmat):
+        _, plans = plans_for(small_rmat, "cvc", 1, structural=True)
+        assert not plans[0].needs_reduce
+        assert not plans[0].needs_broadcast

@@ -1,0 +1,173 @@
+"""Unit and property tests for the wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metadata import MetadataMode, encoded_size
+from repro.core.serialization import (
+    SyncMessage,
+    decode_message,
+    dtype_code,
+    encode_message,
+)
+from repro.errors import SerializationError
+
+
+class TestDtypeCodes:
+    def test_supported_dtypes_roundtrip(self):
+        for dtype in (
+            np.uint32,
+            np.int32,
+            np.float32,
+            np.float64,
+            np.uint64,
+            np.int64,
+            np.uint8,
+        ):
+            values = np.array([1, 2, 3], dtype=dtype)
+            payload = encode_message(MetadataMode.FULL, values)
+            back = decode_message(payload)
+            assert back.values.dtype == np.dtype(dtype)
+            assert np.array_equal(back.values, values)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            dtype_code(np.complex128)
+
+
+class TestModes:
+    def test_empty_roundtrip(self):
+        payload = encode_message(
+            MetadataMode.EMPTY, np.empty(0, dtype=np.uint32)
+        )
+        assert len(payload) == 2
+        message = decode_message(payload)
+        assert message.mode is MetadataMode.EMPTY
+        assert len(message.values) == 0
+        assert message.selection is None
+
+    def test_full_roundtrip(self):
+        values = np.arange(10, dtype=np.uint32)
+        message = decode_message(encode_message(MetadataMode.FULL, values))
+        assert message.mode is MetadataMode.FULL
+        assert np.array_equal(message.values, values)
+        assert message.selection is None
+
+    def test_bitvec_roundtrip(self):
+        values = np.array([7, 9], dtype=np.uint32)
+        selection = np.array([1, 4], dtype=np.uint32)
+        payload = encode_message(
+            MetadataMode.BITVEC, values, num_agreed=6, selection=selection
+        )
+        message = decode_message(payload)
+        assert message.mode is MetadataMode.BITVEC
+        assert np.array_equal(message.selection, selection)
+        assert np.array_equal(message.values, values)
+
+    def test_indices_roundtrip(self):
+        values = np.array([3.5, -1.0], dtype=np.float64)
+        selection = np.array([0, 9], dtype=np.uint32)
+        payload = encode_message(
+            MetadataMode.INDICES, values, selection=selection
+        )
+        message = decode_message(payload)
+        assert message.mode is MetadataMode.INDICES
+        assert np.array_equal(message.selection, selection)
+        assert np.array_equal(message.values, values)
+
+    def test_global_ids_roundtrip(self):
+        values = np.array([5], dtype=np.uint32)
+        gids = np.array([123456], dtype=np.uint32)
+        payload = encode_message(
+            MetadataMode.GLOBAL_IDS, values, selection=gids
+        )
+        message = decode_message(payload)
+        assert message.mode is MetadataMode.GLOBAL_IDS
+        assert message.selection.tolist() == [123456]
+
+    def test_sizes_match_metadata_arithmetic(self):
+        """The encoder's real sizes equal the mode-selection arithmetic."""
+        num_agreed, num_updates = 50, 12
+        values = np.zeros(num_updates, dtype=np.uint32)
+        selection = np.arange(num_updates, dtype=np.uint32)
+        for mode in (MetadataMode.BITVEC, MetadataMode.INDICES):
+            payload = encode_message(
+                mode, values, num_agreed=num_agreed, selection=selection
+            )
+            assert len(payload) == encoded_size(mode, num_agreed, num_updates, 4)
+        full = encode_message(
+            MetadataMode.FULL, np.zeros(num_agreed, dtype=np.uint32)
+        )
+        assert len(full) == encoded_size(
+            MetadataMode.FULL, num_agreed, num_updates, 4
+        )
+
+
+class TestErrors:
+    def test_selection_required(self):
+        with pytest.raises(SerializationError):
+            encode_message(
+                MetadataMode.INDICES, np.array([1], dtype=np.uint32)
+            )
+        with pytest.raises(SerializationError):
+            encode_message(
+                MetadataMode.BITVEC, np.array([1], dtype=np.uint32),
+                num_agreed=4,
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_message(
+                MetadataMode.INDICES,
+                np.array([1, 2], dtype=np.uint32),
+                selection=np.array([0], dtype=np.uint32),
+            )
+
+    def test_truncated_message_rejected(self):
+        payload = encode_message(
+            MetadataMode.FULL, np.arange(4, dtype=np.uint32)
+        )
+        with pytest.raises(SerializationError):
+            decode_message(payload[:-1])
+        with pytest.raises(SerializationError):
+            decode_message(b"")
+        with pytest.raises(SerializationError):
+            decode_message(payload[:3])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_message(bytes([250, 0]))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_message(bytes([1, 99]))
+
+    def test_empty_with_body_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_message(bytes([0, 0, 1]))
+
+
+@given(
+    data=st.data(),
+    dtype=st.sampled_from([np.uint32, np.float64, np.int64]),
+    num_agreed=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_bitvec_indices_roundtrip(data, dtype, num_agreed):
+    num_updates = data.draw(st.integers(min_value=0, max_value=num_agreed))
+    positions = np.sort(
+        np.random.default_rng(
+            data.draw(st.integers(min_value=0, max_value=2**31))
+        ).choice(num_agreed, size=num_updates, replace=False)
+    ).astype(np.uint32)
+    values = np.arange(num_updates, dtype=dtype)
+    for mode in (MetadataMode.BITVEC, MetadataMode.INDICES):
+        payload = encode_message(
+            mode, values, num_agreed=num_agreed, selection=positions
+        )
+        back = decode_message(payload)
+        assert back.mode is mode
+        assert np.array_equal(back.selection, positions)
+        assert np.array_equal(back.values, values)

@@ -1,0 +1,138 @@
+"""Tests for the sync<WriteLocation, ReadLocation> generality (Figure 4).
+
+The default flow (write at destination, read at source) is covered by the
+application suite; these tests exercise the other template instantiations:
+write-at-source reductions (BC's backward pass) and read-at-destination
+broadcasts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimization import OptimizationLevel
+from repro.core.substrate import setup_substrates
+from repro.core.sync_structures import ADD, MIN, FieldSpec
+from repro.errors import SyncError
+from repro.network.transport import InProcessTransport
+from repro.partition import make_partitioner
+
+BOTH = frozenset({"source", "destination"})
+
+
+def make_setup(edges, policy, num_hosts, level=OptimizationLevel.OSTI):
+    partitioned = make_partitioner(policy).partition(edges, num_hosts)
+    transport = InProcessTransport(num_hosts)
+    subs = setup_substrates(partitioned, transport, level)
+    transport.end_round()
+    return partitioned, transport, subs
+
+
+class TestFieldLocationValidation:
+    def test_defaults(self):
+        field = FieldSpec(
+            name="x", values=np.zeros(3, dtype=np.uint32), reduce_op=MIN
+        )
+        assert field.writes == frozenset({"destination"})
+        assert field.reads == frozenset({"source"})
+
+    def test_invalid_locations_rejected(self):
+        with pytest.raises(SyncError):
+            FieldSpec(
+                name="x",
+                values=np.zeros(3, dtype=np.uint32),
+                reduce_op=MIN,
+                writes=frozenset({"everywhere"}),
+            )
+        with pytest.raises(SyncError):
+            FieldSpec(
+                name="x",
+                values=np.zeros(3, dtype=np.uint32),
+                reduce_op=MIN,
+                reads=frozenset(),
+            )
+
+
+class TestSetSelection:
+    def test_write_at_source_selects_out_edge_mirrors(self, small_rmat):
+        _, _, subs = make_setup(small_rmat, "cvc", 4)
+        field = FieldSpec(
+            name="delta",
+            values=np.zeros(subs[0].num_local_nodes, dtype=np.float64),
+            reduce_op=ADD,
+            writes=frozenset({"source"}),
+            reads=frozenset({"destination"}),
+        )
+        sub = subs[0]
+        assert sub._reduce_send_arrays(field) is sub.book.mirrors_broadcast
+        assert sub._reduce_recv_arrays(field) is sub.book.masters_broadcast
+        assert sub._broadcast_send_arrays(field) is sub.book.masters_reduce
+        assert sub._broadcast_recv_arrays(field) is sub.book.mirrors_reduce
+
+    def test_read_both_selects_any(self, small_rmat):
+        _, _, subs = make_setup(small_rmat, "cvc", 4)
+        field = FieldSpec(
+            name="dist",
+            values=np.zeros(subs[0].num_local_nodes, dtype=np.uint32),
+            reduce_op=MIN,
+            reads=BOTH,
+        )
+        sub = subs[0]
+        assert sub._broadcast_send_arrays(field) is sub.book.masters_any
+        assert sub._broadcast_recv_arrays(field) is sub.book.mirrors_any
+
+    def test_unopt_ignores_locations(self, small_rmat):
+        _, _, subs = make_setup(
+            small_rmat, "cvc", 4, OptimizationLevel.UNOPT
+        )
+        field = FieldSpec(
+            name="delta",
+            values=np.zeros(subs[0].num_local_nodes, dtype=np.float64),
+            reduce_op=ADD,
+            writes=frozenset({"source"}),
+        )
+        sub = subs[0]
+        assert sub._reduce_send_arrays(field) is sub.book.mirrors_all
+        assert sub._broadcast_recv_arrays(field) is sub.book.mirrors_all
+
+
+class TestWriteAtSourceCollective:
+    @pytest.mark.parametrize("policy", ["oec", "iec", "cvc", "hvc"])
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_source_written_add_reduction_sums_once(
+        self, small_rmat, policy, level
+    ):
+        """Every proxy with out-edges contributes 1; the master total must
+        equal the node's number of out-edge-bearing proxies — under every
+        policy and optimization level."""
+        partitioned, transport, subs = make_setup(
+            small_rmat, policy, 4, level
+        )
+        fields = []
+        expected = np.zeros(partitioned.num_global_nodes, dtype=np.int64)
+        dirty_masks = []
+        for part, sub in zip(partitioned.partitions, subs):
+            values = np.zeros(part.num_nodes, dtype=np.float64)
+            out_deg = part.graph.out_degree()
+            contributors = np.flatnonzero(out_deg > 0)
+            mirrors = contributors[contributors >= part.num_masters]
+            values[mirrors] = 1.0
+            expected[part.local_to_global[mirrors]] += 1
+            field = FieldSpec(
+                name="count",
+                values=values,
+                reduce_op=ADD,
+                writes=frozenset({"source"}),
+                reads=frozenset({"destination"}),
+            )
+            fields.append(field)
+            dirty = np.zeros(part.num_nodes, dtype=bool)
+            dirty[mirrors] = True
+            dirty_masks.append(dirty)
+        for sub, field, dirty in zip(subs, fields, dirty_masks):
+            sub.send_reduce(field, dirty)
+        for sub, field in zip(subs, fields):
+            sub.receive_reduce(field)
+        for part, field in zip(partitioned.partitions, fields):
+            master_gids = part.local_to_global[: part.num_masters]
+            got = field.values[: part.num_masters].astype(np.int64)
+            assert np.array_equal(got, expected[master_gids]), (policy, level)

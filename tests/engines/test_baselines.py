@@ -1,0 +1,92 @@
+"""Tests for the Gemini and Gunrock baseline systems' distinctive traits."""
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import MetadataMode
+from repro.engines.gemini import GeminiPartitioner
+from repro.errors import ExecutionError
+from repro.partition.cartesian import CartesianVertexCut
+from repro.partition.metrics import verify_partition
+from repro.systems import run_app
+
+
+class TestGeminiPartitioner:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            GeminiPartitioner(mode="sideways")
+
+    def test_dual_rep_inflates_replication(self, medium_rmat):
+        """§5.2: Gemini's replication factor exceeds CVC's at scale."""
+        gemini = GeminiPartitioner("push").partition(medium_rmat, 16)
+        cvc = CartesianVertexCut().partition(medium_rmat, 16)
+        assert gemini.replication_factor() > cvc.replication_factor()
+
+    def test_partition_is_structurally_valid(self, small_rmat):
+        partitioned = GeminiPartitioner("push").partition(small_rmat, 4)
+        assert verify_partition(partitioned) == []
+
+    def test_push_mode_homes_edges_with_source(self, small_rmat):
+        partitioned = GeminiPartitioner("push").partition(small_rmat, 4)
+        owner = partitioned.master_host
+        for part in partitioned.partitions:
+            src, _ = part.graph.edges()
+            src_gid = part.local_to_global[src]
+            assert np.all(owner[src_gid] == part.host)
+
+    def test_pull_mode_homes_edges_with_destination(self, small_rmat):
+        partitioned = GeminiPartitioner("pull").partition(small_rmat, 4)
+        owner = partitioned.master_host
+        for part in partitioned.partitions:
+            _, dst = part.graph.edges()
+            dst_gid = part.local_to_global[dst]
+            assert np.all(owner[dst_gid] == part.host)
+
+    def test_edge_conservation_holds(self, small_rmat):
+        """Dual-rep adds proxies, not edges: computation edges are stored
+        once."""
+        partitioned = GeminiPartitioner("push").partition(small_rmat, 4)
+        total = sum(p.graph.num_edges for p in partitioned.partitions)
+        assert total == small_rmat.num_edges
+
+
+class TestGeminiSystem:
+    def test_ships_global_ids(self, small_rmat):
+        result = run_app("gemini", "bfs", small_rmat, num_hosts=4)
+        assert result.translations > 0
+        assert set(result.mode_counts) == {MetadataMode.GLOBAL_IDS}
+
+    def test_rejects_other_policies(self, small_rmat):
+        with pytest.raises(ExecutionError, match="edge cut"):
+            run_app("gemini", "bfs", small_rmat, num_hosts=4, policy="cvc")
+
+    def test_sends_more_than_dgalois(self, medium_rmat):
+        """Figure 8(b): Gemini's volume far exceeds the Gluon systems'."""
+        gemini = run_app("gemini", "bfs", medium_rmat, num_hosts=8)
+        dgalois = run_app(
+            "d-galois", "bfs", medium_rmat, num_hosts=8, policy="cvc"
+        )
+        assert (
+            gemini.communication_volume > 2 * dgalois.communication_volume
+        )
+
+
+class TestGunrockSystem:
+    def test_single_node_limit(self, small_rmat):
+        with pytest.raises(ExecutionError, match="single-node"):
+            run_app("gunrock", "bfs", small_rmat, num_hosts=8)
+
+    def test_oec_only(self, small_rmat):
+        with pytest.raises(ExecutionError, match="outgoing edge cut"):
+            run_app("gunrock", "bfs", small_rmat, num_hosts=4, policy="cvc")
+
+    def test_runs_on_four_gpus(self, small_rmat):
+        result = run_app("gunrock", "cc", small_rmat, num_hosts=4)
+        assert result.converged
+        assert result.num_hosts == 4
+
+    def test_random_policy_allowed(self, small_rmat):
+        result = run_app(
+            "gunrock", "bfs", small_rmat, num_hosts=2, policy="random"
+        )
+        assert result.converged

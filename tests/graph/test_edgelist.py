@@ -1,0 +1,134 @@
+"""Unit tests for repro.graph.edgelist."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.edgelist import EdgeList
+
+
+def make(num_nodes, pairs, weights=None):
+    src = np.array([p[0] for p in pairs], dtype=np.uint32)
+    dst = np.array([p[1] for p in pairs], dtype=np.uint32)
+    w = None if weights is None else np.array(weights, dtype=np.uint32)
+    return EdgeList(num_nodes, src, dst, w)
+
+
+class TestConstruction:
+    def test_basic(self):
+        edges = make(3, [(0, 1), (1, 2)])
+        assert edges.num_nodes == 3
+        assert edges.num_edges == 2
+        assert not edges.has_weights
+
+    def test_empty(self):
+        edges = make(5, [])
+        assert edges.num_edges == 0
+        assert edges.num_nodes == 5
+
+    def test_zero_nodes(self):
+        edges = make(0, [])
+        assert edges.num_nodes == 0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeList(-1, np.array([], np.uint32), np.array([], np.uint32))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphError):
+            EdgeList(
+                3,
+                np.array([0, 1], np.uint32),
+                np.array([1], np.uint32),
+            )
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            make(2, [(0, 2)])
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            make(3, [(0, 1), (1, 2)], weights=[5])
+
+    def test_arrays_coerced_to_uint32(self):
+        edges = EdgeList(3, np.array([0, 1]), np.array([1, 2]))
+        assert edges.src.dtype == np.uint32
+        assert edges.dst.dtype == np.uint32
+
+
+class TestWeights:
+    def test_with_unit_weights(self):
+        edges = make(3, [(0, 1), (1, 2)]).with_unit_weights()
+        assert edges.has_weights
+        assert np.all(edges.weight == 1)
+
+    def test_with_unit_weights_is_noop_when_weighted(self):
+        edges = make(3, [(0, 1)], weights=[7])
+        assert edges.with_unit_weights() is edges
+
+    def test_with_random_weights_in_range(self):
+        rng = np.random.default_rng(0)
+        edges = make(4, [(0, 1), (1, 2), (2, 3)]).with_random_weights(
+            rng, low=2, high=9
+        )
+        assert edges.weight.min() >= 2
+        assert edges.weight.max() <= 9
+
+    def test_with_random_weights_bad_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            make(2, [(0, 1)]).with_random_weights(rng, low=5, high=3)
+
+
+class TestDeduplicate:
+    def test_removes_duplicates(self):
+        edges = make(3, [(0, 1), (0, 1), (1, 2)]).deduplicate()
+        assert edges.num_edges == 2
+
+    def test_keeps_min_weight_among_duplicates(self):
+        edges = make(
+            3, [(0, 1), (0, 1), (1, 2)], weights=[9, 4, 7]
+        ).deduplicate()
+        assert edges.num_edges == 2
+        pairs = {
+            (int(s), int(d)): int(w)
+            for s, d, w in zip(edges.src, edges.dst, edges.weight)
+        }
+        assert pairs[(0, 1)] == 4
+        assert pairs[(1, 2)] == 7
+
+    def test_empty_noop(self):
+        edges = make(3, [])
+        assert edges.deduplicate().num_edges == 0
+
+
+class TestTransforms:
+    def test_remove_self_loops(self):
+        edges = make(3, [(0, 0), (0, 1), (2, 2)]).remove_self_loops()
+        assert edges.num_edges == 1
+        assert (int(edges.src[0]), int(edges.dst[0])) == (0, 1)
+
+    def test_symmetrize_adds_reverse(self):
+        edges = make(3, [(0, 1)]).symmetrize()
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_symmetrize_deduplicates(self):
+        edges = make(2, [(0, 1), (1, 0)]).symmetrize()
+        assert edges.num_edges == 2
+
+    def test_symmetrize_preserves_weights(self):
+        edges = make(2, [(0, 1)], weights=[5]).symmetrize()
+        assert edges.has_weights
+        assert np.all(edges.weight == 5)
+
+    def test_reversed_flips_direction(self):
+        edges = make(3, [(0, 1), (1, 2)]).reversed()
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert pairs == {(1, 0), (2, 1)}
+
+    def test_reversed_twice_is_identity(self):
+        edges = make(3, [(0, 1), (1, 2)])
+        back = edges.reversed().reversed()
+        assert np.array_equal(back.src, edges.src)
+        assert np.array_equal(back.dst, edges.dst)

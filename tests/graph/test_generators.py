@@ -1,0 +1,150 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    kronecker,
+    path_graph,
+    rmat,
+    star_graph,
+    twitter_like,
+    web_like,
+)
+
+
+class TestRmat:
+    def test_node_count_is_power_of_two(self):
+        edges = rmat(scale=6, edge_factor=4, seed=0)
+        assert edges.num_nodes == 64
+
+    def test_deterministic_for_seed(self):
+        a = rmat(scale=7, edge_factor=4, seed=5)
+        b = rmat(scale=7, edge_factor=4, seed=5)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_different_seeds_differ(self):
+        a = rmat(scale=7, edge_factor=4, seed=5)
+        b = rmat(scale=7, edge_factor=4, seed=6)
+        assert not (
+            np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)
+        )
+
+    def test_no_self_loops_by_default(self):
+        edges = rmat(scale=7, edge_factor=8, seed=1)
+        assert not np.any(edges.src == edges.dst)
+
+    def test_no_duplicates_by_default(self):
+        edges = rmat(scale=7, edge_factor=8, seed=1)
+        keys = edges.src.astype(np.uint64) * edges.num_nodes + edges.dst
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_degree_skew(self):
+        """graph500 probabilities concentrate edges at low node IDs."""
+        edges = rmat(scale=10, edge_factor=8, seed=2)
+        degrees = np.bincount(edges.src, minlength=edges.num_nodes)
+        assert degrees.max() > 10 * max(degrees.mean(), 1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            rmat(scale=-1)
+        with pytest.raises(GraphError):
+            rmat(scale=31)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(GraphError):
+            rmat(scale=5, probs=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestKronecker:
+    def test_symmetric(self):
+        edges = kronecker(scale=7, edge_factor=8, seed=0)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_no_self_loops(self):
+        edges = kronecker(scale=7, edge_factor=8, seed=0)
+        assert not np.any(edges.src == edges.dst)
+
+
+class TestStandIns:
+    def test_twitter_like_out_skew(self):
+        edges = twitter_like(scale=10, seed=7)
+        g = CSRGraph.from_edgelist(edges)
+        assert g.out_degree().max() >= g.in_degree().max()
+
+    def test_web_like_in_skew(self):
+        """Web crawls have far larger max in-degree than out-degree."""
+        edges = web_like(scale=10, seed=11)
+        g = CSRGraph.from_edgelist(edges)
+        assert g.in_degree().max() > g.out_degree().max()
+
+
+class TestErdosRenyi:
+    def test_average_degree_roughly_matches(self):
+        edges = erdos_renyi(2000, avg_degree=5.0, seed=1)
+        observed = edges.num_edges / edges.num_nodes
+        assert 3.5 < observed < 5.5  # dedup removes a few
+
+    def test_empty(self):
+        assert erdos_renyi(0, 5.0).num_edges == 0
+        assert erdos_renyi(10, 0.0).num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(-1, 2.0)
+        with pytest.raises(GraphError):
+            erdos_renyi(5, -2.0)
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        edges = path_graph(5)
+        assert edges.num_edges == 4
+        assert edges.src.tolist() == [0, 1, 2, 3]
+        assert edges.dst.tolist() == [1, 2, 3, 4]
+
+    def test_path_tiny(self):
+        assert path_graph(0).num_edges == 0
+        assert path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        edges = cycle_graph(4)
+        assert edges.num_edges == 4
+        assert (int(edges.src[-1]), int(edges.dst[-1])) == (3, 0)
+
+    def test_star(self):
+        edges = star_graph(6)
+        assert edges.num_edges == 5
+        assert np.all(edges.src == 0)
+
+    def test_star_requires_center(self):
+        with pytest.raises(GraphError):
+            star_graph(0)
+
+    def test_complete(self):
+        edges = complete_graph(4)
+        assert edges.num_edges == 12
+        assert not np.any(edges.src == edges.dst)
+
+    def test_grid_symmetric_degree(self):
+        edges = grid_graph(3, 3)
+        g = CSRGraph.from_edgelist(edges)
+        # Corner nodes have degree 2, center 4.
+        assert g.out_degree(0) == 2
+        assert g.out_degree(4) == 4
+        assert np.array_equal(g.out_degree(), g.in_degree())
+
+    def test_grid_single_row(self):
+        edges = grid_graph(1, 4)
+        assert edges.num_edges == 6  # 3 undirected edges
+
+    def test_grid_empty(self):
+        assert grid_graph(0, 5).num_edges == 0

@@ -1,0 +1,90 @@
+"""Tests for the Barabási–Albert and Watts–Strogatz generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import barabasi_albert, watts_strogatz
+from tests.conftest import reference_cc
+
+
+class TestBarabasiAlbert:
+    def test_symmetric(self):
+        edges = barabasi_albert(200, attach=3, seed=1)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_deterministic(self):
+        a = barabasi_albert(100, attach=2, seed=7)
+        b = barabasi_albert(100, attach=2, seed=7)
+        assert np.array_equal(a.src, b.src)
+
+    def test_degree_skew(self):
+        """Preferential attachment produces hub nodes."""
+        edges = barabasi_albert(500, attach=3, seed=2)
+        g = CSRGraph.from_edgelist(edges)
+        degrees = g.out_degree()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_connected(self):
+        """BA growth keeps the graph connected."""
+        edges = barabasi_albert(150, attach=2, seed=3)
+        labels = reference_cc(edges)
+        assert len(np.unique(labels)) == 1
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(3, attach=3)
+        with pytest.raises(GraphError):
+            barabasi_albert(10, attach=0)
+
+
+class TestWattsStrogatz:
+    def test_symmetric(self):
+        edges = watts_strogatz(100, nearest=4, rewire=0.2, seed=1)
+        pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+        assert all((d, s) in pairs for s, d in pairs)
+
+    def test_zero_rewire_is_ring_lattice(self):
+        edges = watts_strogatz(20, nearest=2, rewire=0.0, seed=0)
+        g = CSRGraph.from_edgelist(edges)
+        # Every node has exactly 2*nearest neighbours in a pure lattice.
+        assert np.all(g.out_degree() == 4)
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(100, nearest=3, rewire=0.0, seed=5)
+        rewired = watts_strogatz(100, nearest=3, rewire=0.5, seed=5)
+        a = set(zip(lattice.src.tolist(), lattice.dst.tolist()))
+        b = set(zip(rewired.src.tolist(), rewired.dst.tolist()))
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(2, nearest=1)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, nearest=0)
+        with pytest.raises(GraphError):
+            watts_strogatz(10, nearest=2, rewire=1.5)
+
+
+class TestNewGeneratorsEndToEnd:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: barabasi_albert(300, attach=3, seed=9),
+            lambda: watts_strogatz(300, nearest=4, rewire=0.1, seed=9),
+        ],
+    )
+    def test_bfs_correct_on_new_shapes(self, builder):
+        from repro.systems import prepare_input, run_app
+        from tests.conftest import reference_bfs
+
+        edges = builder()
+        prep = prepare_input("bfs", edges)
+        expected = reference_bfs(prep.edges, prep.ctx.source)
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4, policy="cvc"
+        )
+        got = result.executor.gather_result("dist").astype(np.uint64)
+        assert np.array_equal(got, expected)

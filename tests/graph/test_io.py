@@ -1,0 +1,130 @@
+"""Unit tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import rmat
+from repro.graph.io import (
+    read_binary,
+    read_edgelist,
+    write_binary,
+    write_edgelist,
+)
+
+
+def sample(weighted=False):
+    src = np.array([0, 1, 2], dtype=np.uint32)
+    dst = np.array([1, 2, 0], dtype=np.uint32)
+    w = np.array([5, 6, 7], dtype=np.uint32) if weighted else None
+    return EdgeList(4, src, dst, w)
+
+
+class TestTextFormat:
+    def test_roundtrip_unweighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        edges = sample()
+        write_edgelist(edges, path)
+        back = read_edgelist(path)
+        assert back.num_nodes == 4
+        assert np.array_equal(back.src, edges.src)
+        assert np.array_equal(back.dst, edges.dst)
+        assert back.weight is None
+
+    def test_roundtrip_weighted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        edges = sample(weighted=True)
+        write_edgelist(edges, path)
+        back = read_edgelist(path)
+        assert np.array_equal(back.weight, edges.weight)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        back = read_edgelist(path)
+        assert back.num_edges == 2
+        assert back.num_nodes == 3  # inferred max endpoint + 1
+
+    def test_node_header_respected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes: 10\n0 1\n")
+        assert read_edgelist(path).num_nodes == 10
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes: lots\n0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_bad_field_count_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2 5\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+
+class TestBinaryFormat:
+    def test_roundtrip_unweighted(self, tmp_path):
+        path = tmp_path / "g.bin"
+        edges = sample()
+        write_binary(edges, path)
+        back = read_binary(path)
+        assert back.num_nodes == edges.num_nodes
+        assert np.array_equal(back.src, edges.src)
+        assert np.array_equal(back.dst, edges.dst)
+
+    def test_roundtrip_weighted(self, tmp_path):
+        path = tmp_path / "g.bin"
+        edges = sample(weighted=True)
+        write_binary(edges, path)
+        back = read_binary(path)
+        assert np.array_equal(back.weight, edges.weight)
+
+    def test_roundtrip_generated_graph(self, tmp_path):
+        path = tmp_path / "g.bin"
+        edges = rmat(scale=8, edge_factor=4, seed=9)
+        write_binary(edges, path)
+        back = read_binary(path)
+        assert np.array_equal(back.src, edges.src)
+        assert np.array_equal(back.dst, edges.dst)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 30)
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"GLUG")
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary(sample(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        path = tmp_path / "g.bin"
+        edges = EdgeList(5, np.array([], np.uint32), np.array([], np.uint32))
+        write_binary(edges, path)
+        back = read_binary(path)
+        assert back.num_nodes == 5
+        assert back.num_edges == 0

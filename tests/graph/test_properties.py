@@ -1,0 +1,77 @@
+"""Unit tests for repro.graph.properties and validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import star_graph
+from repro.graph.properties import compute_properties
+from repro.graph.validation import validate_graph
+
+
+class TestProperties:
+    def test_star_graph_properties(self):
+        props = compute_properties(star_graph(11), name="star")
+        assert props.name == "star"
+        assert props.num_nodes == 11
+        assert props.num_edges == 10
+        assert props.max_out_degree == 10
+        assert props.max_in_degree == 1
+
+    def test_accepts_edgelist_and_csr(self):
+        edges = star_graph(5)
+        from_list = compute_properties(edges)
+        from_csr = compute_properties(CSRGraph.from_edgelist(edges))
+        assert from_list.num_edges == from_csr.num_edges
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            compute_properties([[0, 1]])
+
+    def test_empty_graph(self):
+        edges = EdgeList(0, np.array([], np.uint32), np.array([], np.uint32))
+        props = compute_properties(edges)
+        assert props.num_nodes == 0
+        assert props.avg_degree == 0.0
+        assert props.max_out_degree == 0
+
+    def test_as_row_keys(self):
+        row = compute_properties(star_graph(4), name="s").as_row()
+        assert set(row) == {
+            "input",
+            "|V|",
+            "|E|",
+            "|E|/|V|",
+            "max Dout",
+            "max Din",
+        }
+
+    def test_avg_degree(self):
+        props = compute_properties(star_graph(5))
+        assert props.avg_degree == pytest.approx(4 / 5)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 1], np.uint32), np.array([1, 2], np.uint32)
+        )
+        validate_graph(g)  # must not raise
+
+    def test_detects_corrupted_indices(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 1], np.uint32), np.array([1, 2], np.uint32)
+        )
+        g.indices[0] = 99  # corrupt in place
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_detects_corrupted_indptr(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 1], np.uint32), np.array([1, 2], np.uint32)
+        )
+        g.indptr[1] = 5
+        with pytest.raises(GraphError):
+            validate_graph(g)

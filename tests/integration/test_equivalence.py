@@ -1,0 +1,119 @@
+"""Cross-cutting equivalence properties.
+
+The central correctness claim of the whole substrate: the computed answer
+is invariant under the partitioning policy, the optimization level, the
+compute engine, and the host count.  Only performance characteristics may
+change.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimization import OptimizationLevel
+from repro.graph.edgelist import EdgeList
+from repro.systems import run_app
+
+RESULT_KEY = {"bfs": "dist", "sssp": "dist", "cc": "label", "pr": "rank"}
+
+
+def answer(result, app):
+    values = result.executor.gather_result(RESULT_KEY[app])
+    if values.dtype.kind == "f":
+        return np.round(values, 9)
+    return values
+
+
+@pytest.mark.parametrize("app", ["bfs", "sssp", "cc", "pr"])
+def test_policy_invariance(small_rmat, app):
+    baseline = None
+    for policy in ("oec", "iec", "cvc", "hvc", "jagged"):
+        result = run_app("d-galois", app, small_rmat, num_hosts=4, policy=policy)
+        got = answer(result, app)
+        if baseline is None:
+            baseline = got
+        else:
+            assert np.array_equal(got, baseline), f"{app}/{policy} diverged"
+
+
+@pytest.mark.parametrize("app", ["bfs", "sssp", "cc", "pr"])
+def test_level_invariance(small_rmat, app):
+    baseline = None
+    for level in OptimizationLevel:
+        result = run_app(
+            "d-galois", app, small_rmat, num_hosts=4, policy="cvc",
+            level=level,
+        )
+        got = answer(result, app)
+        if baseline is None:
+            baseline = got
+        else:
+            assert np.array_equal(got, baseline), f"{app}/{level} diverged"
+
+
+@pytest.mark.parametrize("app", ["bfs", "cc"])
+def test_host_count_invariance(small_rmat, app):
+    baseline = None
+    for num_hosts in (1, 2, 4, 8):
+        result = run_app(
+            "d-galois", app, small_rmat, num_hosts=num_hosts, policy="cvc"
+        )
+        got = answer(result, app)
+        if baseline is None:
+            baseline = got
+        else:
+            assert np.array_equal(got, baseline)
+
+
+@pytest.mark.parametrize("app", ["bfs", "sssp", "cc", "pr"])
+def test_engine_invariance(small_rmat, app):
+    baseline = None
+    for system in ("d-galois", "d-ligra", "d-irgl"):
+        result = run_app(system, app, small_rmat, num_hosts=4, policy="cvc")
+        got = answer(result, app)
+        if baseline is None:
+            baseline = got
+        else:
+            assert np.array_equal(got, baseline), f"{app}/{system} diverged"
+
+
+@st.composite
+def small_graphs(draw):
+    num_nodes = draw(st.integers(min_value=2, max_value=50))
+    num_edges = draw(st.integers(min_value=1, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    return EdgeList(num_nodes, src, dst).remove_self_loops().deduplicate()
+
+
+@given(
+    edges=small_graphs(),
+    num_hosts=st.integers(min_value=1, max_value=6),
+    policy=st.sampled_from(["oec", "iec", "cvc", "hvc"]),
+    level=st.sampled_from(list(OptimizationLevel)),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_distributed_bfs_equals_single_host(
+    edges, num_hosts, policy, level
+):
+    """For arbitrary graphs and configurations, distributed bfs must equal
+    the single-host run."""
+    if edges.num_edges == 0:
+        return
+    single = run_app("d-galois", "bfs", edges, num_hosts=1, source=0)
+    multi = run_app(
+        "d-galois",
+        "bfs",
+        edges,
+        num_hosts=num_hosts,
+        policy=policy,
+        level=level,
+        source=0,
+    )
+    assert np.array_equal(
+        single.executor.gather_result("dist"),
+        multi.executor.gather_result("dist"),
+    )

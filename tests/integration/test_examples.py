@@ -1,0 +1,47 @@
+"""Smoke-run the (fast) example scripts as real subprocesses.
+
+The examples are the documentation users copy from, so they must keep
+executing end-to-end.  The heavyweight walkthroughs (16-host pagerank
+sweeps) are exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "compiled_operator.py",
+    "custom_algorithm.py",
+    "repartitioning.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate their output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "partition_policy_tour.py",
+        "communication_optimization_study.py",
+        "heterogeneous_cluster.py",
+        "custom_algorithm.py",
+        "compiled_operator.py",
+        "repartitioning.py",
+    }
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found

@@ -1,0 +1,62 @@
+"""Smoke matrix: every (system, application) pairing runs and converges.
+
+A downstream user should be able to combine any system with any app; this
+matrix pins that contract (with the documented exceptions: shared-memory
+systems are single-host, Gunrock is single-node).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_BY_NAME
+from repro.graph.generators import rmat
+from repro.systems import ALL_SYSTEMS, run_app
+
+APPS = sorted(set(APP_BY_NAME) - {"pagerank"})  # drop the alias
+
+EDGES = rmat(scale=8, edge_factor=6, seed=13)
+
+
+def hosts_for(system: str) -> int:
+    if system in ("galois", "ligra", "irgl"):
+        return 1
+    if system == "gunrock":
+        return 4
+    return 4
+
+
+@pytest.mark.parametrize("system", sorted(ALL_SYSTEMS))
+@pytest.mark.parametrize("app", APPS)
+def test_every_pairing_runs(system, app):
+    result = run_app(system, app, EDGES, num_hosts=hosts_for(system))
+    assert result.converged, (system, app)
+    assert result.num_rounds >= 1
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_all_distributed_systems_agree(app):
+    """For each app, every Gluon system and the baselines compute the same
+    master values."""
+    key = {
+        "bfs": "dist",
+        "sssp": "dist",
+        "cc": "label",
+        "pr": "rank",
+        "pr-push": "rank",
+        "kcore": "alive",
+        "bc": "delta",
+    }[app]
+    systems = ["d-galois", "d-ligra", "d-irgl", "d-hybrid", "gemini"]
+    baseline = None
+    for system in systems:
+        result = run_app(system, app, EDGES, num_hosts=4)
+        executor = result.executor
+        values = executor.app.gather_master_values(
+            executor.partitioned.partitions, executor.states, key
+        )
+        if values.dtype.kind == "f":
+            values = np.round(values, 6)
+        if baseline is None:
+            baseline = values
+        else:
+            assert np.array_equal(values, baseline), (app, system)

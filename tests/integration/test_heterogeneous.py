@@ -1,0 +1,93 @@
+"""Tests for heterogeneous CPU+GPU clusters (Figure 1, §5.7).
+
+Gluon's decoupling means each host can run a different compute engine;
+the ``d-hybrid`` system alternates Galois (CPU) and IrGL (GPU) hosts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.engines import make_engine
+from repro.errors import ExecutionError
+from repro.partition import make_partitioner
+from repro.runtime.executor import DistributedExecutor
+from repro.systems import prepare_input, run_app
+from tests.conftest import reference_bfs, reference_pagerank
+
+
+@pytest.mark.parametrize("app", ["bfs", "cc", "pr", "sssp"])
+def test_hybrid_matches_homogeneous(small_rmat, app):
+    hybrid = run_app("d-hybrid", app, small_rmat, num_hosts=4, policy="cvc")
+    homogeneous = run_app(
+        "d-galois", app, small_rmat, num_hosts=4, policy="cvc"
+    )
+    key = {"bfs": "dist", "sssp": "dist", "cc": "label", "pr": "rank"}[app]
+    assert np.array_equal(
+        hybrid.executor.gather_result(key),
+        homogeneous.executor.gather_result(key),
+    )
+
+
+def test_hybrid_correct_vs_oracle(small_rmat):
+    prep = prepare_input("bfs", small_rmat)
+    expected = reference_bfs(prep.edges, prep.ctx.source)
+    result = run_app("d-hybrid", "bfs", small_rmat, num_hosts=6, policy="hvc")
+    got = result.executor.gather_result("dist").astype(np.uint64)
+    assert np.array_equal(got, expected)
+    assert result.system == "d-hybrid"
+
+
+def test_explicit_engine_list(small_rmat):
+    """Any per-host engine mix can be passed to the executor directly."""
+    prep = prepare_input("pr", small_rmat)
+    partitioned = make_partitioner("cvc").partition(prep.edges, 3)
+    engines = [make_engine("ligra"), make_engine("irgl"), make_engine("galois")]
+    executor = DistributedExecutor(
+        partitioned, engines, make_app("pr"), prep.ctx
+    )
+    result = executor.run()
+    assert result.converged
+    assert result.system == "heterogeneous+gluon"
+    np.testing.assert_allclose(
+        executor.gather_result("rank"),
+        reference_pagerank(small_rmat),
+        rtol=1e-9,
+    )
+
+
+def test_engine_list_length_validated(small_rmat):
+    prep = prepare_input("bfs", small_rmat)
+    partitioned = make_partitioner("cvc").partition(prep.edges, 3)
+    with pytest.raises(ExecutionError, match="engines"):
+        DistributedExecutor(
+            partitioned,
+            [make_engine("galois")],
+            make_app("bfs"),
+            prep.ctx,
+        )
+
+
+def test_gpu_hosts_pay_device_transfer(small_rmat):
+    """Mixing in GPU hosts adds host<->device transfer to comm time.
+
+    Ligra and IrGL are both level-synchronous single-step engines, so an
+    all-Ligra run and a Ligra/IrGL mix produce byte-identical traffic —
+    isolating the device-transfer charge.
+    """
+    prep = prepare_input("bfs", small_rmat)
+    partitioned = make_partitioner("cvc").partition(prep.edges, 4)
+    cpu = DistributedExecutor(
+        partitioned, make_engine("ligra"), make_app("bfs"), prep.ctx
+    ).run()
+    hybrid_engines = [
+        make_engine("ligra"),
+        make_engine("irgl"),
+        make_engine("ligra"),
+        make_engine("irgl"),
+    ]
+    hybrid = DistributedExecutor(
+        partitioned, hybrid_engines, make_app("bfs"), prep.ctx
+    ).run()
+    assert hybrid.communication_volume == cpu.communication_volume
+    assert hybrid.communication_time > cpu.communication_time

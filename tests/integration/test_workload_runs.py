@@ -1,0 +1,34 @@
+"""End-to-end runs over the full workload catalog (scaled down).
+
+Every Table 1 stand-in must run and verify on the flagship system — this
+is the guard against a generator change quietly breaking an input class
+(e.g. the in-skewed web graphs exercise very different partitions than the
+out-skewed twitter stand-in).
+"""
+
+import pytest
+
+from repro.systems import run_app
+from repro.verify import verify_run
+from repro.workloads import WORKLOAD_NAMES, load_workload
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOAD_NAMES))
+def test_bfs_verifies_on_every_workload(workload):
+    edges = load_workload(workload, scale_delta=-3)
+    result = run_app("d-galois", "bfs", edges, num_hosts=4, policy="cvc")
+    assert verify_run(result, edges).matched
+
+
+@pytest.mark.parametrize("workload", ["twitter40s", "clueweb12s"])
+def test_pr_verifies_on_skewed_workloads(workload):
+    edges = load_workload(workload, scale_delta=-3)
+    result = run_app("d-galois", "pr", edges, num_hosts=4, policy="hvc")
+    assert verify_run(result, edges).matched
+
+
+@pytest.mark.parametrize("workload", ["rmat24s", "wdc12s"])
+def test_sssp_verifies(workload):
+    edges = load_workload(workload, scale_delta=-3)
+    result = run_app("d-ligra", "sssp", edges, num_hosts=4, policy="oec")
+    assert verify_run(result, edges).matched

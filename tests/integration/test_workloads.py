@@ -1,0 +1,88 @@
+"""Tests for the workload catalog (Table 1 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import compute_properties
+from repro.workloads import (
+    PAPER_INPUT_OF,
+    WORKLOAD_NAMES,
+    load_workload,
+)
+
+
+def test_all_workloads_build():
+    for name in WORKLOAD_NAMES:
+        edges = load_workload(name, scale_delta=-3)
+        assert edges.num_nodes > 0
+        assert edges.num_edges > 0
+
+
+def test_unknown_workload():
+    with pytest.raises(ValueError, match="unknown workload"):
+        load_workload("facebook")
+
+
+def test_cache_returns_same_object():
+    a = load_workload("rmat22s", scale_delta=-3)
+    b = load_workload("rmat22s", scale_delta=-3)
+    assert a is b
+
+
+def test_scale_delta_changes_size():
+    small = load_workload("rmat22s", scale_delta=-4)
+    large = load_workload("rmat22s", scale_delta=-2)
+    assert large.num_nodes > small.num_nodes
+
+
+def test_every_workload_maps_to_a_paper_input():
+    assert set(PAPER_INPUT_OF) == set(WORKLOAD_NAMES)
+    assert set(PAPER_INPUT_OF.values()) == {
+        "rmat26",
+        "rmat28",
+        "twitter40",
+        "kron30",
+        "clueweb12",
+        "wdc12",
+    }
+
+
+def test_rmat_standins_have_table1_density():
+    """Table 1: rmat inputs have |E|/|V| = 16 (before dedup)."""
+    props = compute_properties(load_workload("rmat24s", scale_delta=-3))
+    assert 8 <= props.avg_degree <= 16
+
+
+def test_web_standins_are_in_skewed():
+    """Table 1: clueweb12/wdc12 have max Din >> max Dout.
+
+    Uses scale_delta=-1 — at very small scales the skew direction blurs.
+    """
+    for name in ("clueweb12s", "wdc12s"):
+        g = CSRGraph.from_edgelist(load_workload(name, scale_delta=-1))
+        assert g.in_degree().max() > g.out_degree().max()
+
+
+def test_twitter_standin_is_out_skewed_and_dense():
+    """Table 1: twitter40 has |E|/|V| ~= 35 and a huge out-degree hub."""
+    edges = load_workload("twitter40s", scale_delta=-1)
+    props = compute_properties(edges)
+    assert props.avg_degree > 15
+    g = CSRGraph.from_edgelist(edges)
+    assert g.out_degree().max() > 10 * max(g.out_degree().mean(), 1)
+
+
+def test_kron_standin_symmetric():
+    edges = load_workload("kron25s", scale_delta=-3)
+    pairs = set(zip(edges.src.tolist(), edges.dst.tolist()))
+    assert all((d, s) in pairs for s, d in pairs)
+
+
+def test_wdc_is_largest():
+    """wdc12 is the paper's largest input; the stand-in preserves that."""
+    sizes = {
+        name: load_workload(name, scale_delta=-3).num_edges
+        for name in WORKLOAD_NAMES
+    }
+    assert sizes["wdc12s"] == max(sizes.values())

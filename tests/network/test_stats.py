@@ -1,0 +1,65 @@
+"""Unit tests for communication statistics."""
+
+import pytest
+
+from repro.network.stats import CommStats, RoundTraffic
+
+
+class TestRoundTraffic:
+    def test_totals(self):
+        traffic = RoundTraffic(messages=[(0, 1, 10), (1, 0, 5)])
+        assert traffic.total_bytes == 15
+        assert traffic.num_messages == 2
+
+    def test_bytes_by_host(self):
+        traffic = RoundTraffic(messages=[(0, 1, 10), (0, 2, 4), (2, 0, 1)])
+        sent, received = traffic.bytes_by_host(3)
+        assert sent == [14, 0, 1]
+        assert received == [1, 10, 4]
+
+    def test_empty(self):
+        traffic = RoundTraffic()
+        assert traffic.total_bytes == 0
+        assert traffic.bytes_by_host(2) == ([0, 0], [0, 0])
+
+
+class TestCommStats:
+    def test_record_and_totals(self):
+        stats = CommStats(3)
+        stats.record(0, 1, 8)
+        stats.record(0, 2, 8)
+        stats.record(1, 2, 16)
+        assert stats.total_bytes == 32
+        assert stats.total_messages == 3
+        assert stats.pair_bytes(0, 1) == 8
+        assert stats.pair_messages(1, 2) == 1
+
+    def test_end_round_returns_finished(self):
+        stats = CommStats(2)
+        stats.record(0, 1, 5)
+        finished = stats.end_round()
+        assert finished.total_bytes == 5
+        assert stats.current_round.total_bytes == 0
+
+    def test_communication_partners(self):
+        stats = CommStats(4)
+        stats.record(0, 1, 1)
+        stats.record(0, 2, 1)
+        stats.record(0, 2, 1)
+        stats.record(3, 0, 1)
+        assert stats.communication_partners(0) == 2
+        assert stats.communication_partners(3) == 1
+        assert stats.communication_partners(1) == 0
+        assert stats.max_partners() == 2
+
+    def test_max_partners_empty(self):
+        assert CommStats(2).max_partners() == 0
+
+    def test_invalid_arguments(self):
+        stats = CommStats(2)
+        with pytest.raises(ValueError):
+            stats.record(0, 5, 1)
+        with pytest.raises(ValueError):
+            stats.record(0, 1, -1)
+        with pytest.raises(ValueError):
+            CommStats(0)

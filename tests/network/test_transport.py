@@ -1,0 +1,86 @@
+"""Unit tests for the in-process transport."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.network.transport import InProcessTransport
+
+
+class TestSendReceive:
+    def test_basic_delivery(self):
+        t = InProcessTransport(3)
+        t.send(0, 1, b"hello")
+        t.send(2, 1, b"world")
+        inbox = t.receive_all(1)
+        assert [(s, bytes(p)) for s, p in inbox] == [
+            (0, b"hello"),
+            (2, b"world"),
+        ]
+
+    def test_receive_drains(self):
+        t = InProcessTransport(2)
+        t.send(0, 1, b"x")
+        assert t.pending(1) == 1
+        t.receive_all(1)
+        assert t.pending(1) == 0
+        assert t.receive_all(1) == []
+
+    def test_order_preserved_per_receiver(self):
+        t = InProcessTransport(2)
+        for i in range(5):
+            t.send(0, 1, bytes([i]))
+        payloads = [p for _, p in t.receive_all(1)]
+        assert payloads == [bytes([i]) for i in range(5)]
+
+    def test_self_send_rejected(self):
+        t = InProcessTransport(2)
+        with pytest.raises(TransportError):
+            t.send(1, 1, b"loop")
+
+    def test_out_of_range_host_rejected(self):
+        t = InProcessTransport(2)
+        with pytest.raises(TransportError):
+            t.send(0, 2, b"x")
+        with pytest.raises(TransportError):
+            t.send(-1, 0, b"x")
+        with pytest.raises(TransportError):
+            t.receive_all(5)
+
+    def test_non_bytes_payload_rejected(self):
+        t = InProcessTransport(2)
+        with pytest.raises(TransportError):
+            t.send(0, 1, "not bytes")
+
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(TransportError):
+            InProcessTransport(0)
+
+
+class TestRounds:
+    def test_stats_recorded(self):
+        t = InProcessTransport(2)
+        t.send(0, 1, b"abcd")
+        assert t.stats.total_bytes == 4
+        assert t.stats.total_messages == 1
+        assert t.stats.pair_bytes(0, 1) == 4
+        assert t.stats.pair_bytes(1, 0) == 0
+
+    def test_end_round_requires_drained_mailboxes(self):
+        t = InProcessTransport(2)
+        t.send(0, 1, b"x")
+        with pytest.raises(TransportError, match="undelivered"):
+            t.end_round()
+        t.receive_all(1)
+        t.end_round()  # now fine
+
+    def test_round_boundaries_split_traffic(self):
+        t = InProcessTransport(2)
+        t.send(0, 1, b"xx")
+        t.receive_all(1)
+        t.end_round()
+        t.send(1, 0, b"yyy")
+        t.receive_all(0)
+        t.end_round()
+        rounds = t.stats.rounds
+        assert rounds[0].total_bytes == 2
+        assert rounds[1].total_bytes == 3

@@ -1,0 +1,85 @@
+"""Unit tests for repro.partition.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.base import EdgeAssignment, build_partitioned_graph
+from repro.partition.cartesian import CartesianVertexCut
+from repro.partition.edge_cut import OutgoingEdgeCut
+from repro.partition.metrics import (
+    assert_partition_valid,
+    compute_metrics,
+    verify_partition,
+)
+from repro.partition.strategy import PartitionStrategy
+
+
+class TestComputeMetrics:
+    def test_metrics_fields(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        metrics = compute_metrics(partitioned)
+        assert metrics.policy == "oec"
+        assert metrics.num_hosts == 4
+        assert metrics.total_masters == small_rmat.num_nodes
+        assert metrics.replication_factor >= 1.0
+        assert metrics.edge_imbalance >= 1.0
+
+    def test_single_host_metrics(self, small_rmat):
+        metrics = compute_metrics(OutgoingEdgeCut().partition(small_rmat, 1))
+        assert metrics.total_mirrors == 0
+        assert metrics.replication_factor == pytest.approx(1.0)
+        assert metrics.edge_imbalance == pytest.approx(1.0)
+
+    def test_as_row(self, small_rmat):
+        row = compute_metrics(
+            OutgoingEdgeCut().partition(small_rmat, 2)
+        ).as_row()
+        assert row["policy"] == "oec"
+        assert row["hosts"] == 2
+
+    def test_cvc_lower_replication_than_oec_at_scale(self, medium_rmat):
+        """§5.2: CVC keeps the replication factor lower at high host counts."""
+        oec = compute_metrics(OutgoingEdgeCut().partition(medium_rmat, 16))
+        cvc = compute_metrics(CartesianVertexCut().partition(medium_rmat, 16))
+        assert cvc.replication_factor < oec.replication_factor
+
+
+class TestVerifyPartition:
+    def test_valid_partition_is_clean(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        assert verify_partition(partitioned) == []
+        assert_partition_valid(partitioned)  # must not raise
+
+    def test_detects_wrong_strategy_claim(self, small_rmat):
+        """Claiming IEC for an OEC partition violates mirror invariants."""
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        partitioned.strategy = PartitionStrategy.IEC
+        violations = verify_partition(partitioned)
+        assert any("in-edges" in v for v in violations)
+
+    def test_detects_duplicate_master(self, tiny_edges):
+        assignment = EdgeAssignment(
+            2,
+            np.zeros(tiny_edges.num_nodes, dtype=np.int32),
+            np.zeros(tiny_edges.num_edges, dtype=np.int32),
+        )
+        partitioned = build_partitioned_graph(
+            tiny_edges, assignment, PartitionStrategy.OEC, "oec"
+        )
+        # Corrupt: pretend node 0's master lives on host 1.
+        partitioned.master_host[0] = 1
+        violations = verify_partition(partitioned)
+        assert violations  # owner mismatch and/or master count
+
+    def test_detects_edge_loss(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 2)
+        partitioned.num_global_edges += 1
+        violations = verify_partition(partitioned)
+        assert any("edge conservation" in v for v in violations)
+
+    def test_assert_raises_on_violation(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 2)
+        partitioned.num_global_edges += 1
+        with pytest.raises(PartitionError):
+            assert_partition_valid(partitioned)

@@ -1,0 +1,195 @@
+"""Tests for the concrete partitioning policies and their invariants (§3.1).
+
+Every policy is checked on several graph shapes with
+:func:`repro.partition.metrics.verify_partition`, which enforces the
+generic proxy invariants *and* the per-strategy structural invariants of
+Figure 3 — the properties Gluon's OSI optimization relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.partition import make_partitioner
+from repro.partition.cartesian import CartesianVertexCut, grid_shape
+from repro.partition.edge_cut import IncomingEdgeCut, OutgoingEdgeCut
+from repro.partition.hybrid import HybridVertexCut
+from repro.partition.metrics import verify_partition
+from repro.partition.random_cut import RandomEdgeCut
+
+POLICIES = ["oec", "iec", "cvc", "hvc", "random"]
+HOST_COUNTS = [1, 2, 3, 4, 8]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("num_hosts", HOST_COUNTS)
+def test_policy_invariants_on_rmat(small_rmat, policy, num_hosts):
+    partitioned = make_partitioner(policy).partition(small_rmat, num_hosts)
+    assert verify_partition(partitioned) == []
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_invariants_on_grid(small_grid, policy):
+    partitioned = make_partitioner(policy).partition(small_grid, 4)
+    assert verify_partition(partitioned) == []
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_invariants_on_path(small_path, policy):
+    partitioned = make_partitioner(policy).partition(small_path, 3)
+    assert verify_partition(partitioned) == []
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_single_host_has_no_mirrors(small_rmat, policy):
+    partitioned = make_partitioner(policy).partition(small_rmat, 1)
+    assert partitioned.partitions[0].num_mirrors == 0
+    assert partitioned.partitions[0].num_masters == small_rmat.num_nodes
+
+
+class TestOEC:
+    def test_mirrors_have_no_out_edges(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        for part in partitioned.partitions:
+            mirror_out = part.graph.out_degree()[part.num_masters :]
+            assert not np.any(mirror_out > 0)
+
+    def test_all_out_edges_at_master(self, small_rmat):
+        """Every out-edge of a node lives on its master's host."""
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        total_master_out = 0
+        for part in partitioned.partitions:
+            out_deg = part.graph.out_degree()
+            total_master_out += int(out_deg[: part.num_masters].sum())
+        assert total_master_out == small_rmat.num_edges
+
+    def test_chunks_are_contiguous(self, small_rmat):
+        partitioned = OutgoingEdgeCut().partition(small_rmat, 4)
+        owners = partitioned.master_host
+        # Contiguous blocks: owner sequence is non-decreasing.
+        assert np.all(np.diff(owners) >= 0)
+
+    def test_out_edge_balance(self, medium_rmat):
+        partitioned = OutgoingEdgeCut().partition(medium_rmat, 4)
+        per_host = [p.graph.num_edges for p in partitioned.partitions]
+        assert max(per_host) < 2.5 * (sum(per_host) / len(per_host))
+
+
+class TestIEC:
+    def test_mirrors_have_no_in_edges(self, small_rmat):
+        partitioned = IncomingEdgeCut().partition(small_rmat, 4)
+        for part in partitioned.partitions:
+            mirror_in = part.graph.in_degree()[part.num_masters :]
+            assert not np.any(mirror_in > 0)
+
+    def test_all_in_edges_at_master(self, small_rmat):
+        partitioned = IncomingEdgeCut().partition(small_rmat, 4)
+        total_master_in = 0
+        for part in partitioned.partitions:
+            in_deg = part.graph.in_degree()
+            total_master_in += int(in_deg[: part.num_masters].sum())
+        assert total_master_in == small_rmat.num_edges
+
+
+class TestCVC:
+    def test_grid_shape_near_square(self):
+        assert grid_shape(1) == (1, 1)
+        assert grid_shape(4) == (2, 2)
+        assert grid_shape(6) == (2, 3)
+        assert grid_shape(8) == (2, 4)
+        assert grid_shape(7) == (1, 7)  # prime: degenerate grid
+        assert grid_shape(16) == (4, 4)
+
+    def test_grid_shape_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+    def test_mirrors_never_have_both_directions(self, small_rmat):
+        partitioned = CartesianVertexCut().partition(small_rmat, 4)
+        for part in partitioned.partitions:
+            out_deg = part.graph.out_degree()[part.num_masters :]
+            in_deg = part.graph.in_degree()[part.num_masters :]
+            assert not np.any((out_deg > 0) & (in_deg > 0))
+
+    def test_edges_follow_grid_placement(self, small_rmat):
+        """Edge (u,v) lands on (row(owner(u)), col(owner(v)))."""
+        num_hosts = 6
+        partitioned = CartesianVertexCut().partition(small_rmat, num_hosts)
+        rows, cols = grid_shape(num_hosts)
+        owner = partitioned.master_host
+        for part in partitioned.partitions:
+            src, dst = part.graph.edges()
+            src_gid = part.local_to_global[src]
+            dst_gid = part.local_to_global[dst]
+            expected = (owner[src_gid] // cols) * cols + (owner[dst_gid] % cols)
+            assert np.all(expected == part.host)
+
+    def test_replication_bounded_by_grid(self, medium_rmat):
+        """A node has proxies only on its master's grid row and column."""
+        num_hosts = 16
+        partitioned = CartesianVertexCut().partition(medium_rmat, num_hosts)
+        rows, cols = grid_shape(num_hosts)
+        max_proxies = rows + cols - 1
+        proxy_count = np.zeros(medium_rmat.num_nodes, dtype=np.int64)
+        for part in partitioned.partitions:
+            proxy_count[part.local_to_global] += 1
+        assert proxy_count.max() <= max_proxies
+
+
+class TestHVC:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HybridVertexCut(threshold_factor=0)
+
+    def test_low_degree_edges_live_with_destination(self, small_er):
+        """With a huge threshold, HVC degenerates to an incoming edge cut."""
+        partitioned = HybridVertexCut(threshold_factor=1e9).partition(
+            small_er, 4
+        )
+        owner = partitioned.master_host
+        for part in partitioned.partitions:
+            src, dst = part.graph.edges()
+            dst_gid = part.local_to_global[dst]
+            assert np.all(owner[dst_gid] == part.host)
+
+    def test_hub_in_edges_are_cut(self, small_rmat):
+        """High in-degree nodes have their in-edges spread across hosts."""
+        partitioned = HybridVertexCut(threshold_factor=2.0).partition(
+            small_rmat, 4
+        )
+        # Mirrors with in-edges exist <=> some hub's in-edges were cut.
+        mirrors_with_in = 0
+        for part in partitioned.partitions:
+            in_deg = part.graph.in_degree()[part.num_masters :]
+            mirrors_with_in += int((in_deg > 0).sum())
+        assert mirrors_with_in > 0
+
+
+class TestRandomCut:
+    def test_deterministic_for_seed(self, small_rmat):
+        a = RandomEdgeCut(seed=5).partition(small_rmat, 4)
+        b = RandomEdgeCut(seed=5).partition(small_rmat, 4)
+        assert np.array_equal(a.master_host, b.master_host)
+
+    def test_different_seeds_differ(self, small_rmat):
+        a = RandomEdgeCut(seed=5).partition(small_rmat, 4)
+        b = RandomEdgeCut(seed=6).partition(small_rmat, 4)
+        assert not np.array_equal(a.master_host, b.master_host)
+
+    def test_out_edges_at_master(self, small_rmat):
+        partitioned = RandomEdgeCut(seed=1).partition(small_rmat, 4)
+        for part in partitioned.partitions:
+            mirror_out = part.graph.out_degree()[part.num_masters :]
+            assert not np.any(mirror_out > 0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in POLICIES:
+            assert make_partitioner(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_partitioner("CVC").name == "cvc"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("metis")

@@ -1,0 +1,79 @@
+"""Unit tests for repro.partition.strategy legality rules (§3.1)."""
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.partition.strategy import (
+    DataFlow,
+    OperatorClass,
+    PartitionStrategy,
+    check_strategy_legal,
+)
+
+
+class TestPushLegality:
+    @pytest.mark.parametrize("strategy", list(PartitionStrategy))
+    def test_reduction_single_value_push_always_legal(self, strategy):
+        check_strategy_legal(
+            strategy, OperatorClass.PUSH, is_reduction=True
+        )  # must not raise
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [PartitionStrategy.UVC, PartitionStrategy.CVC, PartitionStrategy.IEC],
+    )
+    def test_non_single_value_push_requires_oec(self, strategy):
+        with pytest.raises(StrategyError):
+            check_strategy_legal(
+                strategy,
+                OperatorClass.PUSH,
+                is_reduction=True,
+                single_value_push=False,
+            )
+
+    def test_oec_allows_non_single_value_push(self):
+        check_strategy_legal(
+            PartitionStrategy.OEC,
+            OperatorClass.PUSH,
+            is_reduction=True,
+            single_value_push=False,
+        )
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [PartitionStrategy.UVC, PartitionStrategy.CVC, PartitionStrategy.IEC],
+    )
+    def test_non_reduction_push_requires_oec(self, strategy):
+        with pytest.raises(StrategyError):
+            check_strategy_legal(
+                strategy, OperatorClass.PUSH, is_reduction=False
+            )
+
+
+class TestPullLegality:
+    @pytest.mark.parametrize("strategy", list(PartitionStrategy))
+    def test_reduction_pull_always_legal(self, strategy):
+        check_strategy_legal(strategy, OperatorClass.PULL, is_reduction=True)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [PartitionStrategy.UVC, PartitionStrategy.CVC, PartitionStrategy.OEC],
+    )
+    def test_non_reduction_pull_requires_iec(self, strategy):
+        with pytest.raises(StrategyError):
+            check_strategy_legal(
+                strategy, OperatorClass.PULL, is_reduction=False
+            )
+
+    def test_iec_allows_non_reduction_pull(self):
+        check_strategy_legal(
+            PartitionStrategy.IEC, OperatorClass.PULL, is_reduction=False
+        )
+
+
+class TestEnums:
+    def test_strategy_values(self):
+        assert PartitionStrategy("oec") is PartitionStrategy.OEC
+
+    def test_dataflow_single_member(self):
+        assert DataFlow.SOURCE_TO_DESTINATION.value == "src->dst"

@@ -1,0 +1,171 @@
+"""Unit tests for the distributed executor."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.core.optimization import OptimizationLevel
+from repro.engines import make_engine
+from repro.errors import ExecutionError, StrategyError
+from repro.partition import make_partitioner
+from repro.runtime.executor import DistributedExecutor
+from repro.systems import prepare_input, run_app
+
+
+def build_executor(edges, app_name="bfs", policy="cvc", num_hosts=4, **kwargs):
+    prep = prepare_input(app_name, edges)
+    partitioned = make_partitioner(policy).partition(prep.edges, num_hosts)
+    return DistributedExecutor(
+        partitioned,
+        make_engine("galois"),
+        make_app(app_name),
+        prep.ctx,
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_run_produces_rounds(self, small_rmat):
+        result = build_executor(small_rmat).run()
+        assert result.num_rounds >= 1
+        assert result.converged
+        assert len(result.rounds[0].comp_time_per_host) == 4
+
+    def test_construction_traffic_separated(self, small_rmat):
+        result = build_executor(small_rmat).run()
+        assert result.construction_bytes > 0
+        # Memoization bytes do not count toward execution volume.
+        assert result.communication_volume < result.construction_bytes + sum(
+            r.comm_bytes for r in result.rounds
+        ) + 1
+
+    def test_max_rounds_caps_execution(self, small_rmat):
+        result = build_executor(small_rmat).run(max_rounds=1)
+        assert result.num_rounds == 1
+        assert not result.converged
+
+    def test_replication_factor_recorded(self, small_rmat):
+        result = build_executor(small_rmat).run()
+        assert result.replication_factor > 1.0
+
+    def test_sync_disabled_requires_single_host(self, small_rmat):
+        with pytest.raises(ExecutionError):
+            build_executor(small_rmat, num_hosts=2, enable_sync=False)
+
+    def test_sync_disabled_single_host_works(self, small_rmat):
+        from tests.conftest import reference_bfs
+
+        prep = prepare_input("bfs", small_rmat)
+        partitioned = make_partitioner("oec").partition(prep.edges, 1)
+        executor = DistributedExecutor(
+            partitioned,
+            make_engine("galois"),
+            make_app("bfs"),
+            prep.ctx,
+            enable_sync=False,
+        )
+        result = executor.run()
+        assert result.communication_volume == 0
+        got = executor.gather_result("dist").astype(np.uint64)
+        assert np.array_equal(got, reference_bfs(prep.edges, prep.ctx.source))
+
+    def test_sync_disabled_runs_hooks(self, small_rmat):
+        """Pagerank's master-side apply must run even without sync."""
+        from tests.conftest import reference_pagerank
+
+        prep = prepare_input("pr", small_rmat)
+        partitioned = make_partitioner("oec").partition(prep.edges, 1)
+        executor = DistributedExecutor(
+            partitioned,
+            make_engine("ligra"),
+            make_app("pr"),
+            prep.ctx,
+            enable_sync=False,
+        )
+        result = executor.run()
+        assert result.converged
+        np.testing.assert_allclose(
+            executor.gather_result("rank"),
+            reference_pagerank(small_rmat),
+            rtol=1e-9,
+        )
+
+    def test_illegal_strategy_rejected(self, small_rmat):
+        """A non-reduction pull operator cannot use OEC (§3.1)."""
+        prep = prepare_input("pr", small_rmat)
+        partitioned = make_partitioner("oec").partition(prep.edges, 2)
+        app = make_app("pr")
+        app_backup = app.is_reduction
+        try:
+            app.is_reduction = False
+            with pytest.raises(StrategyError):
+                DistributedExecutor(
+                    partitioned, make_engine("galois"), app, prep.ctx
+                )
+        finally:
+            app.is_reduction = app_backup
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, small_rmat):
+        a = build_executor(small_rmat).run()
+        b = build_executor(small_rmat).run()
+        assert a.num_rounds == b.num_rounds
+        assert a.communication_volume == b.communication_volume
+        assert a.communication_messages == b.communication_messages
+        # Simulated times are deterministic too (wall-clock is only in
+        # construction_time).
+        assert a.total_time == pytest.approx(b.total_time)
+
+    def test_per_round_traffic_deterministic(self, small_rmat):
+        a = build_executor(small_rmat).run()
+        b = build_executor(small_rmat).run()
+        assert [r.comm_bytes for r in a.rounds] == [
+            r.comm_bytes for r in b.rounds
+        ]
+
+
+class TestOptimizationLevels:
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_all_levels_converge_identically(self, small_rmat, level):
+        from tests.conftest import reference_bfs
+
+        prep = prepare_input("bfs", small_rmat)
+        executor = build_executor(small_rmat, level=level)
+        executor.run()
+        got = executor.gather_result("dist").astype(np.uint64)
+        assert np.array_equal(
+            got, reference_bfs(prep.edges, prep.ctx.source)
+        )
+
+    def test_temporal_levels_have_zero_translations(self, small_rmat):
+        result = build_executor(
+            small_rmat, level=OptimizationLevel.OSTI
+        ).run()
+        assert result.translations == 0
+
+    def test_unopt_translates(self, small_rmat):
+        result = build_executor(
+            small_rmat, level=OptimizationLevel.UNOPT
+        ).run()
+        assert result.translations > 0
+
+
+class TestGpuAccounting:
+    def test_gpu_device_transfer_adds_comm_time(self, small_rmat):
+        prep = prepare_input("bfs", small_rmat)
+        partitioned = make_partitioner("cvc").partition(prep.edges, 4)
+
+        def run_with(engine_name):
+            executor = DistributedExecutor(
+                partitioned,
+                make_engine(engine_name),
+                make_app("bfs"),
+                prep.ctx,
+            )
+            return executor.run()
+
+        gpu = run_with("irgl")
+        assert gpu.converged
+        # Same traffic, nonzero device transfer folded into comm time.
+        assert gpu.communication_time > 0

@@ -1,0 +1,181 @@
+"""Tests for mid-run repartitioning (§4.1 footnote) and resumable runs."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.engines import make_engine
+from repro.errors import ExecutionError
+from repro.partition import make_partitioner
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.migration import gather_global, migrate_states
+from repro.systems import prepare_input
+from tests.conftest import reference_bfs, reference_pagerank, reference_sssp
+
+
+def build(edges, app_name, policy, num_hosts=4, engine="galois"):
+    prep = prepare_input(app_name, edges)
+    partitioned = make_partitioner(policy).partition(prep.edges, num_hosts)
+    executor = DistributedExecutor(
+        partitioned, make_engine(engine), make_app(app_name), prep.ctx
+    )
+    return prep, executor
+
+
+class TestResume:
+    def test_run_resumes_after_round_cap(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "cvc")
+        partial = executor.run(max_rounds=1)
+        assert not partial.converged
+        final = executor.run()
+        assert final is partial  # same accumulated result object
+        assert final.converged
+        got = executor.gather_result("dist").astype(np.uint64)
+        assert np.array_equal(
+            got, reference_bfs(prep.edges, prep.ctx.source)
+        )
+
+    def test_resumed_rounds_are_contiguous(self, small_rmat):
+        _, executor = build(small_rmat, "bfs", "cvc")
+        executor.run(max_rounds=2)
+        result = executor.run()
+        indices = [record.round_index for record in result.rounds]
+        assert indices == list(range(1, len(indices) + 1))
+
+    def test_run_after_convergence_is_noop(self, small_rmat):
+        _, executor = build(small_rmat, "bfs", "cvc")
+        result = executor.run()
+        rounds_before = result.num_rounds
+        again = executor.run()
+        assert again.num_rounds == rounds_before
+
+    def test_resume_matches_single_shot(self, small_rmat):
+        """Splitting a run into resumed chunks changes nothing."""
+        _, chunked = build(small_rmat, "sssp", "cvc")
+        while not chunked.run(max_rounds=1).converged:
+            pass
+        _, single = build(small_rmat, "sssp", "cvc")
+        single_result = single.run()
+        chunked_result = chunked._result
+        assert chunked_result.num_rounds == single_result.num_rounds
+        assert (
+            chunked_result.communication_volume
+            == single_result.communication_volume
+        )
+        assert np.array_equal(
+            chunked.gather_result("dist"), single.gather_result("dist")
+        )
+
+
+class TestRepartition:
+    @pytest.mark.parametrize(
+        "app_name,key,oracle",
+        [
+            ("bfs", "dist", reference_bfs),
+            ("sssp", "dist", reference_sssp),
+        ],
+    )
+    def test_repartition_midrun_still_correct(
+        self, small_rmat, app_name, key, oracle
+    ):
+        prep, executor = build(small_rmat, app_name, "oec")
+        executor.run(max_rounds=2)
+        new_partitioned = make_partitioner("cvc").partition(prep.edges, 4)
+        executor.repartition(new_partitioned)
+        result = executor.run()
+        assert result.converged
+        assert result.policy == "cvc"
+        got = executor.gather_result(key).astype(np.uint64)
+        assert np.array_equal(got, oracle(prep.edges, prep.ctx.source))
+
+    def test_repartition_pagerank(self, small_rmat):
+        prep, executor = build(small_rmat, "pr", "iec", engine="ligra")
+        executor.run(max_rounds=5)
+        new_partitioned = make_partitioner("hvc").partition(prep.edges, 4)
+        executor.repartition(new_partitioned)
+        result = executor.run()
+        assert result.converged
+        got = executor.gather_result("rank")
+        expected = reference_pagerank(small_rmat)
+        np.testing.assert_allclose(got, expected, rtol=1e-6)
+
+    def test_repartition_cc_many_times(self, small_rmat):
+        from tests.conftest import reference_cc
+
+        prep, executor = build(small_rmat, "cc", "oec")
+        expected = reference_cc(prep.edges)
+        for policy in ("cvc", "hvc", "iec"):
+            if executor.run(max_rounds=1).converged:
+                break
+            executor.repartition(
+                make_partitioner(policy).partition(prep.edges, 4)
+            )
+        executor.run()
+        got = executor.gather_result("label").astype(np.uint64)
+        assert np.array_equal(got, expected)
+
+    def test_remomoization_traffic_counted(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "oec")
+        executor.run(max_rounds=1)
+        before = executor._result.construction_bytes
+        executor.repartition(
+            make_partitioner("cvc").partition(prep.edges, 4)
+        )
+        assert executor._result.construction_bytes > before
+
+    def test_repartition_before_run_rejected(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "oec")
+        with pytest.raises(ExecutionError, match="started"):
+            executor.repartition(
+                make_partitioner("cvc").partition(prep.edges, 4)
+            )
+
+    def test_repartition_after_convergence_rejected(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "oec")
+        executor.run()
+        with pytest.raises(ExecutionError, match="converged"):
+            executor.repartition(
+                make_partitioner("cvc").partition(prep.edges, 4)
+            )
+
+    def test_host_count_change_rejected(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "oec")
+        executor.run(max_rounds=1)
+        with pytest.raises(ExecutionError, match="host count"):
+            executor.repartition(
+                make_partitioner("cvc").partition(prep.edges, 8)
+            )
+
+    def test_non_migratable_app_rejected(self, small_rmat):
+        prep, executor = build(small_rmat, "kcore", "oec")
+        executor.run(max_rounds=1)
+        with pytest.raises(ExecutionError, match="migrated"):
+            executor.repartition(
+                make_partitioner("cvc").partition(prep.edges, 4)
+            )
+
+
+class TestMigrationPrimitives:
+    def test_gather_global_collects_masters(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "cvc")
+        executor.run(max_rounds=2)
+        global_dist = gather_global(
+            executor.partitioned, executor.states, "dist"
+        )
+        assert len(global_dist) == prep.edges.num_nodes
+        assert global_dist[prep.ctx.source] == 0
+
+    def test_migrate_states_preserves_masters(self, small_rmat):
+        prep, executor = build(small_rmat, "bfs", "cvc")
+        executor.run(max_rounds=2)
+        before = gather_global(executor.partitioned, executor.states, "dist")
+        new_partitioned = make_partitioner("hvc").partition(prep.edges, 4)
+        new_states = migrate_states(
+            executor.partitioned,
+            executor.states,
+            new_partitioned,
+            executor.app,
+            executor.ctx,
+        )
+        after = gather_global(new_partitioned, new_states, "dist")
+        assert np.array_equal(before, after)

@@ -1,0 +1,54 @@
+"""Unit tests for migration key selection."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.errors import ExecutionError
+from repro.partition import make_partitioner
+from repro.runtime.migration import migratable_keys, migrate_states
+from repro.systems import prepare_input
+
+
+class TestMigratableKeys:
+    def test_default_selects_node_sized_arrays(self):
+        app = make_app("bfs")
+        state = {
+            "dist": np.zeros(10, dtype=np.uint32),
+            "edge_cache": np.zeros(37, dtype=np.int64),  # edge-sized
+            "scalar": 3.0,
+            "matrix": np.zeros((10, 2)),
+        }
+        assert migratable_keys(app, state, num_nodes=10) == ["dist"]
+
+    def test_declared_attribute_wins(self):
+        app = make_app("bfs")
+        app_declared = type(app)()
+        app_declared.migratable_node_arrays = ("dist",)
+        state = {
+            "dist": np.zeros(10, dtype=np.uint32),
+            "other": np.zeros(10, dtype=np.uint32),
+        }
+        assert migratable_keys(app_declared, state, 10) == ["dist"]
+
+    def test_pagerank_keys_exclude_edge_caches(self, small_rmat):
+        prep = prepare_input("pr", small_rmat)
+        part = make_partitioner("cvc").partition(prep.edges, 3).partitions[0]
+        app = make_app("pr")
+        state = app.make_state(part, prep.ctx)
+        keys = set(migratable_keys(app, state, part.num_nodes))
+        assert {"rank", "contrib", "acc", "out_degree"} <= keys
+        assert "edge_src" not in keys
+        assert "edge_dst" not in keys
+
+
+class TestMigrateStatesValidation:
+    def test_node_count_mismatch_rejected(self, small_rmat, small_grid):
+        prep_a = prepare_input("bfs", small_rmat)
+        prep_b = prepare_input("bfs", small_grid)
+        old = make_partitioner("oec").partition(prep_a.edges, 2)
+        new = make_partitioner("oec").partition(prep_b.edges, 2)
+        app = make_app("bfs")
+        states = [app.make_state(p, prep_a.ctx) for p in old.partitions]
+        with pytest.raises(ExecutionError, match="same global node set"):
+            migrate_states(old, states, new, app, prep_a.ctx)

@@ -1,0 +1,43 @@
+"""Unit tests for overlap-headroom accounting."""
+
+import pytest
+
+from repro.runtime.stats import RoundRecord, RunResult
+
+
+def record(comp, comm):
+    return RoundRecord(
+        round_index=1,
+        comp_time_per_host=[comp],
+        comm_time=comm,
+        comm_bytes=0,
+        comm_messages=0,
+        active_nodes=0,
+    )
+
+
+def test_overlapped_time_is_per_round_max():
+    result = RunResult(system="s", app="a", policy="p", num_hosts=1)
+    result.rounds = [record(3.0, 1.0), record(1.0, 4.0)]
+    assert result.total_time == pytest.approx(9.0)
+    assert result.total_time_overlapped == pytest.approx(7.0)
+    assert result.overlap_headroom() == pytest.approx(2.0 / 9.0)
+
+
+def test_headroom_zero_when_one_phase_dominates_everywhere():
+    result = RunResult(system="s", app="a", policy="p", num_hosts=1)
+    result.rounds = [record(5.0, 0.0), record(2.0, 0.0)]
+    assert result.overlap_headroom() == pytest.approx(0.0)
+
+
+def test_headroom_bounded_by_half():
+    """max(a, b) >= (a + b)/2, so headroom can never exceed 50%."""
+    result = RunResult(system="s", app="a", policy="p", num_hosts=1)
+    result.rounds = [record(2.0, 2.0), record(1.0, 1.0)]
+    assert result.overlap_headroom() == pytest.approx(0.5)
+
+
+def test_empty_run():
+    result = RunResult(system="s", app="a", policy="p", num_hosts=1)
+    assert result.total_time_overlapped == 0.0
+    assert result.overlap_headroom() == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for run-level statistics."""
+
+import pytest
+
+from repro.runtime.stats import RoundRecord, RunResult
+
+
+def record(idx, comp, comm=0.0, nbytes=0, messages=0, active=0):
+    return RoundRecord(
+        round_index=idx,
+        comp_time_per_host=comp,
+        comm_time=comm,
+        comm_bytes=nbytes,
+        comm_messages=messages,
+        active_nodes=active,
+    )
+
+
+class TestRoundRecord:
+    def test_max_and_mean(self):
+        r = record(1, [1.0, 3.0, 2.0])
+        assert r.comp_time_max == 3.0
+        assert r.comp_time_mean == pytest.approx(2.0)
+
+    def test_empty_hosts(self):
+        r = record(1, [])
+        assert r.comp_time_max == 0.0
+        assert r.comp_time_mean == 0.0
+
+
+class TestRunResult:
+    def make(self):
+        result = RunResult(
+            system="d-galois", app="bfs", policy="cvc", num_hosts=2
+        )
+        result.rounds.append(record(1, [1.0, 2.0], comm=0.5, nbytes=100, messages=2))
+        result.rounds.append(record(2, [3.0, 1.0], comm=0.5, nbytes=50, messages=1))
+        return result
+
+    def test_aggregates(self):
+        result = self.make()
+        assert result.num_rounds == 2
+        assert result.computation_time == pytest.approx(5.0)
+        assert result.communication_time == pytest.approx(1.0)
+        assert result.total_time == pytest.approx(6.0)
+        assert result.communication_volume == 150
+        assert result.communication_messages == 3
+
+    def test_load_imbalance(self):
+        result = self.make()
+        # max sums: 2 + 3 = 5; mean sums: 1.5 + 2 = 3.5.
+        assert result.load_imbalance() == pytest.approx(5.0 / 3.5)
+
+    def test_balanced_run_has_imbalance_one(self):
+        result = RunResult(system="s", app="a", policy="p", num_hosts=2)
+        result.rounds.append(record(1, [2.0, 2.0]))
+        assert result.load_imbalance() == pytest.approx(1.0)
+
+    def test_empty_run(self):
+        result = RunResult(system="s", app="a", policy="p", num_hosts=1)
+        assert result.total_time == 0.0
+        assert result.load_imbalance() == 1.0
+
+    def test_summary_keys(self):
+        summary = self.make().summary()
+        assert summary["system"] == "d-galois"
+        assert summary["rounds"] == 2
+        assert summary["hosts"] == 2
+        assert "comm_MB" in summary

@@ -1,0 +1,53 @@
+"""Tests for run-trace export (round_rows / to_json)."""
+
+import json
+
+from repro import generators, run_app
+
+
+def small_result():
+    edges = generators.rmat(scale=8, edge_factor=4, seed=0)
+    return run_app("d-galois", "bfs", edges, num_hosts=2, policy="cvc")
+
+
+class TestRoundRows:
+    def test_one_row_per_round(self):
+        result = small_result()
+        rows = result.round_rows()
+        assert len(rows) == result.num_rounds
+        assert rows[0]["round"] == 1
+        assert rows[-1]["active_nodes"] == 0  # converged
+
+    def test_rows_sum_to_totals(self):
+        result = small_result()
+        rows = result.round_rows()
+        assert sum(r["comm_bytes"] for r in rows) == (
+            result.communication_volume
+        )
+        assert sum(r["messages"] for r in rows) == (
+            result.communication_messages
+        )
+
+
+class TestToJson:
+    def test_roundtrips_through_json(self):
+        result = small_result()
+        payload = json.loads(result.to_json())
+        assert payload["summary"]["system"] == "d-galois"
+        assert payload["summary"]["converged"] is True
+        assert len(payload["rounds"]) == result.num_rounds
+        assert payload["replication_factor"] == result.replication_factor
+        assert payload["construction"]["bytes"] > 0
+
+    def test_writes_to_path(self, tmp_path):
+        result = small_result()
+        target = tmp_path / "trace.json"
+        result.to_json(target)
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["app"] == "bfs"
+
+    def test_mode_counts_are_names(self):
+        result = small_result()
+        payload = json.loads(result.to_json())
+        for key in payload["mode_counts"]:
+            assert key in {"EMPTY", "FULL", "BITVEC", "INDICES", "GLOBAL_IDS"}

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "bfs",
+                "--workload", "rmat24s",
+                "--hosts", "8",
+                "--policy", "cvc",
+            ]
+        )
+        assert args.command == "run"
+        assert args.hosts == 8
+
+    def test_run_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--system", "spark", "--app", "bfs",
+                 "--workload", "rmat24s"]
+            )
+
+    def test_experiment_names_cover_all_tables_and_figures(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig8", "fig9", "fig10",
+            "replication", "imbalance", "rounds", "metadata", "policies",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "bfs",
+                "--workload", "rmat24s",
+                "--hosts", "2",
+                "--policy", "oec",
+                "--scale-delta", "-4",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+        assert "replication factor" in out
+
+    def test_run_with_level_and_fabric(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "cc",
+                "--workload", "kron25s",
+                "--hosts", "2",
+                "--level", "unopt",
+                "--scale-delta", "-4",
+                "--scaled-fabric",
+            ]
+        )
+        assert exit_code == 0
+        assert "address translations" in capsys.readouterr().out
+
+    def test_inputs_command(self, capsys):
+        assert main(["inputs"]) == 0
+        out = capsys.readouterr().out
+        assert "rmat24s" in out and "wdc12s" in out
+
+    def test_analyze_command(self, capsys):
+        assert main(["analyze", "sssp"]) == 0
+        out = capsys.readouterr().out
+        assert "oec: reduce" in out
+        assert "iec: broadcast" in out
+
+    def test_experiment_metadata(self, capsys):
+        assert main(["experiment", "metadata"]) == 0
+        out = capsys.readouterr().out
+        assert "BITVEC" in out
+
+    def test_experiment_with_scale_delta(self, capsys):
+        assert main(
+            ["experiment", "replication", "--scale-delta", "-3"]
+        ) == 0
+        assert "gemini" in capsys.readouterr().out

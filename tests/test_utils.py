@@ -1,0 +1,84 @@
+"""Unit tests for repro.utils and the top-level package surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.utils.rng import make_rng, split_seed
+from repro.utils.validation import (
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_rng(-1)
+
+    def test_split_seed_deterministic(self):
+        assert split_seed(1, 2) == split_seed(1, 2)
+
+    def test_split_seed_streams_differ(self):
+        children = {split_seed(7, stream) for stream in range(100)}
+        assert len(children) == 100
+
+    def test_split_seed_seeds_differ(self):
+        assert split_seed(1, 0) != split_seed(2, 0)
+
+    def test_split_seed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            split_seed(-1, 0)
+        with pytest.raises(ValueError):
+            split_seed(0, -1)
+
+    def test_split_seed_in_uint64_range(self):
+        for stream in range(20):
+            assert 0 <= split_seed(123, stream) < 2**64
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_index(self):
+        check_index("i", 0, 5)
+        check_index("i", 4, 5)
+        with pytest.raises(IndexError):
+            check_index("i", 5, 5)
+        with pytest.raises(IndexError):
+            check_index("i", -1, 5)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_api(self):
+        edges = repro.generators.rmat(scale=7, edge_factor=4, seed=0)
+        result = repro.run_app("d-galois", "bfs", edges, num_hosts=2)
+        assert result.converged
