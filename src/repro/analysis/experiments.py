@@ -692,3 +692,87 @@ def policy_autotuning_rows(
             row["best"] = best[1]
             rows.append(row)
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Resilience — fault injection + recovery overhead (new subsystem)
+# ---------------------------------------------------------------------------
+
+#: Per-app result key for bitwise comparison across recovery modes.
+_RESULT_KEY = {"bfs": "dist", "sssp": "dist", "cc": "label", "pr": "rank"}
+
+
+def resilience_rows(
+    scale_delta: int = 0,
+    workload: str = "rmat22s",
+    num_hosts: int = 4,
+    apps: Sequence[str] = ("bfs", "pr"),
+) -> List[Dict]:
+    """No-fault vs fault+restart vs fault+confined, per application.
+
+    Each faulty run crashes host 1 mid-execution and must still produce a
+    result *bitwise identical* to the fault-free run (also oracle-checked);
+    the rows report what that survival cost in checkpoints, recovery
+    traffic, and simulated time.
+    """
+    import numpy as np
+
+    from repro.resilience import CrashFault, FaultPlan, ResilienceConfig
+    from repro.verify import verify_run
+
+    edges = load_workload(workload, scale_delta)
+    network = bench_network("d-galois", num_hosts)
+    rows: List[Dict] = []
+    for app in apps:
+        baseline = run_app(
+            "d-galois", app, edges, num_hosts=num_hosts, network=network
+        )
+        verify_run(baseline, edges)
+        key = _RESULT_KEY[app]
+        canonical = baseline.executor.gather_result(key)
+        crash_round = max(2, baseline.num_rounds // 2)
+        plan = FaultPlan(
+            crashes=(CrashFault(host=1, round_index=crash_round),), seed=17
+        )
+        variants = [("no-fault", None, baseline)]
+        for mode in ("restart", "confined"):
+            config = ResilienceConfig(
+                plan=plan,
+                checkpoint_every=max(1, crash_round - 1),
+                recovery=mode,
+            )
+            result = run_app(
+                "d-galois",
+                app,
+                edges,
+                num_hosts=num_hosts,
+                network=network,
+                resilience=config,
+            )
+            verify_run(result, edges)
+            values = result.executor.gather_result(key)
+            if not np.array_equal(values, canonical):
+                raise AssertionError(
+                    f"{app} under {mode} recovery diverged from the "
+                    "fault-free run"
+                )
+            variants.append((mode, config, result))
+        for label, config, result in variants:
+            event = result.recovery_events[0] if result.recovery_events else {}
+            rows.append(
+                {
+                    "app": app,
+                    "variant": label,
+                    "mode": event.get("mode", "-"),
+                    "rounds": result.num_rounds,
+                    "crash_round": crash_round if config else "-",
+                    "recoveries": result.num_recoveries,
+                    "replayed": event.get("replayed_rounds", 0),
+                    "time_s": round(result.total_time_resilient, 6),
+                    "comm_MB": round(result.communication_volume / 1e6, 3),
+                    "recovery_MB": round(result.recovery_bytes / 1e6, 3),
+                    "ckpt_MB": round(result.checkpoint_bytes / 1e6, 3),
+                    "identical": True,
+                }
+            )
+    return rows

@@ -20,7 +20,9 @@ from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.apps import APP_BY_NAME
 from repro.core.optimization import OptimizationLevel
+from repro.errors import FaultPlanError
 from repro.partition import PARTITIONER_BY_NAME
+from repro.resilience import RECOVERY_MODES, FaultPlan, ResilienceConfig
 from repro.systems import ALL_SYSTEMS, run_app
 from repro.workloads import WORKLOAD_NAMES, load_workload
 
@@ -39,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "rounds": experiments.round_count_rows,
     "metadata": experiments.metadata_mode_rows,
     "policies": experiments.policy_autotuning_rows,
+    "resilience": experiments.resilience_rows,
 }
 
 
@@ -84,6 +87,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the benchmark harness's scaled network model",
     )
+    run_cmd.add_argument(
+        "--inject-fault",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault plan, e.g. 'crash:1@3' or "
+            "'crash:0@2,drop:0.01,corrupt:0.005,dup:0.01'"
+        ),
+    )
+    run_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the transient-fault RNG (default: 0)",
+    )
+    run_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot executor state every N rounds (N >= 1)",
+    )
+    run_cmd.add_argument(
+        "--recovery",
+        choices=RECOVERY_MODES,
+        default="restart",
+        help="crash recovery protocol (default: restart)",
+    )
+    run_cmd.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="store checkpoints on disk here instead of in memory",
+    )
 
     exp_cmd = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -113,12 +149,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _validate_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject malformed flag values with a friendly parser error."""
+    if args.command != "run":
+        return
+    if args.hosts < 1:
+        parser.error(
+            f"--hosts must be at least 1, got {args.hosts}"
+        )
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error(
+            "--checkpoint-every must be at least 1 round, got "
+            f"{args.checkpoint_every}"
+        )
+
+
+def _resilience_config(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> Optional[ResilienceConfig]:
+    """Build the ResilienceConfig the run flags describe (None = plain run)."""
+    wants_resilience = (
+        args.inject_fault is not None
+        or args.checkpoint_every is not None
+        or args.checkpoint_dir is not None
+    )
+    if not wants_resilience:
+        return None
+    plan = None
+    if args.inject_fault is not None:
+        try:
+            plan = FaultPlan.parse(args.inject_fault, seed=args.fault_seed)
+            plan.validate_hosts(args.hosts)
+        except FaultPlanError as exc:
+            parser.error(f"--inject-fault: {exc}")
+        if plan.is_empty:
+            parser.error(
+                f"--inject-fault: spec {args.inject_fault!r} injects no "
+                "faults (expected crash:HOST@ROUND, drop:RATE, "
+                "corrupt:RATE, or dup:RATE clauses)"
+            )
+    return ResilienceConfig(
+        plan=plan,
+        checkpoint_every=args.checkpoint_every or 0,
+        recovery=args.recovery,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+
+def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     edges = load_workload(args.workload, args.scale_delta)
     level = OptimizationLevel.from_name(args.level) if args.level else None
     network = None
     if args.scaled_fabric:
         network = experiments.bench_network(args.system, args.hosts)
+    resilience = _resilience_config(parser, args)
     result = run_app(
         args.system,
         args.app,
@@ -127,6 +213,7 @@ def _command_run(args: argparse.Namespace) -> int:
         policy=args.policy,
         level=level,
         network=network,
+        resilience=resilience,
     )
     print(format_table([result.summary()], title="run summary"))
     print(f"replication factor : {result.replication_factor:.3f}")
@@ -135,6 +222,19 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"load imbalance     : {result.load_imbalance():.2f} (max/mean)")
     if result.translations:
         print(f"address translations: {result.translations}")
+    if result.num_checkpoints:
+        print(
+            f"checkpoints        : {result.num_checkpoints} taken, "
+            f"{result.checkpoint_bytes/1e3:.1f} KB, "
+            f"{result.checkpoint_time*1e3:.2f} ms"
+        )
+    for event in result.recovery_events:
+        print(
+            f"recovery           : round {event['round']} "
+            f"hosts={event['hosts']} mode={event['mode']} "
+            f"restored_round={event['restored_round']} "
+            f"{event['recovery_bytes']/1e3:.1f} KB"
+        )
     return 0
 
 
@@ -216,9 +316,11 @@ def _command_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate_args(parser, args)
     handlers = {
-        "run": _command_run,
+        "run": lambda a: _command_run(a, parser),
         "experiment": _command_experiment,
         "inputs": _command_inputs,
         "analyze": _command_analyze,

@@ -18,19 +18,28 @@ Bodies:
 * ``BITVEC`` — u32 bit count, packed bit-vector, then one value per set bit.
 * ``INDICES`` — u32 count, ``count`` u32 positions, then ``count`` values.
 * ``GLOBAL_IDS`` — u32 count, ``count`` u32 global IDs, then values.
+
+The resilience subsystem additionally wraps each message in an integrity
+*frame* (see :func:`frame_payload`): a u64 sequence number plus a CRC-32
+of sequence number and body.  The frame lets the fault-injecting
+transport detect payload corruption (checksum mismatch) and discard
+duplicated deliveries (repeated sequence numbers).  The plain
+:class:`~repro.network.transport.InProcessTransport` never frames — the
+byte counts of the paper's figures stay exact.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.bitvector import BitVector
 from repro.core.metadata import MetadataMode
-from repro.errors import SerializationError
+from repro.errors import ChecksumError, SerializationError
 
 _DTYPE_CODES = {
     np.dtype(np.uint32): 0,
@@ -180,3 +189,52 @@ def decode_message(payload: bytes) -> SyncMessage:
         values = np.frombuffer(body[ids_bytes:], dtype=dtype).copy()
         return SyncMessage(mode, values, selection)
     raise SerializationError(f"unhandled mode {mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# Integrity framing (resilience subsystem)
+# ---------------------------------------------------------------------------
+
+#: Frame layout: u64 sequence number, u32 CRC-32 of (sequence || payload).
+_FRAME_HEADER = struct.Struct("<QI")
+
+#: Bytes the frame adds on top of the payload.
+FRAME_OVERHEAD = _FRAME_HEADER.size
+
+
+def frame_payload(seq: int, payload: bytes) -> bytes:
+    """Wrap ``payload`` in an integrity frame.
+
+    Args:
+        seq: transport-unique sequence number (deduplicates re-deliveries).
+        payload: the message body (any :func:`encode_message` output).
+    """
+    if seq < 0 or seq >= 1 << 64:
+        raise SerializationError(f"sequence number {seq} out of u64 range")
+    payload = bytes(payload)
+    seq_bytes = struct.pack("<Q", seq)
+    crc = zlib.crc32(payload, zlib.crc32(seq_bytes))
+    return _FRAME_HEADER.pack(seq, crc) + payload
+
+
+def unframe_payload(frame: bytes) -> Tuple[int, bytes]:
+    """Unwrap an integrity frame; returns ``(seq, payload)``.
+
+    Raises:
+        ChecksumError: the frame is truncated or its CRC does not match —
+            the payload was corrupted in flight.
+    """
+    frame = bytes(frame)
+    if len(frame) < FRAME_OVERHEAD:
+        raise ChecksumError(
+            f"frame too short: {len(frame)} bytes < {FRAME_OVERHEAD}"
+        )
+    seq, crc = _FRAME_HEADER.unpack_from(frame, 0)
+    payload = frame[FRAME_OVERHEAD:]
+    expected = zlib.crc32(payload, zlib.crc32(frame[:8]))
+    if crc != expected:
+        raise ChecksumError(
+            f"checksum mismatch on frame seq={seq}: "
+            f"expected {expected:#010x}, got {crc:#010x}"
+        )
+    return seq, payload

@@ -32,8 +32,34 @@ class TransportError(ReproError):
     """Raised for misuse of the simulated network transport."""
 
 
+class HostCrashedError(TransportError):
+    """Raised when a transport operation touches a crashed host.
+
+    Attributes:
+        host: The dead host's id.
+    """
+
+    def __init__(self, host: int, message: str = "") -> None:
+        self.host = host
+        super().__init__(
+            message or f"host {host} crashed and is no longer reachable"
+        )
+
+
 class SerializationError(ReproError):
     """Raised when a wire message cannot be encoded or decoded."""
+
+
+class ChecksumError(SerializationError):
+    """Raised when a framed payload fails its integrity checksum."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be saved, validated, or restored."""
+
+
+class FaultPlanError(ReproError):
+    """Raised for a malformed fault-injection plan."""
 
 
 class SyncError(ReproError):

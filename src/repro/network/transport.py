@@ -5,13 +5,20 @@ runs hosts in BSP phases, so delivery is immediate: every host finishes its
 sends for a phase before any host drains its mailbox.  All traffic is
 recorded in a :class:`~repro.network.stats.CommStats` for exact volume
 accounting.
+
+Hosts can be *crashed* (:meth:`InProcessTransport.crash`) by the
+resilience subsystem's fault injector: a crashed host's queued mail is
+discarded and any further operation touching it raises
+:class:`~repro.errors.HostCrashedError` naming the dead host — the
+simulated analogue of a connection reset, and the signal the executor's
+recovery protocols react to.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from repro.errors import TransportError
+from repro.errors import HostCrashedError, TransportError
 from repro.network.stats import CommStats
 
 
@@ -26,6 +33,7 @@ class InProcessTransport:
         self._mailboxes: List[List[Tuple[int, bytes]]] = [
             [] for _ in range(num_hosts)
         ]
+        self._dead: Set[int] = set()
 
     def send(self, src: int, dst: int, payload: bytes) -> None:
         """Send ``payload`` from host ``src`` to host ``dst``.
@@ -35,6 +43,8 @@ class InProcessTransport:
         """
         self._check_host(src)
         self._check_host(dst)
+        self._check_alive(src)
+        self._check_alive(dst)
         if src == dst:
             raise TransportError(f"host {src} attempted to send to itself")
         if not isinstance(payload, (bytes, bytearray, memoryview)):
@@ -48,6 +58,7 @@ class InProcessTransport:
     def receive_all(self, host: int) -> List[Tuple[int, bytes]]:
         """Drain and return all (sender, payload) pairs queued for ``host``."""
         self._check_host(host)
+        self._check_alive(host)
         inbox = self._mailboxes[host]
         self._mailboxes[host] = []
         return inbox
@@ -55,7 +66,29 @@ class InProcessTransport:
     def pending(self, host: int) -> int:
         """Number of undelivered messages queued for ``host``."""
         self._check_host(host)
+        self._check_alive(host)
         return len(self._mailboxes[host])
+
+    def crash(self, host: int) -> None:
+        """Mark ``host`` dead; its queued mail becomes dead letters.
+
+        Subsequent sends to/from the host and receives on it raise
+        :class:`~repro.errors.HostCrashedError` carrying the dead host's
+        id.  Crashing an already-dead host is a no-op.
+        """
+        self._check_host(host)
+        self._dead.add(host)
+        self._mailboxes[host] = []
+
+    def is_crashed(self, host: int) -> bool:
+        """Whether ``host`` has been crashed."""
+        self._check_host(host)
+        return host in self._dead
+
+    @property
+    def crashed_hosts(self) -> frozenset:
+        """The set of crashed host ids."""
+        return frozenset(self._dead)
 
     def end_round(self) -> None:
         """Mark a BSP round boundary in the statistics.
@@ -75,3 +108,7 @@ class InProcessTransport:
             raise TransportError(
                 f"host {host} out of range [0, {self.num_hosts})"
             )
+
+    def _check_alive(self, host: int) -> None:
+        if host in self._dead:
+            raise HostCrashedError(host)

@@ -24,6 +24,10 @@ from repro.network.cost_model import CostModel, LCI_PARAMETERS, NetworkParameter
 from repro.network.transport import InProcessTransport
 from repro.partition.base import PartitionedGraph
 from repro.partition.strategy import check_strategy_legal
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.faults import FaultInjector
+from repro.resilience.recovery import ResilienceConfig, recover
+from repro.resilience.transport import FaultyTransport
 from repro.runtime.stats import RoundRecord, RunResult
 from repro.runtime.timing import round_communication_time
 
@@ -57,6 +61,7 @@ class DistributedExecutor:
         network: NetworkParameters = LCI_PARAMETERS,
         enable_sync: bool = True,
         system_name: Optional[str] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
@@ -96,13 +101,30 @@ class DistributedExecutor:
         # Substrate stats carried over from before a repartition.
         self._carried_translations = 0
         self._carried_mode_counts: Dict = {}
+        # -- resilience (fault injection + checkpointing + recovery) -------
+        self.resilience = resilience
+        self.fault_injector: Optional[FaultInjector] = None
+        self.checkpoints: Optional[CheckpointManager] = None
+        if resilience is not None:
+            if resilience.plan is not None and not resilience.plan.is_empty:
+                resilience.plan.validate_hosts(partitioned.num_hosts)
+                self.fault_injector = FaultInjector(resilience.plan)
+            self.checkpoints = resilience.make_checkpoint_manager()
+        # Recovery accounting waiting to be attached to the next round.
+        self._pending_recovery = (0, 0.0)
 
     # -- setup ------------------------------------------------------------------
+
+    def _make_transport(self, num_hosts: int) -> InProcessTransport:
+        """The cluster fabric: faulty when a fault plan is injected."""
+        if self.fault_injector is not None:
+            return FaultyTransport(num_hosts, self.fault_injector)
+        return InProcessTransport(num_hosts)
 
     def _setup(self, result: RunResult) -> None:
         started = time.perf_counter()
         num_hosts = self.partitioned.num_hosts
-        self.transport = InProcessTransport(num_hosts)
+        self.transport = self._make_transport(num_hosts)
         if self.enable_sync:
             self.substrates = setup_substrates(
                 self.partitioned, self.transport, self.level
@@ -144,14 +166,24 @@ class DistributedExecutor:
                 num_hosts=self.partitioned.num_hosts,
             )
             self._setup(self._result)
+            # The recovery protocols need a round-0 baseline to roll back
+            # to even before the first periodic snapshot is due.
+            self._maybe_checkpoint(0, force=True)
         result = self._result
         if result.converged:
             return result
-        frontiers = self._frontiers
         parts = self.partitioned.partitions
         num_hosts = len(parts)
-        start_round = result.num_rounds + 1
-        for round_index in range(start_round, start_round + max_rounds):
+        executed = 0
+        while executed < max_rounds:
+            executed += 1
+            round_index = result.num_rounds + 1
+            if self.fault_injector is not None:
+                crashed = self.fault_injector.take_crashes(round_index)
+                if crashed:
+                    self._survive_crash(crashed, round_index)
+                    continue
+            frontiers = self._frontiers
             outcomes = [
                 self.engines[h].compute_round(
                     self.app, parts[h], self.states[h], frontiers[h]
@@ -176,10 +208,14 @@ class DistributedExecutor:
                 self._synchronize(outcomes, next_frontiers)
             else:
                 self._apply_hooks_locally(next_frontiers)
+            fault_bytes = self._take_round_fault_bytes()
             comm_time, comm_bytes, comm_messages = self._close_round(
                 comp_times, pre_translations
             )
             active = sum(int(f.sum()) for f in next_frontiers)
+            recovery_bytes, recovery_time = self._pending_recovery
+            self._pending_recovery = (0, 0.0)
+            result.recovery_bytes += fault_bytes
             result.rounds.append(
                 RoundRecord(
                     round_index=round_index,
@@ -188,14 +224,15 @@ class DistributedExecutor:
                     comm_bytes=comm_bytes,
                     comm_messages=comm_messages,
                     active_nodes=active,
+                    recovery_bytes=recovery_bytes + fault_bytes,
+                    recovery_time=recovery_time,
                 )
             )
             if self.app.uses_frontier:
                 if active == 0:
                     result.converged = True
                     break
-                frontiers = next_frontiers
-                self._frontiers = frontiers
+                self._frontiers = next_frontiers
             else:
                 residual_sum = sum(
                     self.app.local_residual(state) for state in self.states
@@ -205,8 +242,98 @@ class DistributedExecutor:
                 ):
                     result.converged = True
                     break
+            self._maybe_checkpoint(round_index)
         self._finalize(result)
         return result
+
+    # -- resilience (fault injection + checkpointing + recovery) ------------------
+
+    def _survive_crash(self, crashed: List[int], round_index: int) -> None:
+        """Kill the crashed hosts, then run the configured recovery."""
+        result = self._result
+        self._kill_hosts(crashed)
+        event = recover(self, crashed, round_index)
+        result.num_recoveries += 1
+        result.recovery_bytes += event.recovery_bytes
+        result.recovery_time += event.recovery_time
+        result.recovery_events.append(event.row())
+        pending_bytes, pending_time = self._pending_recovery
+        self._pending_recovery = (
+            pending_bytes + event.recovery_bytes,
+            pending_time + event.recovery_time,
+        )
+
+    def _kill_hosts(self, crashed: List[int]) -> None:
+        """Simulate fail-stop loss of the hosts' memory and connectivity."""
+        for host in crashed:
+            if self.transport is not None:
+                self.transport.crash(host)
+            self.states[host] = None
+            self.fields[host] = None
+            self._frontiers[host] = None
+
+    def _maybe_checkpoint(self, round_index: int, force: bool = False) -> None:
+        """Snapshot the execution if a checkpoint is due (or forced)."""
+        if self.checkpoints is None:
+            return
+        if not force and not self.checkpoints.due(round_index):
+            return
+        snapshot = {
+            "round": round_index,
+            "app": self.app.name,
+            "policy": self.partitioned.policy_name,
+            "num_hosts": self.partitioned.num_hosts,
+            "num_global_nodes": self.partitioned.num_global_nodes,
+            "states": self.states,
+            "frontiers": self._frontiers,
+            "injector_rng": (
+                self.fault_injector.rng_state()
+                if self.fault_injector is not None
+                else None
+            ),
+        }
+        record = self.checkpoints.save(snapshot)
+        result = self._result
+        result.num_checkpoints += 1
+        result.checkpoint_bytes += record.nbytes
+        result.checkpoint_time += record.save_time_s
+
+    def _take_round_fault_bytes(self) -> int:
+        """Drain the transient-fault overhead bytes of the open round."""
+        if isinstance(self.transport, FaultyTransport):
+            return self.transport.take_round_fault_bytes()
+        return 0
+
+    def _rebuild_communication(self):
+        """Rebirth the fabric: new transport, fresh memoization exchange.
+
+        Returns ``(bytes, simulated_time)`` of the exchange — the price of
+        rebuilding communication state after a crash, priced with the same
+        alpha-beta model as regular rounds.
+        """
+        num_hosts = self.partitioned.num_hosts
+        self._carry_substrate_stats()
+        self.transport = self._make_transport(num_hosts)
+        if not self.enable_sync:
+            self.substrates = []
+            return 0, 0.0
+        self.substrates = setup_substrates(
+            self.partitioned, self.transport, self.level
+        )
+        return self._close_recovery_exchange()
+
+    def _close_recovery_exchange(self):
+        """Close a recovery-traffic round; returns (bytes, simulated_time)."""
+        traffic = self.transport.stats.current_round
+        nbytes = traffic.total_bytes
+        sim_time = round_communication_time(
+            traffic,
+            self.partitioned.num_hosts,
+            self.cost_model,
+            [0.0] * self.partitioned.num_hosts,
+        )
+        self.transport.end_round()
+        return nbytes, sim_time
 
     # -- repartitioning (§4.1 footnote) --------------------------------------------
 
@@ -244,7 +371,7 @@ class DistributedExecutor:
             self.partitioned, self.states, new_partitioned, self.app, self.ctx
         )
         self.partitioned = new_partitioned
-        self.transport = InProcessTransport(new_partitioned.num_hosts)
+        self.transport = self._make_transport(new_partitioned.num_hosts)
         if self.enable_sync:
             self.substrates = setup_substrates(
                 new_partitioned, self.transport, self.level
@@ -263,6 +390,10 @@ class DistributedExecutor:
         self._result.construction_time += time.perf_counter() - started
         self._result.policy = new_partitioned.policy_name
         self._result.replication_factor = new_partitioned.replication_factor()
+        # Checkpoints describe the old layout; restart the baseline.
+        if self.checkpoints is not None:
+            self.checkpoints.clear()
+            self._maybe_checkpoint(self._result.num_rounds, force=True)
 
     def _gather_frontier_global(self) -> np.ndarray:
         """Union the per-host frontiers into a global boolean mask."""

@@ -25,6 +25,12 @@ class RoundRecord:
     comm_bytes: int
     comm_messages: int
     active_nodes: int
+    #: Extra bytes resilience cost this round: transient-fault
+    #: retransmissions plus, on the round a recovery completed, the
+    #: recovery exchange itself.
+    recovery_bytes: int = 0
+    #: Simulated time of recovery communication attributed to this round.
+    recovery_time: float = 0.0
 
     @property
     def comp_time_max(self) -> float:
@@ -54,6 +60,20 @@ class RunResult:
     translations: int = 0
     mode_counts: Dict[MetadataMode, int] = field(default_factory=dict)
     replication_factor: float = 0.0
+    # -- resilience accounting (zero unless the run was made failable) --------
+    #: Bytes spent on resilience: fault retransmissions plus recovery
+    #: exchanges (memoization rebuilds, healing rounds).
+    recovery_bytes: int = 0
+    #: Simulated communication time of the recovery exchanges.
+    recovery_time: float = 0.0
+    #: Completed recoveries (one per surviving crash).
+    num_recoveries: int = 0
+    #: Flat rows describing each recovery (see RecoveryEvent.row()).
+    recovery_events: List[Dict] = field(default_factory=list)
+    #: Snapshots taken, their serialized volume, and save wall-clock.
+    num_checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_time: float = 0.0
 
     @property
     def num_rounds(self) -> int:
@@ -121,9 +141,18 @@ class RunResult:
             return 1.0
         return self.computation_time / total_mean
 
+    @property
+    def total_time_resilient(self) -> float:
+        """End-to-end simulated time including recovery communication."""
+        return self.total_time + self.recovery_time
+
     def summary(self) -> dict:
-        """One flat dict row for benchmark tables."""
-        return {
+        """One flat dict row for benchmark tables.
+
+        Resilience columns appear only when the run actually checkpointed
+        or recovered, so fault-free tables keep the paper's shape.
+        """
+        row = {
             "system": self.system,
             "app": self.app,
             "policy": self.policy,
@@ -135,6 +164,13 @@ class RunResult:
             "comm_MB": round(self.communication_volume / 1e6, 3),
             "converged": self.converged,
         }
+        if self.num_checkpoints or self.num_recoveries or self.recovery_bytes:
+            row["recoveries"] = self.num_recoveries
+            row["recovery_MB"] = round(self.recovery_bytes / 1e6, 3)
+            row["recovery_s"] = round(self.recovery_time, 6)
+            row["checkpoints"] = self.num_checkpoints
+            row["ckpt_MB"] = round(self.checkpoint_bytes / 1e6, 3)
+        return row
 
     def round_rows(self) -> List[dict]:
         """Per-round trace rows (for plotting or offline analysis)."""
@@ -147,6 +183,8 @@ class RunResult:
                 "comm_bytes": record.comm_bytes,
                 "messages": record.comm_messages,
                 "active_nodes": record.active_nodes,
+                "recovery_bytes": record.recovery_bytes,
+                "recovery_s": record.recovery_time,
             }
             for record in self.rounds
         ]
@@ -167,6 +205,15 @@ class RunResult:
                 mode.name: count for mode, count in self.mode_counts.items()
             },
             "load_imbalance": self.load_imbalance(),
+            "resilience": {
+                "recovery_bytes": self.recovery_bytes,
+                "recovery_time_s": self.recovery_time,
+                "num_recoveries": self.num_recoveries,
+                "recovery_events": self.recovery_events,
+                "num_checkpoints": self.num_checkpoints,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_time_s": self.checkpoint_time,
+            },
             "rounds": self.round_rows(),
         }
         text = json.dumps(payload, indent=2)

@@ -198,12 +198,18 @@ def run_app(
     tolerance: float = 1e-6,
     max_iterations: int = 100,
     k: int = 2,
+    resilience=None,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
 
     Returns the :class:`~repro.runtime.stats.RunResult`, whose
     ``construction_time`` includes the measured partitioning wall-clock
     (Table 2) and whose per-round records feed every figure.
+
+    ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) makes
+    the run failable and survivable: faults are injected per its plan,
+    state is checkpointed on its cadence, and crashes are survived with
+    its recovery protocol, all accounted on the result.
     """
     prepared = prepare_input(
         app_name,
@@ -230,6 +236,11 @@ def run_app(
     partitioned = partitioner.partition(prepared.edges, num_hosts)
     partition_time = time.perf_counter() - partition_started
     if getattr(app, "multi_phase", False):
+        if resilience is not None:
+            raise ExecutionError(
+                f"{app_name} is multi-phase; resilience is only supported "
+                "for single-executor applications"
+            )
         # Multi-phase applications (betweenness centrality) drive their
         # own executor passes over the shared partition.
         result = app.run_phases(
@@ -253,6 +264,7 @@ def run_app(
         network=resolved_network,
         enable_sync=sync,
         system_name=system.lower(),
+        resilience=resilience,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time

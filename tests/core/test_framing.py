@@ -1,0 +1,53 @@
+"""Unit tests for the integrity frame (sequence number + CRC-32)."""
+
+import pytest
+
+from repro.core.serialization import (
+    FRAME_OVERHEAD,
+    frame_payload,
+    unframe_payload,
+)
+from repro.errors import ChecksumError, SerializationError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = frame_payload(7, b"hello world")
+        assert unframe_payload(frame) == (7, b"hello world")
+
+    def test_overhead_is_constant(self):
+        assert len(frame_payload(1, b"")) == FRAME_OVERHEAD
+        assert len(frame_payload(1, b"abc")) == FRAME_OVERHEAD + 3
+
+    def test_empty_payload_roundtrip(self):
+        assert unframe_payload(frame_payload(0, b"")) == (0, b"")
+
+    def test_large_seq_roundtrip(self):
+        seq = (1 << 64) - 1
+        assert unframe_payload(frame_payload(seq, b"x"))[0] == seq
+
+    def test_seq_out_of_range_rejected(self):
+        with pytest.raises(SerializationError):
+            frame_payload(-1, b"x")
+        with pytest.raises(SerializationError):
+            frame_payload(1 << 64, b"x")
+
+    def test_truncated_frame_rejected(self):
+        frame = frame_payload(3, b"payload")
+        with pytest.raises(ChecksumError, match="too short"):
+            unframe_payload(frame[: FRAME_OVERHEAD - 1])
+
+    @pytest.mark.parametrize("position", [0, 4, 8, FRAME_OVERHEAD, -1])
+    def test_any_flipped_byte_detected(self, position):
+        frame = bytearray(frame_payload(9, b"some sync payload"))
+        frame[position] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            unframe_payload(bytes(frame))
+
+    def test_checksum_covers_sequence_number(self):
+        # Swapping two frames' sequence numbers must not go unnoticed.
+        a = bytearray(frame_payload(1, b"payload"))
+        b = frame_payload(2, b"payload")
+        a[:8] = b[:8]
+        with pytest.raises(ChecksumError):
+            unframe_payload(bytes(a))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import TransportError
+from repro.errors import HostCrashedError, TransportError
 from repro.network.transport import InProcessTransport
 
 
@@ -84,3 +84,62 @@ class TestRounds:
         rounds = t.stats.rounds
         assert rounds[0].total_bytes == 2
         assert rounds[1].total_bytes == 3
+
+
+class TestCrashes:
+    def test_receive_after_crash_names_dead_host(self):
+        t = InProcessTransport(3)
+        t.crash(1)
+        with pytest.raises(HostCrashedError, match="host 1 crashed") as exc:
+            t.receive_all(1)
+        assert exc.value.host == 1
+
+    def test_send_to_dead_host_rejected(self):
+        t = InProcessTransport(3)
+        t.crash(2)
+        with pytest.raises(HostCrashedError):
+            t.send(0, 2, b"x")
+
+    def test_send_from_dead_host_rejected(self):
+        t = InProcessTransport(3)
+        t.crash(0)
+        with pytest.raises(HostCrashedError):
+            t.send(0, 1, b"x")
+
+    def test_pending_on_dead_host_rejected(self):
+        t = InProcessTransport(2)
+        t.crash(1)
+        with pytest.raises(HostCrashedError):
+            t.pending(1)
+
+    def test_crash_is_transport_error(self):
+        # Callers catching the broad transport failure still work.
+        t = InProcessTransport(2)
+        t.crash(0)
+        with pytest.raises(TransportError):
+            t.receive_all(0)
+
+    def test_crash_discards_queued_mail(self):
+        t = InProcessTransport(2)
+        t.send(0, 1, b"doomed")
+        t.crash(1)
+        t.end_round()  # dead letters don't count as undelivered
+
+    def test_crash_is_idempotent_and_tracked(self):
+        t = InProcessTransport(3)
+        assert not t.is_crashed(1)
+        t.crash(1)
+        t.crash(1)
+        assert t.is_crashed(1)
+        assert t.crashed_hosts == frozenset({1})
+
+    def test_crash_out_of_range_rejected(self):
+        t = InProcessTransport(2)
+        with pytest.raises(TransportError):
+            t.crash(5)
+
+    def test_live_hosts_unaffected(self):
+        t = InProcessTransport(3)
+        t.crash(2)
+        t.send(0, 1, b"still works")
+        assert [p for _, p in t.receive_all(1)] == [b"still works"]

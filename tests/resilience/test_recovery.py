@@ -1,0 +1,204 @@
+"""End-to-end recovery tests: crashed runs must finish bitwise identical."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, FaultPlanError
+from repro.resilience import (
+    CrashFault,
+    FaultPlan,
+    ResilienceConfig,
+    confined_applicable,
+)
+from repro.systems import run_app
+from repro.verify import verify_run
+from repro.workloads import load_workload
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return load_workload("rmat22s", -3)
+
+
+@pytest.fixture(scope="module")
+def baseline(edges):
+    return run_app("d-galois", "bfs", edges, num_hosts=4)
+
+
+def crash_config(round_index=2, mode="restart", **kwargs):
+    return ResilienceConfig(
+        plan=FaultPlan(crashes=(CrashFault(1, round_index),), seed=7),
+        checkpoint_every=1,
+        recovery=mode,
+        **kwargs,
+    )
+
+
+class TestConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExecutionError, match="recovery mode"):
+            ResilienceConfig(recovery="pray")
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ExecutionError):
+            ResilienceConfig(checkpoint_every=-1)
+
+    def test_crash_beyond_cluster_rejected(self, edges):
+        config = ResilienceConfig(
+            plan=FaultPlan(crashes=(CrashFault(9, 2),))
+        )
+        with pytest.raises(FaultPlanError, match="cluster has 2"):
+            run_app("d-galois", "bfs", edges, num_hosts=2, resilience=config)
+
+    def test_multi_phase_app_rejected(self, edges):
+        with pytest.raises(ExecutionError, match="multi-phase"):
+            run_app(
+                "d-galois", "bc", edges, num_hosts=2,
+                resilience=crash_config(),
+            )
+
+
+class TestCheckpointRestart:
+    def test_bitwise_identical_after_crash(self, edges, baseline):
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4,
+            resilience=crash_config(mode="restart"),
+        )
+        assert result.num_recoveries == 1
+        assert result.recovery_events[0]["mode"] == "restart"
+        np.testing.assert_array_equal(
+            result.executor.gather_result("dist"),
+            baseline.executor.gather_result("dist"),
+        )
+        verify_run(result, edges)
+
+    def test_trace_describes_logical_execution(self, edges, baseline):
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4,
+            resilience=crash_config(mode="restart"),
+        )
+        # Replayed rounds are re-recorded, not duplicated.
+        assert result.num_rounds == baseline.num_rounds
+        assert [r.round_index for r in result.rounds] == list(
+            range(1, result.num_rounds + 1)
+        )
+
+    def test_recovery_accounted(self, edges):
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4,
+            resilience=crash_config(mode="restart"),
+        )
+        assert result.recovery_bytes > 0
+        assert result.recovery_time > 0
+        assert result.num_checkpoints >= 2
+        assert result.checkpoint_bytes > 0
+        assert result.total_time_resilient > result.total_time
+        summary = result.summary()
+        assert summary["recoveries"] == 1
+        assert summary["checkpoints"] == result.num_checkpoints
+        # The recovery round carries the cost in the per-round trace.
+        assert any(r.recovery_bytes > 0 for r in result.rounds)
+
+    def test_disk_checkpoints(self, edges, baseline, tmp_path):
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4,
+            resilience=crash_config(
+                mode="restart", checkpoint_dir=str(tmp_path)
+            ),
+        )
+        assert list(tmp_path.glob("*.ckpt"))
+        np.testing.assert_array_equal(
+            result.executor.gather_result("dist"),
+            baseline.executor.gather_result("dist"),
+        )
+
+    def test_fault_free_summary_keeps_paper_shape(self, baseline):
+        assert "recoveries" not in baseline.summary()
+
+
+class TestConfinedRecovery:
+    def test_applicable_to_min_reduction_with_frontier(self, edges):
+        result = run_app("d-galois", "bfs", edges, num_hosts=2)
+        assert confined_applicable(result.executor)
+
+    def test_not_applicable_to_pagerank(self, edges):
+        result = run_app("d-galois", "pr", edges, num_hosts=2)
+        assert not confined_applicable(result.executor)
+
+    def test_bfs_confined_bitwise_identical(self, edges, baseline):
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4,
+            resilience=crash_config(mode="confined"),
+        )
+        assert result.recovery_events[0]["mode"] == "confined"
+        np.testing.assert_array_equal(
+            result.executor.gather_result("dist"),
+            baseline.executor.gather_result("dist"),
+        )
+        verify_run(result, edges)
+
+    def test_pagerank_escalates_to_restart(self, edges):
+        canonical = run_app("d-galois", "pr", edges, num_hosts=4)
+        result = run_app(
+            "d-galois", "pr", edges, num_hosts=4,
+            resilience=crash_config(round_index=3, mode="confined"),
+        )
+        assert result.recovery_events[0]["mode"] == "confined->restart"
+        np.testing.assert_array_equal(
+            result.executor.gather_result("rank"),
+            canonical.executor.gather_result("rank"),
+        )
+
+    def test_cc_confined_survives_late_crash(self, edges):
+        canonical = run_app("d-galois", "cc", edges, num_hosts=4)
+        crash_round = max(2, canonical.num_rounds)
+        result = run_app(
+            "d-galois", "cc", edges, num_hosts=4,
+            resilience=crash_config(round_index=crash_round, mode="confined"),
+        )
+        np.testing.assert_array_equal(
+            result.executor.gather_result("label"),
+            canonical.executor.gather_result("label"),
+        )
+        verify_run(result, edges)
+
+
+class TestTransientFaults:
+    @pytest.mark.parametrize("app,key", [("bfs", "dist"), ("pr", "rank")])
+    def test_lossy_fabric_never_changes_results(self, edges, app, key):
+        canonical = run_app("d-galois", app, edges, num_hosts=4)
+        config = ResilienceConfig(
+            plan=FaultPlan(
+                drop_rate=0.05, corrupt_rate=0.02, duplicate_rate=0.03,
+                seed=23,
+            )
+        )
+        result = run_app(
+            "d-galois", app, edges, num_hosts=4, resilience=config
+        )
+        np.testing.assert_array_equal(
+            result.executor.gather_result(key),
+            canonical.executor.gather_result(key),
+        )
+        # The faults cost bytes even though they changed nothing.
+        assert result.recovery_bytes > 0
+        faults = result.executor.transport.faults
+        assert faults.total_injected > 0
+
+    def test_transient_faults_with_crash(self, edges, baseline):
+        config = ResilienceConfig(
+            plan=FaultPlan(
+                crashes=(CrashFault(1, 2),),
+                drop_rate=0.05, duplicate_rate=0.05, seed=31,
+            ),
+            checkpoint_every=1,
+            recovery="confined",
+        )
+        result = run_app(
+            "d-galois", "bfs", edges, num_hosts=4, resilience=config
+        )
+        assert result.num_recoveries == 1
+        np.testing.assert_array_equal(
+            result.executor.gather_result("dist"),
+            baseline.executor.gather_result("dist"),
+        )

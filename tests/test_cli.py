@@ -32,12 +32,54 @@ class TestParser:
             "table1", "table2", "table3", "table4", "table5",
             "fig8", "fig9", "fig10",
             "replication", "imbalance", "rounds", "metadata", "policies",
+            "resilience",
         }
         assert set(EXPERIMENTS) == expected
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestRunValidation:
+    _BASE = ["run", "--system", "d-galois", "--app", "bfs",
+             "--workload", "rmat24s"]
+
+    def test_zero_hosts_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--hosts", "0"])
+        assert "--hosts must be at least 1" in capsys.readouterr().err
+
+    def test_negative_hosts_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--hosts", "-2"])
+        assert "--hosts must be at least 1" in capsys.readouterr().err
+
+    def test_zero_checkpoint_cadence_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--checkpoint-every", "0"])
+        err = capsys.readouterr().err
+        assert "--checkpoint-every must be at least 1" in err
+
+    def test_malformed_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--inject-fault", "crash:1"])
+        assert "crash:HOST@ROUND" in capsys.readouterr().err
+
+    def test_unknown_fault_kind_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--inject-fault", "meteor:0.5"])
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_empty_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--inject-fault", ""])
+        assert "injects no faults" in capsys.readouterr().err
+
+    def test_crash_beyond_cluster_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._BASE + ["--hosts", "4", "--inject-fault", "crash:7@2"])
+        assert "cluster has 4" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -95,3 +137,30 @@ class TestCommands:
             ["experiment", "replication", "--scale-delta", "-3"]
         ) == 0
         assert "gemini" in capsys.readouterr().out
+
+    def test_run_with_fault_injection_and_recovery(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "bfs",
+                "--workload", "rmat22s",
+                "--hosts", "4",
+                "--scale-delta", "-3",
+                "--inject-fault", "crash:1@2,drop:0.02",
+                "--checkpoint-every", "1",
+                "--recovery", "confined",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out
+        assert "mode=confined" in out
+
+    def test_experiment_resilience(self, capsys):
+        assert main(
+            ["experiment", "resilience", "--scale-delta", "-3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no-fault" in out
+        assert "confined" in out
