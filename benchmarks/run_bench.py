@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Benchmark harness: run a fixed app x policy x hosts matrix and emit
+``BENCH_<date>.json`` — the perf trajectory the repo tracks over time.
+
+Each cell runs with observability enabled, so every benchmark also
+exercises the tracer, the metrics registry, and (in smoke mode) the
+Chrome-trace/metrics exporters, and asserts that the published byte
+counters reconcile exactly with the transport's accounting.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full matrix
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI-sized
+
+The emitted JSON records, per cell: wall-clock seconds (measured), the
+run's simulated execution time (alpha-beta model), total communication
+bytes, and round count — the three axes (§6) any perf PR must not
+regress.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import date
+from pathlib import Path
+from typing import List, Optional
+
+from repro import load_workload, run_app
+from repro.observability import Observability, write_chrome_trace, write_metrics
+
+#: The default matrix: the paper's three push-style analytics plus
+#: pagerank, over the two partition-policy families, at three scales.
+DEFAULT_APPS = ("bfs", "sssp", "cc", "pr")
+DEFAULT_POLICIES = ("oec", "cvc")
+DEFAULT_HOSTS = (2, 4, 8)
+
+#: Smoke mode: one fast app over both policies on a tiny graph — enough
+#: to exercise every export path on every CI push.
+SMOKE_APPS = ("bfs",)
+SMOKE_HOSTS = (2, 4)
+SMOKE_SCALE_DELTA = -5
+
+
+def bench_cell(
+    app: str,
+    policy: str,
+    hosts: int,
+    workload: str,
+    scale_delta: int,
+    export_dir: Optional[Path] = None,
+) -> dict:
+    """Run one matrix cell and return its result row."""
+    edges = load_workload(workload, scale_delta)
+    obs = Observability()
+    started = time.perf_counter()
+    result = run_app(
+        "d-galois", app, edges, num_hosts=hosts, policy=policy,
+        observability=obs,
+    )
+    wall_s = time.perf_counter() - started
+    stats = result.executor.transport.stats
+    reconciled = (
+        obs.metrics.counter_total("bytes_sent_total") == stats.total_bytes
+    )
+    if not reconciled:
+        raise AssertionError(
+            f"{app}/{policy}/{hosts}: metrics bytes "
+            f"{obs.metrics.counter_total('bytes_sent_total')} != "
+            f"CommStats bytes {stats.total_bytes}"
+        )
+    if export_dir is not None:
+        stem = f"{app}_{policy}_{hosts}h"
+        write_chrome_trace(obs.tracer, export_dir / f"{stem}.trace.json")
+        write_metrics(obs.metrics, export_dir / f"{stem}.metrics.json")
+    return {
+        "app": app,
+        "policy": policy,
+        "hosts": hosts,
+        "wall_s": round(wall_s, 4),
+        "sim_time_s": result.total_time,
+        "total_bytes": result.communication_volume,
+        "construction_bytes": result.construction_bytes,
+        "rounds": result.num_rounds,
+        "replication_factor": round(result.replication_factor, 4),
+        "converged": result.converged,
+        "reconciled": reconciled,
+    }
+
+
+def run_matrix(args: argparse.Namespace) -> dict:
+    """Run the configured matrix; returns the emission payload."""
+    apps = args.apps.split(",") if args.apps else (
+        SMOKE_APPS if args.smoke else DEFAULT_APPS
+    )
+    hosts = (
+        [int(h) for h in args.hosts.split(",")]
+        if args.hosts
+        else (SMOKE_HOSTS if args.smoke else DEFAULT_HOSTS)
+    )
+    policies = args.policies.split(",") if args.policies else DEFAULT_POLICIES
+    scale_delta = (
+        args.scale_delta
+        if args.scale_delta is not None
+        else (SMOKE_SCALE_DELTA if args.smoke else 0)
+    )
+    export_dir = Path(args.export_dir) if args.export_dir else None
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+    rows: List[dict] = []
+    for app in apps:
+        for policy in policies:
+            for num_hosts in hosts:
+                row = bench_cell(
+                    app, policy, num_hosts, args.workload, scale_delta,
+                    export_dir,
+                )
+                rows.append(row)
+                print(
+                    f"  {app:>5} {policy:>4} {num_hosts:>2} hosts: "
+                    f"wall {row['wall_s']:.3f}s, "
+                    f"sim {row['sim_time_s']:.4f}s, "
+                    f"{row['total_bytes'] / 1e3:.1f} KB, "
+                    f"{row['rounds']} rounds",
+                    file=sys.stderr,
+                )
+    return {
+        "date": date.today().isoformat(),
+        "workload": args.workload,
+        "scale_delta": scale_delta,
+        "smoke": bool(args.smoke),
+        "matrix": rows,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The harness's argument parser."""
+    parser = argparse.ArgumentParser(
+        description="run the benchmark matrix and emit BENCH_<date>.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized: tiny graph, bfs only, trace/metrics export checked",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument("--workload", default="rmat22s")
+    parser.add_argument("--apps", default=None, help="comma list of apps")
+    parser.add_argument(
+        "--policies", default=None, help="comma list of partition policies"
+    )
+    parser.add_argument(
+        "--hosts", default=None, help="comma list of host counts"
+    )
+    parser.add_argument("--scale-delta", type=int, default=None)
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help="also write per-cell trace/metrics files here "
+        "(smoke mode defaults this to a temp directory)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.smoke and args.export_dir is None:
+        # Smoke exists to exercise the exporters: always export somewhere.
+        import tempfile
+
+        args.export_dir = tempfile.mkdtemp(prefix="repro-bench-")
+    payload = run_matrix(args)
+    output = (
+        Path(args.output)
+        if args.output
+        else Path(__file__).resolve().parent.parent
+        / f"BENCH_{payload['date']}.json"
+    )
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output} ({len(payload['matrix'])} cells)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

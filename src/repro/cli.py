@@ -6,6 +6,9 @@ Examples::
     python -m repro run --system d-galois --app bfs --workload rmat24s \\
         --hosts 8 --policy cvc
     python -m repro run --system gemini --app pr --workload clueweb12s --hosts 16
+    python -m repro run --system d-galois --app bfs --workload rmat22s \\
+        --hosts 4 --trace trace.json --metrics metrics.json --json
+    python -m repro trace trace.json --top 10
     python -m repro experiment fig10 --scale-delta -1
     python -m repro analyze sssp
 """
@@ -120,6 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="store checkpoints on disk here instead of in memory",
     )
+    run_cmd.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record spans and export a Chrome trace-event JSON here "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="record metrics and dump them here (.json, or .csv for CSV)",
+    )
+    run_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full RunResult as JSON on stdout (for scripting)",
+    )
+    run_cmd.add_argument(
+        "--per-round",
+        action="store_true",
+        help="print the per-round breakdown table after the summary",
+    )
 
     exp_cmd = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -146,6 +174,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="show an operator's per-strategy synchronization plan (§3.2)",
     )
     analyze_cmd.add_argument("app", choices=["bfs", "sssp", "cc"])
+
+    trace_cmd = commands.add_parser(
+        "trace", help="summarize an exported Chrome trace (from run --trace)"
+    )
+    trace_cmd.add_argument("file", help="trace-event JSON file to summarize")
+    trace_cmd.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="number of span families to rank (default: 10)",
+    )
     return parser
 
 
@@ -205,6 +244,11 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     if args.scaled_fabric:
         network = experiments.bench_network(args.system, args.hosts)
     resilience = _resilience_config(parser, args)
+    observability = None
+    if args.trace is not None or args.metrics is not None:
+        from repro.observability import Observability
+
+        observability = Observability()
     result = run_app(
         args.system,
         args.app,
@@ -214,7 +258,14 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         level=level,
         network=network,
         resilience=resilience,
+        observability=observability,
     )
+    if observability is not None:
+        _export_observability(args, result, observability)
+    if args.json:
+        # Machine-readable mode: the JSON document is the entire stdout.
+        print(result.to_json())
+        return 0
     print(format_table([result.summary()], title="run summary"))
     print(f"replication factor : {result.replication_factor:.3f}")
     print(f"construction       : {result.construction_time*1e3:.2f} ms, "
@@ -235,6 +286,45 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
             f"restored_round={event['restored_round']} "
             f"{event['recovery_bytes']/1e3:.1f} KB"
         )
+    if args.per_round:
+        from repro.observability import round_table
+
+        print()
+        print(round_table(result), end="")
+    return 0
+
+
+def _export_observability(args, result, observability) -> None:
+    """Write the requested trace/metrics files; notes go to stderr."""
+    from repro.observability import write_chrome_trace, write_metrics
+
+    if args.trace is not None:
+        write_chrome_trace(
+            observability.tracer,
+            args.trace,
+            run_info={
+                "system": result.system,
+                "app": result.app,
+                "policy": result.policy,
+                "hosts": result.num_hosts,
+            },
+        )
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics is not None:
+        write_metrics(observability.metrics, args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+
+def _command_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.observability import render_summary
+    from repro.observability.summary import TraceFileError
+
+    if args.top < 1:
+        parser.error(f"--top must be at least 1, got {args.top}")
+    try:
+        print(render_summary(args.file, limit=args.top), end="")
+    except TraceFileError as exc:
+        parser.error(str(exc))
     return 0
 
 
@@ -325,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inputs": _command_inputs,
         "analyze": _command_analyze,
         "report": _command_report,
+        "trace": lambda a: _command_trace(a, parser),
     }
     try:
         return handlers[args.command](args)

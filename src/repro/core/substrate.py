@@ -39,6 +39,7 @@ from repro.core.serialization import decode_message, encode_message
 from repro.core.sync_structures import FieldSpec
 from repro.errors import SyncError
 from repro.network.transport import InProcessTransport
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
 from repro.partition.base import LocalPartition, PartitionedGraph
 
 
@@ -71,6 +72,7 @@ class GluonSubstrate:
         transport: InProcessTransport,
         level: OptimizationLevel,
         book: AddressBook,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         self.partition = partition
         self.transport = transport
@@ -78,6 +80,7 @@ class GluonSubstrate:
         self.book = book
         self.plan: SyncPlan = build_sync_plan(book, level.structural)
         self.stats = SubstrateStats()
+        self.metrics = metrics
 
     @property
     def host(self) -> int:
@@ -251,6 +254,8 @@ class GluonSubstrate:
         num_updates = int(updated_mask.sum())
         mode = select_mode(len(agreed), num_updates, field.value_size)
         self.stats.count_mode(mode)
+        if self.metrics.enabled:
+            self.metrics.counter("metadata_mode_total", mode=mode.name).inc()
         if mode is MetadataMode.EMPTY:
             return encode_message(mode, np.empty(0, dtype=field.dtype))
         if mode is MetadataMode.FULL:
@@ -280,6 +285,13 @@ class GluonSubstrate:
         gids = self.partition.local_to_global[sub]
         self.stats.translations += len(sub)
         self.stats.count_mode(MetadataMode.GLOBAL_IDS)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "translations_total", host=self.host
+            ).inc(len(sub))
+            self.metrics.counter(
+                "metadata_mode_total", mode=MetadataMode.GLOBAL_IDS.name
+            ).inc()
         return encode_message(
             MetadataMode.GLOBAL_IDS, extract(sub), selection=gids
         )
@@ -302,6 +314,10 @@ class GluonSubstrate:
                 count=len(message.selection),
             )
             self.stats.translations += len(lids)
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "translations_total", host=self.host
+                ).inc(len(lids))
             return lids, message.values
         agreed = recv_arrays.get(sender)
         if agreed is None:
@@ -337,6 +353,7 @@ def setup_substrates(
     partitioned: PartitionedGraph,
     transport: InProcessTransport,
     level: OptimizationLevel = OptimizationLevel.OSTI,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> List[GluonSubstrate]:
     """Create one substrate per host, running the memoization exchange.
 
@@ -346,6 +363,8 @@ def setup_substrates(
     """
     books = exchange_address_books(partitioned, transport)
     return [
-        GluonSubstrate(part, transport, level, books[part.host])
+        GluonSubstrate(
+            part, transport, level, books[part.host], metrics=metrics
+        )
         for part in partitioned.partitions
     ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -39,12 +39,24 @@ class RoundTraffic:
 
 
 class CommStats:
-    """Accumulates traffic over an entire distributed execution."""
+    """Accumulates traffic over an entire distributed execution.
 
-    def __init__(self, num_hosts: int) -> None:
+    ``observer``, when given, is called as ``observer(src, dst, nbytes)``
+    for every recorded message — the injection point the observability
+    subsystem uses to publish per-host byte counters and message-size
+    histograms.  Because it hooks :meth:`record` itself, observed totals
+    reconcile *exactly* with this object's totals by construction.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        observer: Optional[Callable[[int, int, int], None]] = None,
+    ) -> None:
         if num_hosts <= 0:
             raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
         self.num_hosts = num_hosts
+        self.observer = observer
         self.rounds: List[RoundTraffic] = [RoundTraffic()]
         self._pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
         self._pair_messages: Dict[Tuple[int, int], int] = defaultdict(int)
@@ -58,6 +70,8 @@ class CommStats:
         self.rounds[-1].messages.append((src, dst, nbytes))
         self._pair_bytes[(src, dst)] += nbytes
         self._pair_messages[(src, dst)] += 1
+        if self.observer is not None:
+            self.observer(src, dst, nbytes)
 
     def end_round(self) -> RoundTraffic:
         """Close the current round and open a new one; returns the closed one."""

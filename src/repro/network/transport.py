@@ -64,9 +64,14 @@ class InProcessTransport:
         return inbox
 
     def pending(self, host: int) -> int:
-        """Number of undelivered messages queued for ``host``."""
+        """Number of undelivered messages queued for ``host``.
+
+        A read-only probe for monitoring code: it never drains the
+        mailbox and — unlike :meth:`send` / :meth:`receive_all` — never
+        raises for a crashed host (a dead host simply has 0 pending
+        messages, since crashing discards its queued mail).
+        """
         self._check_host(host)
-        self._check_alive(host)
         return len(self._mailboxes[host])
 
     def crash(self, host: int) -> None:
@@ -81,7 +86,11 @@ class InProcessTransport:
         self._mailboxes[host] = []
 
     def is_crashed(self, host: int) -> bool:
-        """Whether ``host`` has been crashed."""
+        """Whether ``host`` has been crashed.
+
+        Read-only and never raises for valid host ids — safe to poll
+        from monitoring code.
+        """
         self._check_host(host)
         return host in self._dead
 
@@ -96,10 +105,18 @@ class InProcessTransport:
         All mailboxes must be drained first — a queued message at a round
         boundary means some host never consumed synchronization data.
         """
-        undelivered = [h for h in range(self.num_hosts) if self._mailboxes[h]]
+        undelivered = {
+            h: sorted({src for src, _ in self._mailboxes[h]})
+            for h in range(self.num_hosts)
+            if self._mailboxes[h]
+        }
         if undelivered:
+            detail = "; ".join(
+                f"host {dst} holds mail from senders {senders}"
+                for dst, senders in undelivered.items()
+            )
             raise TransportError(
-                f"round ended with undelivered messages for hosts {undelivered}"
+                f"round ended with undelivered messages: {detail}"
             )
         self.stats.end_round()
 

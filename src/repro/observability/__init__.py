@@ -1,0 +1,90 @@
+"""Observability: structured tracing and metrics for the simulated cluster.
+
+Three layers (see DESIGN.md, "Observability"):
+
+1. **Tracer** (:mod:`repro.observability.tracer`) — nested, timestamped
+   spans on the run's simulated clock: partition, memoization, every BSP
+   round with its per-host compute and per-field reduce/broadcast
+   phases, checkpoints, recovery.
+2. **Metrics** (:mod:`repro.observability.metrics`) — counters, gauges,
+   and histograms the transport, substrate, executor, and resilience
+   layers publish into via injected hooks.
+3. **Exporters** (:mod:`repro.observability.export`,
+   :mod:`repro.observability.summary`) — Chrome trace-event JSON (open
+   in ``chrome://tracing`` / Perfetto), metrics JSON/CSV dumps, a
+   per-round table, and the ``repro trace`` summarizer.
+
+Everything is off by default: the executor holds the shared
+:data:`NULL_OBSERVABILITY` singleton, whose tracer and registry are
+allocation-free no-ops, so untraced runs pay nothing.  ``repro run
+--trace trace.json --metrics metrics.json`` (or constructing an
+:class:`Observability` and passing it to
+:func:`repro.systems.run_app`) turns everything on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.export import (
+    chrome_trace,
+    round_table,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.observability.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.observability.summary import render_summary, summarize_trace
+from repro.observability.tracer import (
+    DRIVER,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+@dataclass
+class Observability:
+    """One run's tracer + metrics registry pair."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any recording is active."""
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: Shared disabled pair; the default everywhere.  Identity-checked in
+#: tests to prove the zero-overhead path is taken.
+NULL_OBSERVABILITY = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+__all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "DRIVER",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_METRICS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+    "round_table",
+    "summarize_trace",
+    "render_summary",
+]

@@ -1,0 +1,258 @@
+"""Metrics registry: counters, gauges, and histograms for the runtime.
+
+Every layer of the simulated cluster publishes here through injected
+hooks: the transport's :class:`~repro.network.stats.CommStats` observer
+feeds per-host send/receive byte counters and the message-size histogram,
+the Gluon substrate counts metadata modes and address translations, the
+executor publishes per-round series, and the resilience subsystem counts
+checkpoints and recoveries.
+
+Instruments are identified by ``(name, labels)``; asking for the same
+pair twice returns the same instrument, so publishers never coordinate.
+The disabled registry (:data:`NULL_METRICS`) hands out shared no-op
+instruments — no samples are ever allocated on the default path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value (ints or float seconds)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (e.g. active nodes after the latest round)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (message sizes, round bytes).
+
+    Bucket ``i`` counts observations with ``value < 2**i``; values of
+    zero land in bucket 0.  Exact ``count`` / ``total`` / ``min`` /
+    ``max`` are kept alongside, so totals reconcile exactly with the
+    byte accounting they mirror.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        """Record one observation."""
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name} observations must be >= 0 ({value})"
+            )
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = 0 if value < 1 else int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home of all instruments of one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple, object] = {}
+
+    def _get(self, kind, name: str, labels: Dict[str, object]):
+        key = (kind.__name__, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = kind(name, {k: str(v) for k, v in labels.items()})
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter registered under ``(name, labels)``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under ``(name, labels)``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram registered under ``(name, labels)``."""
+        return self._get(Histogram, name, labels)
+
+    # -- export ------------------------------------------------------------
+
+    def instruments(self) -> List[object]:
+        """All instruments in registration order."""
+        return list(self._instruments.values())
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family's values across all label sets."""
+        return sum(
+            instrument.value
+            for instrument in self._instruments.values()
+            if isinstance(instrument, Counter) and instrument.name == name
+        )
+
+    def to_dict(self) -> Dict:
+        """Flat JSON-ready view: one entry per instrument."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, Dict] = {}
+        for instrument in self._instruments.values():
+            key = instrument.name + _label_text(instrument.labels)
+            if isinstance(instrument, Counter):
+                counters[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[key] = instrument.value
+            else:
+                histograms[key] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "mean": instrument.mean,
+                    "buckets": {
+                        f"lt_2^{b}": n
+                        for b, n in sorted(instrument.buckets.items())
+                    },
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, path=None) -> str:
+        """Serialize :meth:`to_dict` (optionally writing to ``path``)."""
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            from pathlib import Path
+
+            Path(path).write_text(text)
+        return text
+
+    def to_csv(self, path=None) -> str:
+        """Flat ``kind,name,labels,stat,value`` rows for spreadsheets."""
+        lines = ["kind,name,labels,stat,value"]
+        for instrument in self._instruments.values():
+            labels = _label_text(instrument.labels).strip("{}")
+            labels = f'"{labels}"' if labels else ""
+            if isinstance(instrument, Counter):
+                lines.append(
+                    f"counter,{instrument.name},{labels},value,"
+                    f"{instrument.value}"
+                )
+            elif isinstance(instrument, Gauge):
+                lines.append(
+                    f"gauge,{instrument.name},{labels},value,"
+                    f"{instrument.value}"
+                )
+            else:
+                for stat in ("count", "total", "min", "max"):
+                    lines.append(
+                        f"histogram,{instrument.name},{labels},{stat},"
+                        f"{getattr(instrument, stat)}"
+                    )
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            from pathlib import Path
+
+            Path(path).write_text(text)
+        return text
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    labels: Dict[str, str] = {}
+    value = 0
+    count = 0
+    total = 0
+
+    def inc(self, amount=1) -> None:  # noqa: D102 - interface no-op
+        pass
+
+    def set(self, value) -> None:  # noqa: D102 - interface no-op
+        pass
+
+    def observe(self, value) -> None:  # noqa: D102 - interface no-op
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(MetricsRegistry):
+    """Disabled registry: hands out one shared no-op instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._instruments = {}
+
+    def counter(self, name: str, **labels):  # noqa: D102 - no-op
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):  # noqa: D102 - no-op
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels):  # noqa: D102 - no-op
+        return _NULL_INSTRUMENT
+
+
+#: Shared disabled registry; the executor default.
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,185 @@
+"""Offline trace analysis: the engine behind ``repro trace FILE``.
+
+Reads an exported Chrome trace-event JSON back and derives the summaries
+an engineer wants before opening the UI: where the simulated time went
+(top span families), how busy each host was (per-host busy/idle — the
+load-imbalance picture of §5.4), and how many bytes each synchronization
+phase moved (the per-bar volumes of Figure 10).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+
+class TraceFileError(ReproError):
+    """The given file is not a readable Chrome trace-event document."""
+
+
+def load_trace(path) -> List[Dict]:
+    """Load a trace file and return its event list.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare JSON-array form of the trace-event spec.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise TraceFileError(f"no trace file {path}")
+    except json.JSONDecodeError as exc:
+        raise TraceFileError(f"{path} is not valid JSON: {exc}")
+    events = payload.get("traceEvents") if isinstance(payload, dict) else payload
+    if not isinstance(events, list):
+        raise TraceFileError(
+            f"{path} has no traceEvents list (not a Chrome trace?)"
+        )
+    return events
+
+
+def _complete_events(events: List[Dict]) -> List[Dict]:
+    return [
+        event
+        for event in events
+        if event.get("ph") == "X" and "ts" in event and "dur" in event
+    ]
+
+
+def _process_names(events: List[Dict]) -> Dict[int, str]:
+    names = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event["pid"]] = event.get("args", {}).get("name", "?")
+    return names
+
+
+def top_span_rows(events: List[Dict], limit: int = 10) -> List[Dict]:
+    """Span families ranked by total duration."""
+    totals: Dict[tuple, List[float]] = {}
+    for event in _complete_events(events):
+        key = (event.get("cat", "span"), event["name"])
+        entry = totals.setdefault(key, [0.0, 0])
+        entry[0] += event["dur"]
+        entry[1] += 1
+    ranked = sorted(totals.items(), key=lambda item: -item[1][0])[:limit]
+    return [
+        {
+            "category": cat,
+            "span": name,
+            "count": count,
+            "total_ms": round(total_us / 1e3, 4),
+            "mean_us": round(total_us / count, 2),
+        }
+        for (cat, name), (total_us, count) in ranked
+    ]
+
+
+def host_rows(events: List[Dict]) -> List[Dict]:
+    """Per-host busy/idle accounting over the traced interval.
+
+    *Busy* sums the leaf-phase work on the host's track (compute plus
+    communication spans; nested sync-phase spans are excluded to avoid
+    double counting).  *Idle* is the rest of the host's traced interval
+    — for BSP runs, exactly the time spent waiting at barriers for
+    slower hosts.
+    """
+    names = _process_names(events)
+    per_host: Dict[int, Dict[str, float]] = {}
+    for event in _complete_events(events):
+        pid = event.get("pid", 0)
+        if names.get(pid) == "driver":
+            continue
+        entry = per_host.setdefault(
+            pid, {"compute": 0.0, "comm": 0.0, "begin": None, "end": None}
+        )
+        cat = event.get("cat", "")
+        if cat == "compute":
+            entry["compute"] += event["dur"]
+        elif cat == "communication":
+            entry["comm"] += event["dur"]
+        end = event["ts"] + event["dur"]
+        if entry["begin"] is None or event["ts"] < entry["begin"]:
+            entry["begin"] = event["ts"]
+        if entry["end"] is None or end > entry["end"]:
+            entry["end"] = end
+    rows = []
+    for pid in sorted(per_host):
+        entry = per_host[pid]
+        interval = (entry["end"] or 0.0) - (entry["begin"] or 0.0)
+        busy = entry["compute"] + entry["comm"]
+        idle = max(0.0, interval - busy)
+        rows.append(
+            {
+                "host": names.get(pid, str(pid)),
+                "compute_ms": round(entry["compute"] / 1e3, 4),
+                "comm_ms": round(entry["comm"] / 1e3, 4),
+                "idle_ms": round(idle / 1e3, 4),
+                "busy_pct": round(100.0 * busy / interval, 1)
+                if interval
+                else 0.0,
+            }
+        )
+    return rows
+
+
+def phase_byte_rows(events: List[Dict]) -> List[Dict]:
+    """Bytes and messages moved, grouped by synchronization phase span."""
+    totals: Dict[str, List[float]] = {}
+    for event in _complete_events(events):
+        args = event.get("args", {})
+        if event.get("cat") != "sync-phase" or "bytes" not in args:
+            continue
+        entry = totals.setdefault(event["name"], [0, 0, 0.0])
+        entry[0] += args["bytes"]
+        entry[1] += args.get("messages", 0)
+        entry[2] += event["dur"]
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n][0]):
+        nbytes, messages, dur_us = totals[name]
+        rows.append(
+            {
+                "phase": name,
+                "KB": round(nbytes / 1e3, 2),
+                "messages": int(messages),
+                "time_ms": round(dur_us / 1e3, 4),
+            }
+        )
+    return rows
+
+
+def summarize_trace(path, limit: int = 10) -> Dict[str, List[Dict]]:
+    """All three summaries of one exported trace file."""
+    events = load_trace(path)
+    return {
+        "hosts": host_rows(events),
+        "phases": phase_byte_rows(events),
+        "top_spans": top_span_rows(events, limit=limit),
+    }
+
+
+def render_summary(path, limit: int = 10) -> str:
+    """Render :func:`summarize_trace` as aligned text tables."""
+    from repro.analysis.tables import format_table
+
+    summary = summarize_trace(path, limit=limit)
+    parts = []
+    if summary["hosts"]:
+        parts.append(
+            format_table(summary["hosts"], title="per-host busy/idle")
+        )
+    if summary["phases"]:
+        parts.append(
+            format_table(summary["phases"], title="bytes by sync phase")
+        )
+    if summary["top_spans"]:
+        parts.append(
+            format_table(
+                summary["top_spans"], title="top spans by total time"
+            )
+        )
+    if not parts:
+        return f"{path}: no complete (ph=X) events found\n"
+    return "\n".join(parts)

@@ -21,7 +21,9 @@ from repro.core.substrate import GluonSubstrate, setup_substrates
 from repro.core.sync_structures import FieldSpec
 from repro.errors import ExecutionError
 from repro.network.cost_model import CostModel, LCI_PARAMETERS, NetworkParameters
+from repro.network.stats import CommStats
 from repro.network.transport import InProcessTransport
+from repro.observability import NULL_OBSERVABILITY, Observability
 from repro.partition.base import PartitionedGraph
 from repro.partition.strategy import check_strategy_legal
 from repro.resilience.checkpoint import CheckpointManager
@@ -62,6 +64,7 @@ class DistributedExecutor:
         enable_sync: bool = True,
         system_name: Optional[str] = None,
         resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
@@ -112,24 +115,67 @@ class DistributedExecutor:
             self.checkpoints = resilience.make_checkpoint_manager()
         # Recovery accounting waiting to be attached to the next round.
         self._pending_recovery = (0, 0.0)
+        # -- observability (tracing + metrics; no-op by default) ------------
+        self.obs = observability if observability is not None else NULL_OBSERVABILITY
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
+        #: Simulated-clock cursor for span placement (advanced per round).
+        self._trace_clock = 0.0
+        #: Per-round sync-phase records: (label, msg_start, msg_end,
+        #: serialize_wall_s, apply_wall_s), filled by _synchronize when
+        #: tracing is on and turned into nested spans at round close.
+        self._phase_records: List = []
+        self._last_round_traffic = None
 
     # -- setup ------------------------------------------------------------------
 
     def _make_transport(self, num_hosts: int) -> InProcessTransport:
         """The cluster fabric: faulty when a fault plan is injected."""
+        stats = None
+        if self.metrics.enabled:
+            stats = CommStats(num_hosts, observer=self._message_observer(num_hosts))
         if self.fault_injector is not None:
-            return FaultyTransport(num_hosts, self.fault_injector)
-        return InProcessTransport(num_hosts)
+            return FaultyTransport(num_hosts, self.fault_injector, stats=stats)
+        return InProcessTransport(num_hosts, stats)
+
+    def _message_observer(self, num_hosts: int):
+        """Per-message metrics hook injected into the transport's stats.
+
+        Hooking :meth:`CommStats.record` itself means the published byte
+        counters reconcile exactly (==) with the transport's accounting —
+        including memoization exchanges, integrity framing, and fault
+        retransmissions.
+        """
+        sent = [
+            self.metrics.counter("bytes_sent_total", host=h)
+            for h in range(num_hosts)
+        ]
+        received = [
+            self.metrics.counter("bytes_recv_total", host=h)
+            for h in range(num_hosts)
+        ]
+        messages = self.metrics.counter("messages_total")
+        sizes = self.metrics.histogram("message_size_bytes")
+
+        def observe(src: int, dst: int, nbytes: int) -> None:
+            sent[src].inc(nbytes)
+            received[dst].inc(nbytes)
+            messages.inc()
+            sizes.observe(nbytes)
+
+        return observe
 
     def _setup(self, result: RunResult) -> None:
         started = time.perf_counter()
         num_hosts = self.partitioned.num_hosts
         self.transport = self._make_transport(num_hosts)
+        memoization_bytes = 0
         if self.enable_sync:
             self.substrates = setup_substrates(
-                self.partitioned, self.transport, self.level
+                self.partitioned, self.transport, self.level, self.metrics
             )
-            result.construction_bytes += self.transport.stats.total_bytes
+            memoization_bytes = self.transport.stats.total_bytes
+            result.construction_bytes += memoization_bytes
             self.transport.end_round()
         self.states = [
             self.app.make_state(part, self.ctx)
@@ -146,8 +192,24 @@ class DistributedExecutor:
             self.app.initial_frontier(part, state, self.ctx)
             for part, state in zip(self.partitioned.partitions, self.states)
         ]
-        result.construction_time += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        result.construction_time += elapsed
         result.replication_factor = self.partitioned.replication_factor()
+        if self.tracer.enabled:
+            self.tracer.record_sequential(
+                "memoization",
+                elapsed,
+                cat="construction",
+                app=self.app.name,
+                policy=self.partitioned.policy_name,
+                bytes=memoization_bytes,
+            )
+            # BSP rounds start where the setup pipeline left off.
+            self._trace_clock = self.tracer.cursor
+        if self.metrics.enabled:
+            self.metrics.counter("construction_bytes_total").inc(
+                memoization_bytes
+            )
 
     # -- main loop ---------------------------------------------------------------
 
@@ -213,6 +275,12 @@ class DistributedExecutor:
                 comp_times, pre_translations
             )
             active = sum(int(f.sum()) for f in next_frontiers)
+            if self.tracer.enabled:
+                self._trace_round(round_index, comp_times, comm_time, active)
+            if self.metrics.enabled:
+                self._publish_round_metrics(
+                    comp_times, comm_time, comm_bytes, comm_messages, active
+                )
             recovery_bytes, recovery_time = self._pending_recovery
             self._pending_recovery = (0, 0.0)
             result.recovery_bytes += fault_bytes
@@ -257,6 +325,24 @@ class DistributedExecutor:
         result.recovery_bytes += event.recovery_bytes
         result.recovery_time += event.recovery_time
         result.recovery_events.append(event.row())
+        if self.tracer.enabled:
+            # Recovery stalls the whole cluster: advance the BSP clock.
+            self.tracer.record(
+                "recovery",
+                cat="resilience",
+                begin_s=self._trace_clock,
+                duration_s=event.recovery_time,
+                round=round_index,
+                mode=event.mode,
+                hosts=list(crashed),
+                bytes=event.recovery_bytes,
+            )
+            self._trace_clock += event.recovery_time
+        if self.metrics.enabled:
+            self.metrics.counter("recoveries_total").inc()
+            self.metrics.counter("recovery_bytes_total").inc(
+                event.recovery_bytes
+            )
         pending_bytes, pending_time = self._pending_recovery
         self._pending_recovery = (
             pending_bytes + event.recovery_bytes,
@@ -297,6 +383,18 @@ class DistributedExecutor:
         result.num_checkpoints += 1
         result.checkpoint_bytes += record.nbytes
         result.checkpoint_time += record.save_time_s
+        if self.tracer.enabled:
+            self.tracer.record(
+                "checkpoint",
+                cat="resilience",
+                begin_s=self._trace_clock,
+                duration_s=record.save_time_s,
+                round=round_index,
+                bytes=record.nbytes,
+            )
+        if self.metrics.enabled:
+            self.metrics.counter("checkpoints_total").inc()
+            self.metrics.counter("checkpoint_bytes_total").inc(record.nbytes)
 
     def _take_round_fault_bytes(self) -> int:
         """Drain the transient-fault overhead bytes of the open round."""
@@ -318,7 +416,7 @@ class DistributedExecutor:
             self.substrates = []
             return 0, 0.0
         self.substrates = setup_substrates(
-            self.partitioned, self.transport, self.level
+            self.partitioned, self.transport, self.level, self.metrics
         )
         return self._close_recovery_exchange()
 
@@ -374,7 +472,7 @@ class DistributedExecutor:
         self.transport = self._make_transport(new_partitioned.num_hosts)
         if self.enable_sync:
             self.substrates = setup_substrates(
-                new_partitioned, self.transport, self.level
+                new_partitioned, self.transport, self.level, self.metrics
             )
             self._result.construction_bytes += self.transport.stats.total_bytes
             self.transport.end_round()
@@ -387,9 +485,18 @@ class DistributedExecutor:
             old_frontier_global[part.local_to_global]
             for part in new_partitioned.partitions
         ]
-        self._result.construction_time += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self._result.construction_time += elapsed
         self._result.policy = new_partitioned.policy_name
         self._result.replication_factor = new_partitioned.replication_factor()
+        if self.tracer.enabled:
+            self.tracer.record(
+                "repartition",
+                cat="construction",
+                begin_s=self._trace_clock,
+                duration_s=elapsed,
+                policy=new_partitioned.policy_name,
+            )
         # Checkpoints describe the old layout; restart the baseline.
         if self.checkpoints is not None:
             self.checkpoints.clear()
@@ -409,17 +516,44 @@ class DistributedExecutor:
         outcomes: List[RoundOutcome],
         next_frontiers: List[np.ndarray],
     ) -> None:
-        """Run the reduce/apply/broadcast collective for every field."""
+        """Run the reduce/apply/broadcast collective for every field.
+
+        With tracing enabled, each phase's slice of the round's message
+        trace and its wall-clock serialize/apply split are captured as a
+        phase record; :meth:`_trace_round` later maps the records onto
+        the simulated comm window as nested spans.
+        """
         num_hosts = len(self.substrates)
         num_fields = len(self.fields[0])
+        tracing = self.tracer.enabled
+        if tracing:
+            self._phase_records = []
+            messages = self.transport.stats.current_round.messages
         for field_index in range(num_fields):
             fields = [self.fields[h][field_index] for h in range(num_hosts)]
+            if tracing:
+                msg_start = len(messages)
+                wall_start = time.perf_counter()
             for h in range(num_hosts):
                 self.substrates[h].send_reduce(fields[h], outcomes[h].updated)
+            if tracing:
+                wall_sent = time.perf_counter()
             reduce_changed = [
                 self.substrates[h].receive_reduce(fields[h])
                 for h in range(num_hosts)
             ]
+            if tracing:
+                self._phase_records.append(
+                    (
+                        f"reduce:{fields[0].name}",
+                        msg_start,
+                        len(messages),
+                        wall_sent - wall_start,
+                        time.perf_counter() - wall_sent,
+                    )
+                )
+                msg_start = len(messages)
+                wall_start = time.perf_counter()
             broadcast_dirty = []
             for h in range(num_hosts):
                 part = self.partitioned.partitions[h]
@@ -432,9 +566,21 @@ class DistributedExecutor:
                 next_frontiers[h] |= reduce_changed[h] | dirty
             for h in range(num_hosts):
                 self.substrates[h].send_broadcast(fields[h], broadcast_dirty[h])
+            if tracing:
+                wall_sent = time.perf_counter()
             for h in range(num_hosts):
                 changed = self.substrates[h].receive_broadcast(fields[h])
                 next_frontiers[h] |= changed
+            if tracing:
+                self._phase_records.append(
+                    (
+                        f"broadcast:{fields[0].name}",
+                        msg_start,
+                        len(messages),
+                        wall_sent - wall_start,
+                        time.perf_counter() - wall_sent,
+                    )
+                )
 
     def _apply_hooks_locally(self, next_frontiers: List[np.ndarray]) -> None:
         """Run master-side apply hooks when sync is disabled (1 host)."""
@@ -456,6 +602,7 @@ class DistributedExecutor:
         if self.transport is None:
             return 0.0, 0, 0
         traffic = self.transport.stats.current_round
+        self._last_round_traffic = traffic
         self.transport.end_round()
         extras = [0.0] * num_hosts
         if self.substrates:
@@ -480,6 +627,152 @@ class DistributedExecutor:
         )
         return comm_time, traffic.total_bytes, traffic.num_messages
 
+    # -- observability -----------------------------------------------------------
+
+    def _trace_round(
+        self,
+        round_index: int,
+        comp_times: List[float],
+        comm_time: float,
+        active: int,
+    ) -> None:
+        """Emit the round's spans on every host's simulated timeline.
+
+        BSP shape: all hosts start the round together, compute spans end
+        at each host's own pace (the visual load-imbalance gap), the sync
+        span covers the shared communication window, and the per-field
+        reduce/broadcast phase spans nest inside it.
+        """
+        t0 = self._trace_clock
+        num_hosts = self.partitioned.num_hosts
+        comp_max = max(comp_times) if comp_times else 0.0
+        sync_start = t0 + comp_max
+        traffic = self._last_round_traffic
+        sent, received = (
+            traffic.bytes_by_host(num_hosts)
+            if traffic is not None
+            else ([0] * num_hosts, [0] * num_hosts)
+        )
+        for h in range(num_hosts):
+            self.tracer.record(
+                "round",
+                cat="round",
+                host=h,
+                begin_s=t0,
+                duration_s=comp_max + comm_time,
+                round=round_index,
+                app=self.app.name,
+                policy=self.partitioned.policy_name,
+                active_nodes=active,
+            )
+            self.tracer.record(
+                "compute",
+                cat="compute",
+                host=h,
+                begin_s=t0,
+                duration_s=comp_times[h],
+                round=round_index,
+                engine=self.engines[h].name,
+            )
+            self.tracer.record(
+                "sync",
+                cat="communication",
+                host=h,
+                begin_s=sync_start,
+                duration_s=comm_time,
+                round=round_index,
+                bytes_sent=sent[h],
+                bytes_recv=received[h],
+            )
+        if traffic is not None:
+            self._trace_phases(sync_start, comm_time, traffic, round_index)
+        self._trace_clock = t0 + comp_max + comm_time
+
+    def _trace_phases(
+        self, begin_s: float, comm_time: float, traffic, round_index: int
+    ) -> None:
+        """Nest per-field reduce/broadcast (and serialize/apply) spans.
+
+        The cost model prices the communication window as a whole, so the
+        window is apportioned among phases by their exact byte volumes,
+        and each phase is split into its serialize (encode+send) and
+        apply (decode+reduce/set) halves by measured wall-time ratio.
+        """
+        records = self._phase_records
+        if not records:
+            return
+        num_hosts = self.partitioned.num_hosts
+        phase_bytes = [
+            sum(nbytes for _, _, nbytes in traffic.messages[start:end])
+            for _, start, end, _, _ in records
+        ]
+        grand_total = sum(phase_bytes)
+        cursor = begin_s
+        for (label, start, end, wall_ser, wall_apply), nbytes in zip(
+            records, phase_bytes
+        ):
+            if grand_total > 0:
+                share = comm_time * (nbytes / grand_total)
+            else:
+                share = comm_time / len(records)
+            slice_msgs = traffic.messages[start:end]
+            sent = [0] * num_hosts
+            received = [0] * num_hosts
+            counts = [0] * num_hosts
+            for src, dst, size in slice_msgs:
+                sent[src] += size
+                received[dst] += size
+                counts[src] += 1
+            wall_total = wall_ser + wall_apply
+            ser_frac = (wall_ser / wall_total) if wall_total > 0 else 0.5
+            for h in range(num_hosts):
+                self.tracer.record(
+                    label,
+                    cat="sync-phase",
+                    host=h,
+                    begin_s=cursor,
+                    duration_s=share,
+                    round=round_index,
+                    bytes=sent[h],
+                    bytes_recv=received[h],
+                    messages=counts[h],
+                )
+                self.tracer.record(
+                    "serialize",
+                    cat="serialize",
+                    host=h,
+                    begin_s=cursor,
+                    duration_s=share * ser_frac,
+                    round=round_index,
+                )
+                self.tracer.record(
+                    "apply",
+                    cat="apply",
+                    host=h,
+                    begin_s=cursor + share * ser_frac,
+                    duration_s=share * (1.0 - ser_frac),
+                    round=round_index,
+                )
+            cursor += share
+
+    def _publish_round_metrics(
+        self,
+        comp_times: List[float],
+        comm_time: float,
+        comm_bytes: int,
+        comm_messages: int,
+        active: int,
+    ) -> None:
+        """Publish the round's aggregates into the metrics registry."""
+        self.metrics.counter("rounds_total").inc()
+        self.metrics.counter("comm_time_seconds_total").inc(comm_time)
+        self.metrics.counter("comp_time_seconds_total").inc(
+            max(comp_times) if comp_times else 0.0
+        )
+        self.metrics.histogram("round_bytes").observe(comm_bytes)
+        self.metrics.histogram("round_messages").observe(comm_messages)
+        self.metrics.gauge("active_nodes").set(active)
+
     def _finalize(self, result: RunResult) -> None:
         # Recomputed (not accumulated) so resumed runs stay correct.
         result.translations = self._carried_translations
@@ -490,6 +783,17 @@ class DistributedExecutor:
                 result.mode_counts[mode] = (
                     result.mode_counts.get(mode, 0) + count
                 )
+        if self.metrics.enabled:
+            # Gauges (idempotent) because resumed runs re-finalize.
+            if isinstance(self.transport, FaultyTransport):
+                faults = self.transport.faults
+                self.metrics.gauge("faults_injected").set(faults.total_injected)
+                self.metrics.gauge("fault_bytes").set(faults.fault_bytes)
+                self.metrics.gauge("framing_bytes").set(faults.framing_bytes)
+            self.metrics.gauge("replication_factor").set(
+                result.replication_factor
+            )
+            result.metrics = self.metrics.to_dict()
 
     def _carry_substrate_stats(self) -> None:
         """Fold retiring substrates' stats into the carried totals."""

@@ -74,6 +74,9 @@ class RunResult:
     num_checkpoints: int = 0
     checkpoint_bytes: int = 0
     checkpoint_time: float = 0.0
+    #: Snapshot of the run's metrics registry (empty unless the run was
+    #: observed — see :mod:`repro.observability`).
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def num_rounds(self) -> int:
@@ -215,6 +218,7 @@ class RunResult:
                 "checkpoint_time_s": self.checkpoint_time,
             },
             "rounds": self.round_rows(),
+            "metrics": self.metrics,
         }
         text = json.dumps(payload, indent=2)
         if path is not None:

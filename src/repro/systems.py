@@ -199,6 +199,7 @@ def run_app(
     max_iterations: int = 100,
     k: int = 2,
     resilience=None,
+    observability=None,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
 
@@ -210,6 +211,12 @@ def run_app(
     the run failable and survivable: faults are injected per its plan,
     state is checkpointed on its cadence, and crashes are survived with
     its recovery protocol, all accounted on the result.
+
+    ``observability`` (a :class:`~repro.observability.Observability`)
+    turns on span tracing and metrics for the run: partitioning, the
+    memoization exchange, every BSP round, and the resilience machinery
+    record into its tracer/registry, ready for the exporters
+    (``repro run --trace/--metrics``).
     """
     prepared = prepare_input(
         app_name,
@@ -235,11 +242,25 @@ def run_app(
     partition_started = time.perf_counter()
     partitioned = partitioner.partition(prepared.edges, num_hosts)
     partition_time = time.perf_counter() - partition_started
+    if observability is not None and observability.tracer.enabled:
+        observability.tracer.record_sequential(
+            "partition",
+            partition_time,
+            cat="construction",
+            app=app_name,
+            policy=partitioned.policy_name,
+            hosts=num_hosts,
+        )
     if getattr(app, "multi_phase", False):
         if resilience is not None:
             raise ExecutionError(
                 f"{app_name} is multi-phase; resilience is only supported "
                 "for single-executor applications"
+            )
+        if observability is not None:
+            raise ExecutionError(
+                f"{app_name} is multi-phase; observability is only "
+                "supported for single-executor applications"
             )
         # Multi-phase applications (betweenness centrality) drive their
         # own executor passes over the shared partition.
@@ -265,6 +286,7 @@ def run_app(
         enable_sync=sync,
         system_name=system.lower(),
         resilience=resilience,
+        observability=observability,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time

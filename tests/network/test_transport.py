@@ -73,6 +73,17 @@ class TestRounds:
         t.receive_all(1)
         t.end_round()  # now fine
 
+    def test_end_round_error_names_offending_senders(self):
+        t = InProcessTransport(4)
+        t.send(1, 3, b"x")
+        t.send(2, 3, b"y")
+        t.send(2, 0, b"z")
+        with pytest.raises(TransportError) as exc:
+            t.end_round()
+        message = str(exc.value)
+        assert "host 3 holds mail from senders [1, 2]" in message
+        assert "host 0 holds mail from senders [2]" in message
+
     def test_round_boundaries_split_traffic(self):
         t = InProcessTransport(2)
         t.send(0, 1, b"xx")
@@ -106,11 +117,16 @@ class TestCrashes:
         with pytest.raises(HostCrashedError):
             t.send(0, 1, b"x")
 
-    def test_pending_on_dead_host_rejected(self):
+    def test_pending_is_monitoring_safe_on_dead_host(self):
+        # Monitoring probes must not raise: a crashed host's discarded
+        # mailbox simply reads as empty, and probing does not drain mail.
         t = InProcessTransport(2)
+        t.send(0, 1, b"x")
+        assert t.pending(1) == 1
+        assert t.pending(1) == 1  # probing does not consume
         t.crash(1)
-        with pytest.raises(HostCrashedError):
-            t.pending(1)
+        assert t.pending(1) == 0
+        assert t.is_crashed(1)
 
     def test_crash_is_transport_error(self):
         # Callers catching the broad transport failure still work.

@@ -1,0 +1,119 @@
+"""Metrics registry unit tests: instruments, export, null path."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("bytes", host=0)
+        b = reg.counter("bytes", host=0)
+        c = reg.counter("bytes", host=1)
+        assert a is b and a is not c
+        a.inc(5)
+        a.inc()
+        assert a.value == 6
+        assert c.value == 0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            reg.counter("x").inc(-1)
+
+    def test_counter_total_sums_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", host=0).inc(10)
+        reg.counter("bytes", host=1).inc(32)
+        reg.counter("other").inc(999)
+        assert reg.counter_total("bytes") == 42
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("active")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_histogram_stats_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        for v in (0, 1, 3, 1024):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 1028
+        assert h.min == 0 and h.max == 1024
+        assert h.mean == 257.0
+        # 0 -> bucket 0, 1 -> bucket 1 (< 2), 3 -> bucket 2 (< 4),
+        # 1024 -> bucket 11 (< 2048)
+        assert h.buckets == {0: 1, 1: 1, 2: 1, 11: 1}
+
+    def test_histogram_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match=">= 0"):
+            reg.histogram("sizes").observe(-1)
+
+
+class TestExport:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", host=0).inc(7)
+        reg.gauge("active").set(3)
+        reg.histogram("sizes").observe(100)
+        return reg
+
+    def test_to_dict_shape(self):
+        payload = self.make_registry().to_dict()
+        assert payload["counters"] == {"bytes{host=0}": 7}
+        assert payload["gauges"] == {"active": 3}
+        hist = payload["histograms"]["sizes"]
+        assert hist["count"] == 1 and hist["sum"] == 100
+
+    def test_to_json_roundtrips(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        text = self.make_registry().to_json(path)
+        assert json.loads(path.read_text()) == json.loads(text)
+
+    def test_to_csv_has_all_instruments(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        self.make_registry().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "kind,name,labels,stat,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+
+class TestNullMetrics:
+    def test_disabled_and_shared_instrument(self):
+        assert NULL_METRICS.enabled is False
+        c = NULL_METRICS.counter("x", host=1)
+        g = NULL_METRICS.gauge("y")
+        h = NULL_METRICS.histogram("z")
+        assert c is g is h  # one shared no-op instrument
+        c.inc(5)
+        g.set(2)
+        h.observe(9)
+        assert c.value == 0
+        assert NULL_METRICS.instruments() == []
+
+    def test_null_registry_never_allocates_instruments(self, monkeypatch):
+        for cls in (Counter, Gauge, Histogram):
+            monkeypatch.setattr(
+                cls,
+                "__init__",
+                lambda self, *a, **k: (_ for _ in ()).throw(
+                    AssertionError("instrument allocated on no-op path")
+                ),
+            )
+        NULL_METRICS.counter("x").inc()
+        NULL_METRICS.gauge("y").set(1)
+        NULL_METRICS.histogram("z").observe(1)

@@ -1,0 +1,92 @@
+"""Tracer unit tests: span recording, nesting, ordering, null path."""
+
+import pytest
+
+from repro.observability import (
+    DRIVER,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class TestSpanRecording:
+    def test_record_returns_the_span(self):
+        tracer = Tracer()
+        span = tracer.record(
+            "compute", cat="compute", host=2, begin_s=1.0, duration_s=0.5,
+            round=3,
+        )
+        assert span is tracer.spans[0]
+        assert span.name == "compute"
+        assert span.host == 2
+        assert span.end_s == 1.5
+        assert span.tags == {"round": 3}
+
+    def test_recording_order_is_preserved(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.record(f"s{i}", begin_s=float(i), duration_s=1.0)
+        assert [s.name for s in tracer.spans] == [f"s{i}" for i in range(5)]
+
+    def test_sequential_spans_tile_the_driver_timeline(self):
+        tracer = Tracer()
+        a = tracer.record_sequential("partition", 2.0, cat="construction")
+        b = tracer.record_sequential("memoization", 1.0, cat="construction")
+        assert a.begin_s == 0.0 and a.end_s == 2.0
+        assert b.begin_s == 2.0 and b.end_s == 3.0
+        assert tracer.cursor == 3.0
+        assert a.host == DRIVER and b.host == DRIVER
+
+    def test_spans_for_host_filters(self):
+        tracer = Tracer()
+        tracer.record("a", host=0, begin_s=0, duration_s=1)
+        tracer.record("b", host=1, begin_s=0, duration_s=1)
+        tracer.record("c", host=0, begin_s=1, duration_s=1)
+        assert [s.name for s in tracer.spans_for_host(0)] == ["a", "c"]
+        assert [s.name for s in tracer.spans_named("b")] == ["b"]
+
+
+class TestNesting:
+    def test_containment_defines_children(self):
+        tracer = Tracer()
+        parent = tracer.record("round", host=0, begin_s=0.0, duration_s=10.0)
+        child = tracer.record("compute", host=0, begin_s=0.0, duration_s=4.0)
+        grandchild = tracer.record("sync", host=0, begin_s=4.0, duration_s=6.0)
+        other_host = tracer.record("compute", host=1, begin_s=1.0, duration_s=1.0)
+        outside = tracer.record("late", host=0, begin_s=9.0, duration_s=5.0)
+        children = tracer.children_of(parent)
+        assert child in children and grandchild in children
+        assert other_host not in children  # different track
+        assert outside not in children  # overlaps but not contained
+
+    def test_contains_requires_same_host(self):
+        a = Span("a", "", 0, 0.0, 10.0)
+        b = Span("b", "", 1, 2.0, 1.0)
+        assert not a.contains(b)
+
+
+class TestNullTracer:
+    def test_record_is_a_no_op(self):
+        tracer = NullTracer()
+        assert tracer.record("x", begin_s=0, duration_s=1) is None
+        assert tracer.record_sequential("y", 1.0) is None
+        assert tracer.spans == ()
+        assert tracer.cursor == 0.0
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+
+    def test_null_tracer_never_allocates_spans(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("Span allocated on the no-op path")
+
+        monkeypatch.setattr(Span, "__init__", boom)
+        NULL_TRACER.record("x", begin_s=0, duration_s=1)
+        NULL_TRACER.record_sequential("y", 1.0)
+
+    def test_null_spans_tuple_rejects_append(self):
+        with pytest.raises(AttributeError):
+            NULL_TRACER.spans.append("x")

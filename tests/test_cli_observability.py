@@ -1,0 +1,152 @@
+"""CLI tests for the observability surface: --trace/--metrics/--json,
+--per-round, and the `repro trace` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN = [
+    "run",
+    "--system", "d-galois",
+    "--app", "bfs",
+    "--workload", "rmat22s",
+    "--hosts", "4",
+    "--scale-delta", "-4",
+]
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestTraceAndMetricsFlags:
+    def test_trace_flag_writes_valid_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code, out, err = run_cli(RUN + ["--trace", str(trace)], capsys)
+        assert code == 0
+        assert f"trace written to {trace}" in err
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        process_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        # One process per simulated host, plus the driver.
+        assert process_names == {"driver"} | {f"host {h}" for h in range(4)}
+        assert any(
+            e["ph"] == "X" and e["name"] == "round" for e in events
+        )
+        assert doc["otherData"]["app"] == "bfs"
+
+    def test_metrics_flag_reconciles_with_reported_volume(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        code, out, err = run_cli(
+            RUN + ["--metrics", str(metrics), "--json"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        dumped = json.loads(metrics.read_text())
+        sent = sum(
+            v
+            for k, v in dumped["counters"].items()
+            if k.startswith("bytes_sent_total")
+        )
+        comm_bytes = sum(r["comm_bytes"] for r in payload["rounds"])
+        assert sent == comm_bytes + payload["construction"]["bytes"]
+
+    def test_metrics_csv_by_suffix(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.csv"
+        code, _, _ = run_cli(RUN + ["--metrics", str(metrics)], capsys)
+        assert code == 0
+        assert metrics.read_text().startswith("kind,name,labels,stat,value")
+
+    def test_untraced_run_has_no_observability_files_or_noise(
+        self, tmp_path, capsys
+    ):
+        code, out, err = run_cli(RUN, capsys)
+        assert code == 0
+        assert "trace written" not in err
+        assert "run summary" in out
+
+
+class TestJsonFlag:
+    def test_json_emits_full_run_result(self, capsys):
+        code, out, _ = run_cli(RUN + ["--json"], capsys)
+        assert code == 0
+        payload = json.loads(out)  # stdout is exactly one JSON document
+        assert payload["summary"]["system"] == "d-galois"
+        assert payload["summary"]["converged"] is True
+        assert "resilience" in payload
+        assert "metrics" in payload
+        assert len(payload["rounds"]) == payload["summary"]["rounds"]
+
+    def test_json_includes_metrics_when_observed(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        code, out, _ = run_cli(
+            RUN + ["--json", "--metrics", str(metrics)], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["metrics"]["counters"]["rounds_total"] == (
+            payload["summary"]["rounds"]
+        )
+
+    def test_json_includes_resilience_accounting(self, capsys):
+        code, out, _ = run_cli(
+            RUN + ["--json", "--checkpoint-every", "2"], capsys
+        )
+        payload = json.loads(out)
+        assert payload["resilience"]["num_checkpoints"] >= 1
+
+
+class TestPerRoundFlag:
+    def test_per_round_table_printed(self, capsys):
+        code, out, _ = run_cli(RUN + ["--per-round"], capsys)
+        assert code == 0
+        assert "per-round breakdown" in out
+        assert "comp_max_ms" in out
+
+
+class TestTraceSubcommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        run_cli(RUN + ["--trace", str(trace)], capsys)
+        return trace
+
+    def test_summarizes_exported_trace(self, trace_file, capsys):
+        code, out, _ = run_cli(["trace", str(trace_file)], capsys)
+        assert code == 0
+        assert "per-host busy/idle" in out
+        assert "bytes by sync phase" in out
+        assert "top spans by total time" in out
+        assert "host 0" in out and "host 3" in out
+        assert "reduce:dist" in out
+
+    def test_top_limits_span_families(self, trace_file, capsys):
+        code, out, _ = run_cli(["trace", str(trace_file), "--top", "1"], capsys)
+        assert code == 0
+        section = out.split("top spans by total time")[1]
+        rows = [line for line in section.strip().splitlines()[2:] if line]
+        assert len(rows) == 1
+
+    def test_bad_top_rejected(self, trace_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", str(trace_file), "--top", "0"])
+
+    def test_missing_file_is_parser_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", str(tmp_path / "absent.json")])
+
+    def test_invalid_json_is_parser_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SystemExit):
+            main(["trace", str(bad)])

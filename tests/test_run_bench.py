@@ -1,0 +1,56 @@
+"""Smoke tests for the benchmark harness (benchmarks/run_bench.py)."""
+
+import json
+
+import pytest
+
+from benchmarks import run_bench
+
+
+class TestSmokeMatrix:
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("bench")
+        output = tmp / "BENCH_test.json"
+        code = run_bench.main(
+            [
+                "--smoke",
+                "--output", str(output),
+                "--export-dir", str(tmp / "exports"),
+            ]
+        )
+        assert code == 0
+        return json.loads(output.read_text()), tmp
+
+    def test_emits_full_matrix(self, payload):
+        doc, _ = payload
+        assert doc["smoke"] is True
+        assert len(doc["matrix"]) == len(run_bench.SMOKE_APPS) * len(
+            run_bench.DEFAULT_POLICIES
+        ) * len(run_bench.SMOKE_HOSTS)
+
+    def test_rows_carry_the_three_perf_axes(self, payload):
+        doc, _ = payload
+        for row in doc["matrix"]:
+            assert row["wall_s"] >= 0
+            assert row["sim_time_s"] > 0
+            assert row["total_bytes"] > 0
+            assert row["rounds"] >= 1
+            assert row["converged"] is True
+            assert row["reconciled"] is True
+
+    def test_smoke_exports_traces_and_metrics(self, payload):
+        doc, tmp = payload
+        exports = tmp / "exports"
+        traces = sorted(exports.glob("*.trace.json"))
+        metrics = sorted(exports.glob("*.metrics.json"))
+        assert len(traces) == len(doc["matrix"])
+        assert len(metrics) == len(doc["matrix"])
+        # Every exported trace is a well-formed Chrome trace document.
+        for trace in traces:
+            events = json.loads(trace.read_text())["traceEvents"]
+            assert any(e["ph"] == "X" for e in events)
+
+    def test_default_output_name_carries_the_date(self, payload):
+        doc, _ = payload
+        assert doc["date"] and len(doc["date"]) == 10  # YYYY-MM-DD
