@@ -90,6 +90,64 @@ def bench_cell(
     }
 
 
+def bench_service(
+    workload: str,
+    scale_delta: int,
+    apps: tuple = ("bfs", "pr", "cc"),
+    repeats: int = 3,
+) -> dict:
+    """Repeated-query service cell: jobs/sec cold vs warm.
+
+    Runs one batch of jobs through a fresh :class:`JobService` (cold —
+    pays partitioning and execution), then resubmits the identical batch
+    ``repeats`` times against the same service (warm — served from the
+    result cache).  The warm/cold throughput ratio is the payoff of
+    content-addressed caching; the acceptance bar is >= 2x.
+    """
+    from repro.service import JobService, JobSpec, ServiceConfig
+
+    specs = [
+        JobSpec(
+            app=app,
+            workload=workload,
+            policy=policy,
+            scale_delta=scale_delta,
+        )
+        for app in apps
+        for policy in ("oec", "cvc")
+    ]
+    service = JobService(ServiceConfig(max_pending=len(specs)))
+    started = time.perf_counter()
+    cold_results = service.run_batch(specs)
+    cold_s = time.perf_counter() - started
+    if not all(r.status == "ok" for r in cold_results):
+        raise AssertionError("service bench: cold batch had failed jobs")
+    started = time.perf_counter()
+    warm_jobs = 0
+    for _ in range(repeats):
+        warm_results = service.run_batch(specs)
+        warm_jobs += len(warm_results)
+    warm_s = time.perf_counter() - started
+    hits = service.stats()["jobs"]["result_cache_hits"]
+    if hits != warm_jobs:
+        raise AssertionError(
+            f"service bench: expected {warm_jobs} result-cache hits, "
+            f"got {hits}"
+        )
+    cold_jps = len(specs) / cold_s if cold_s > 0 else 0.0
+    warm_jps = warm_jobs / warm_s if warm_s > 0 else 0.0
+    return {
+        "jobs": len(specs),
+        "repeats": repeats,
+        "cold_wall_s": round(cold_s, 4),
+        "warm_wall_s": round(warm_s, 4),
+        "cold_jobs_per_s": round(cold_jps, 2),
+        "warm_jobs_per_s": round(warm_jps, 2),
+        "speedup": round(warm_jps / cold_jps, 2) if cold_jps > 0 else 0.0,
+        "result_cache_hits": hits,
+    }
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -126,12 +184,29 @@ def run_matrix(args: argparse.Namespace) -> dict:
                     f"{row['rounds']} rounds",
                     file=sys.stderr,
                 )
+    service = None
+    if not args.no_service:
+        service_apps = ("bfs",) if args.smoke else ("bfs", "pr", "cc")
+        service = bench_service(
+            args.workload,
+            scale_delta,
+            apps=service_apps,
+            repeats=2 if args.smoke else 3,
+        )
+        print(
+            f"  service: {service['jobs']} jobs, "
+            f"cold {service['cold_jobs_per_s']:.1f} jobs/s, "
+            f"warm {service['warm_jobs_per_s']:.1f} jobs/s "
+            f"({service['speedup']:.1f}x)",
+            file=sys.stderr,
+        )
     return {
         "date": date.today().isoformat(),
         "workload": args.workload,
         "scale_delta": scale_delta,
         "smoke": bool(args.smoke),
         "matrix": rows,
+        "service": service,
     }
 
 
@@ -160,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--hosts", default=None, help="comma list of host counts"
     )
     parser.add_argument("--scale-delta", type=int, default=None)
+    parser.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the repeated-query job-service throughput cell",
+    )
     parser.add_argument(
         "--export-dir",
         default=None,

@@ -25,6 +25,14 @@ from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
 from repro.partition import make_partitioner
 from repro.runtime.stats import RunResult
+from repro.service import (
+    JobResult,
+    JobService,
+    JobSpec,
+    ServiceCache,
+    ServiceConfig,
+    serve_batch,
+)
 from repro.systems import ALL_SYSTEMS, prepare_input, run_app
 from repro.verify import verify_run
 from repro.workloads import WORKLOAD_NAMES, load_workload
@@ -42,6 +50,12 @@ __all__ = [
     "CSRGraph",
     "EdgeList",
     "RunResult",
+    "JobSpec",
+    "JobResult",
+    "JobService",
+    "ServiceConfig",
+    "ServiceCache",
+    "serve_batch",
     "OptimizationLevel",
     "ALL_SYSTEMS",
     "WORKLOAD_NAMES",

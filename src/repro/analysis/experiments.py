@@ -22,6 +22,7 @@ from repro.core.optimization import OptimizationLevel
 from repro.graph.properties import compute_properties
 from repro.network.cost_model import LCI_PARAMETERS, scaled_fabric
 from repro.partition import make_partitioner
+from repro.partition.build import build_partition
 from repro.runtime.stats import RunResult
 from repro.systems import (
     GPUS_PER_NODE,
@@ -47,6 +48,37 @@ APPS = ("bfs", "cc", "pr", "sssp")
 #: GPU systems' per-edge compute is ~4x a CPU host's, so the fabric scale
 #: that restores the paper's compute:communication balance is ~4x smaller.
 GPU_FABRIC_SCALE = 128.0
+
+#: Optional partition cache shared by every harness in this module (set
+#: with :func:`use_partition_cache`).  All partition construction here
+#: routes through :func:`repro.partition.build.build_partition`, the same
+#: helper the ``repro run`` path uses, so one service cache covers both
+#: entry points.
+_PARTITION_CACHE = None
+
+
+def use_partition_cache(cache) -> None:
+    """Route this module's partition construction through ``cache``.
+
+    Pass a :class:`repro.service.cache.ServiceCache` (or anything
+    speaking the same protocol); ``None`` turns caching back off.
+    """
+    global _PARTITION_CACHE
+    _PARTITION_CACHE = cache
+
+
+def _partition(edges, partitioner, num_hosts: int):
+    """Build (or fetch) a partition via the shared build helper."""
+    outcome = build_partition(
+        edges, partitioner, num_hosts, cache=_PARTITION_CACHE
+    )
+    if (
+        _PARTITION_CACHE is not None
+        and not outcome.from_cache
+        and outcome.key is not None
+    ):
+        _PARTITION_CACHE.put_partition(outcome.key, outcome.partitioned)
+    return outcome.partitioned
 
 
 def bench_network(system: str, num_hosts: int):
@@ -77,6 +109,7 @@ def run(
         policy=policy,
         level=level,
         network=bench_network(system, num_hosts),
+        partition_cache=_PARTITION_CACHE,
     )
 
 
@@ -274,13 +307,13 @@ def _fits_paper_memory(
     if system == "gemini":
         from repro.engines.gemini import GeminiPartitioner
 
-        partitioned = GeminiPartitioner().partition(prep.edges, num_hosts)
+        partitioned = _partition(prep.edges, GeminiPartitioner(), num_hosts)
         dual = True
     else:
         if system == "gunrock":
             policy = "random"
-        partitioned = make_partitioner(policy or "cvc").partition(
-            prep.edges, num_hosts
+        partitioned = _partition(
+            prep.edges, make_partitioner(policy or "cvc"), num_hosts
         )
         dual = False
     projection = project(
@@ -505,9 +538,11 @@ def replication_rows(
     for num_hosts in hosts:
         row: Dict = {"hosts": num_hosts}
         for policy in ("oec", "iec", "cvc", "hvc", "jagged"):
-            partitioned = make_partitioner(policy).partition(edges, num_hosts)
+            partitioned = _partition(
+                edges, make_partitioner(policy), num_hosts
+            )
             row[policy] = round(partitioned.replication_factor(), 2)
-        gemini = GeminiPartitioner().partition(edges, num_hosts)
+        gemini = _partition(edges, GeminiPartitioner(), num_hosts)
         row["gemini"] = round(gemini.replication_factor(), 2)
         rows.append(row)
     return rows
@@ -657,8 +692,12 @@ def headline_summary(scale_delta: int = 0) -> List[Dict]:
     from repro.engines.gemini import GeminiPartitioner
 
     edges = load_workload("rmat24s", scale_delta)
-    gemini_rep = GeminiPartitioner().partition(edges, 16).replication_factor()
-    cvc_rep = make_partitioner("cvc").partition(edges, 16).replication_factor()
+    gemini_rep = _partition(
+        edges, GeminiPartitioner(), 16
+    ).replication_factor()
+    cvc_rep = _partition(
+        edges, make_partitioner("cvc"), 16
+    ).replication_factor()
     rows.append(
         {
             "headline": "replication: Gemini vs CVC (16 hosts)",

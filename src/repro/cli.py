@@ -148,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-round breakdown table after the summary",
     )
+    run_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "route partitioning through the service's content-addressed "
+            "cache in DIR (reused across runs and by `repro serve`)"
+        ),
+    )
 
     exp_cmd = commands.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -185,13 +194,111 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="number of span families to rank (default: 10)",
     )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run a batch of jobs through the analytics job service",
+    )
+    serve_cmd.add_argument(
+        "batch", help="JSON batch file (list of jobs, or {defaults, jobs})"
+    )
+    _add_service_flags(serve_cmd)
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool width for --backend thread/process (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="worker pool backend (default: serial)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="queue capacity (default: fits the batch)",
+    )
+    serve_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results + service stats as JSON on stdout",
+    )
+
+    submit_cmd = commands.add_parser(
+        "submit",
+        help="submit one job to the service (cache-aware single run)",
+    )
+    submit_cmd.add_argument(
+        "--app", required=True, choices=sorted(APP_BY_NAME)
+    )
+    submit_cmd.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOAD_NAMES)
+    )
+    submit_cmd.add_argument(
+        "--system", default="d-galois", choices=sorted(ALL_SYSTEMS)
+    )
+    submit_cmd.add_argument("--hosts", type=int, default=4)
+    submit_cmd.add_argument(
+        "--policy", choices=sorted(PARTITIONER_BY_NAME), default=None
+    )
+    submit_cmd.add_argument(
+        "--level",
+        choices=[level.value for level in OptimizationLevel],
+        default=None,
+    )
+    submit_cmd.add_argument("--scale-delta", type=int, default=0)
+    submit_cmd.add_argument(
+        "--priority", type=int, default=0, help="scheduling priority"
+    )
+    submit_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failed job up to N times with backoff (default: 0)",
+    )
+    _add_service_flags(submit_cmd)
+    submit_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the job result as JSON on stdout",
+    )
     return parser
+
+
+def _add_service_flags(cmd: argparse.ArgumentParser) -> None:
+    """Flags shared by the service-backed subcommands."""
+    cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the two-level cache (partitions + results) in DIR; "
+            "default: in-memory for the process lifetime"
+        ),
+    )
 
 
 def _validate_args(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
     """Reject malformed flag values with a friendly parser error."""
+    if args.command == "serve":
+        if args.workers < 1:
+            parser.error(f"--workers must be at least 1, got {args.workers}")
+        if args.max_pending is not None and args.max_pending < 1:
+            parser.error(
+                f"--max-pending must be at least 1, got {args.max_pending}"
+            )
+        return
+    if args.command == "submit":
+        if args.hosts < 1:
+            parser.error(f"--hosts must be at least 1, got {args.hosts}")
+        if args.retries < 0:
+            parser.error(f"--retries must be >= 0, got {args.retries}")
+        return
     if args.command != "run":
         return
     if args.hosts < 1:
@@ -249,6 +356,11 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         from repro.observability import Observability
 
         observability = Observability()
+    partition_cache = None
+    if args.cache_dir is not None:
+        from repro.service import ServiceCache
+
+        partition_cache = ServiceCache(directory=args.cache_dir)
     result = run_app(
         args.system,
         args.app,
@@ -259,6 +371,7 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         network=network,
         resilience=resilience,
         observability=observability,
+        partition_cache=partition_cache,
     )
     if observability is not None:
         _export_observability(args, result, observability)
@@ -267,6 +380,9 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         print(result.to_json())
         return 0
     print(format_table([result.summary()], title="run summary"))
+    if partition_cache is not None:
+        status = "hit" if result.partition_cache_hit else "miss"
+        print(f"partition cache    : {status} ({args.cache_dir})")
     print(f"replication factor : {result.replication_factor:.3f}")
     print(f"construction       : {result.construction_time*1e3:.2f} ms, "
           f"{result.construction_bytes/1e3:.1f} KB exchanged")
@@ -393,6 +509,99 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    import json as _json
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceConfig, load_batch, serve_batch
+
+    try:
+        specs = load_batch(args.batch)
+        config = ServiceConfig(
+            workers=args.workers,
+            backend=args.backend,
+            max_pending=(
+                args.max_pending
+                if args.max_pending is not None
+                else max(len(specs), 1)
+            ),
+            cache_dir=args.cache_dir,
+        )
+        results, service, wall = serve_batch(specs, config=config)
+    except ServiceError as exc:
+        parser.error(str(exc))
+    stats = service.stats()
+    throughput = len(results) / wall if wall > 0 else 0.0
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "results": [result.to_dict() for result in results],
+                    "stats": stats,
+                    "wall_s": wall,
+                    "jobs_per_s": throughput,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(format_table([r.row() for r in results], title="serve summary"))
+    jobs = stats["jobs"]
+    print(
+        f"jobs               : {jobs['completed']} ok, "
+        f"{jobs['failed']} failed, {jobs['retries']} retries"
+    )
+    print(
+        f"cache              : {jobs['result_cache_hits']} result hit(s), "
+        f"{jobs['partition_cache_hits']} partition hit(s)"
+    )
+    print(
+        f"throughput         : {throughput:.1f} jobs/s "
+        f"({wall*1e3:.1f} ms wall, backend={args.backend}, "
+        f"workers={args.workers})"
+    )
+    return 0 if all(r.status == "ok" for r in results) else 1
+
+
+def _command_submit(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    import json as _json
+
+    from repro.errors import ServiceError
+    from repro.service import JobSpec, ServiceCache, execute_job
+
+    try:
+        spec = JobSpec(
+            app=args.app,
+            workload=args.workload,
+            hosts=args.hosts,
+            system=args.system,
+            policy=args.policy,
+            level=args.level,
+            scale_delta=args.scale_delta,
+            priority=args.priority,
+            max_attempts=args.retries + 1,
+        )
+        cache = ServiceCache(directory=args.cache_dir)
+        result = execute_job(spec, cache=cache)
+    except ServiceError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(_json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(format_table([result.row()], title=f"job {result.job_id}"))
+    if result.status != "ok":
+        print(f"error              : {result.error}")
+    print(f"result cache       : {result.result_cache}")
+    print(f"partition cache    : {result.partition_cache}")
+    if result.output_digest:
+        print(f"output digest      : {result.output_digest[:16]}…")
+    return 0 if result.status == "ok" else 1
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -416,6 +625,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _command_analyze,
         "report": _command_report,
         "trace": lambda a: _command_trace(a, parser),
+        "serve": lambda a: _command_serve(a, parser),
+        "submit": lambda a: _command_submit(a, parser),
     }
     try:
         return handlers[args.command](args)

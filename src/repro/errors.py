@@ -68,3 +68,28 @@ class SyncError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised when a distributed execution cannot proceed."""
+
+
+class ServiceError(ReproError):
+    """Raised for misuse of the analytics job service."""
+
+
+class JobSpecError(ServiceError):
+    """Raised for a malformed or unsatisfiable job specification."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when the job queue refuses a submission (backpressure).
+
+    Attributes:
+        depth: Queue depth at the moment of rejection.
+    """
+
+    def __init__(self, message: str, depth: int = 0) -> None:
+        self.depth = depth
+        super().__init__(message)
+
+
+class CacheError(ServiceError):
+    """Raised for misuse of the service cache (corruption is *not* an
+    error: a corrupted entry is dropped and recomputed)."""

@@ -138,3 +138,25 @@ class EdgeList:
     def reversed(self) -> "EdgeList":
         """Return the edge list with every edge direction flipped."""
         return EdgeList(self.num_nodes, self.dst, self.src, self.weight)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the graph's canonical bytes.
+
+        Two edge lists hash equal iff they have the same node count and
+        identical ``src``/``dst``/``weight`` arrays (dtypes are normalized
+        to uint32 at construction), so the digest is stable across
+        processes and machines — the content-addressing key the service's
+        partition cache is built on.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(
+            f"EdgeList/{self.num_nodes}/{self.num_edges}/"
+            f"{int(self.has_weights)}".encode()
+        )
+        digest.update(np.ascontiguousarray(self.src).tobytes())
+        digest.update(np.ascontiguousarray(self.dst).tobytes())
+        if self.weight is not None:
+            digest.update(np.ascontiguousarray(self.weight).tobytes())
+        return digest.hexdigest()

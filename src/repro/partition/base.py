@@ -308,6 +308,28 @@ class Partitioner:
         """Assign every edge (and every node's master) to a host."""
         raise NotImplementedError
 
+    def cache_token(self) -> str:
+        """Canonical identity string for partition caching.
+
+        Two partitioner instances with the same token produce identical
+        partitions for identical inputs.  Scalar constructor parameters
+        (e.g. the random cut's seed, Gemini's mode) are folded in; the
+        token is process-independent, so it composes with
+        :meth:`~repro.graph.edgelist.EdgeList.content_hash` into a stable
+        cache key.
+        """
+        import json
+
+        params = {
+            key: value
+            for key, value in sorted(vars(self).items())
+            if isinstance(value, (bool, int, float, str))
+        }
+        return json.dumps(
+            {"class": type(self).__name__, "policy": self.name, "params": params},
+            sort_keys=True,
+        )
+
     def partition(self, edges: EdgeList, num_hosts: int) -> PartitionedGraph:
         """Partition ``edges`` across ``num_hosts`` hosts."""
         if num_hosts <= 0:

@@ -17,7 +17,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from repro.core.optimization import OptimizationLevel
-from repro.core.substrate import GluonSubstrate, setup_substrates
+from repro.core.substrate import (
+    GluonSubstrate,
+    PreparedSync,
+    setup_substrates,
+    setup_substrates_from_books,
+)
 from repro.core.sync_structures import FieldSpec
 from repro.errors import ExecutionError
 from repro.network.cost_model import CostModel, LCI_PARAMETERS, NetworkParameters
@@ -65,6 +70,7 @@ class DistributedExecutor:
         system_name: Optional[str] = None,
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[Observability] = None,
+        prepared_sync: Optional[PreparedSync] = None,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
@@ -96,6 +102,12 @@ class DistributedExecutor:
         else:
             self.system_name = f"{self.engine.name}+gluon"
         self.transport: Optional[InProcessTransport] = None
+        #: Warm-start sync structures (from the service's partition cache);
+        #: used once by :meth:`_setup` to skip the memoization exchange.
+        self.prepared_sync = prepared_sync
+        #: Bytes the memoization exchange cost (actual or credited) —
+        #: harvested into the partition cache after a successful run.
+        self._memoization_bytes = 0
         self.substrates: List[GluonSubstrate] = []
         self.states: List[Dict] = []
         self.fields: List[List[FieldSpec]] = []
@@ -171,12 +183,28 @@ class DistributedExecutor:
         self.transport = self._make_transport(num_hosts)
         memoization_bytes = 0
         if self.enable_sync:
-            self.substrates = setup_substrates(
-                self.partitioned, self.transport, self.level, self.metrics
-            )
-            memoization_bytes = self.transport.stats.total_bytes
-            result.construction_bytes += memoization_bytes
-            self.transport.end_round()
+            if self.prepared_sync is not None:
+                # Warm start: the address books were memoized by an
+                # earlier run over the same partition.  No exchange runs;
+                # the original exchange's bytes are credited so warm and
+                # cold results stay byte-identical.
+                self.substrates = setup_substrates_from_books(
+                    self.partitioned,
+                    self.transport,
+                    self.level,
+                    self.prepared_sync,
+                    self.metrics,
+                )
+                memoization_bytes = self.prepared_sync.memoization_bytes
+                result.construction_bytes += memoization_bytes
+            else:
+                self.substrates = setup_substrates(
+                    self.partitioned, self.transport, self.level, self.metrics
+                )
+                memoization_bytes = self.transport.stats.total_bytes
+                result.construction_bytes += memoization_bytes
+                self.transport.end_round()
+        self._memoization_bytes = memoization_bytes
         self.states = [
             self.app.make_state(part, self.ctx)
             for part in self.partitioned.partitions
@@ -216,10 +244,23 @@ class DistributedExecutor:
     def run(self, max_rounds: int = 100_000) -> RunResult:
         """Execute to global quiescence (or ``max_rounds`` more rounds).
 
-        Calling ``run`` again on an unconverged executor *resumes* where it
-        stopped, accumulating into the same :class:`RunResult` — the hook
-        that makes mid-run :meth:`repartition` possible.
+        Calling ``run`` again on an *unconverged* executor resumes where
+        it stopped, accumulating into the same :class:`RunResult` — the
+        hook that makes mid-run :meth:`repartition` possible.  Calling it
+        again after convergence raises: an executor is single-use per
+        completed run, because its states, frontiers, transport, and
+        checkpoint baseline all carry the finished execution.  Reusing
+        one silently would leak that state into the next answer — the
+        job service constructs a fresh executor per job for exactly this
+        reason.
         """
+        if self._result is not None and self._result.converged:
+            raise ExecutionError(
+                "this executor's run already converged; "
+                "DistributedExecutor is single-use per completed run — "
+                "construct a new executor (per job) instead of reusing "
+                "this one"
+            )
         if self._result is None:
             self._result = RunResult(
                 system=self.system_name,
@@ -232,8 +273,6 @@ class DistributedExecutor:
             # to even before the first periodic snapshot is due.
             self._maybe_checkpoint(0, force=True)
         result = self._result
-        if result.converged:
-            return result
         parts = self.partitioned.partitions
         num_hosts = len(parts)
         executed = 0
@@ -810,4 +849,19 @@ class DistributedExecutor:
         """Assemble the global result array for state field ``key``."""
         return self.app.gather_master_values(
             self.partitioned.partitions, self.states, key
+        )
+
+    def harvest_prepared_sync(self) -> Optional[PreparedSync]:
+        """Extract the memoized sync structures for reuse by later runs.
+
+        Returns ``None`` when there is nothing worth caching (sync
+        disabled, or setup never ran).  The books are purely structural —
+        a function of the partition alone — so they stay valid even after
+        crashes and recoveries rebuilt the substrates.
+        """
+        if not self.substrates:
+            return None
+        return PreparedSync(
+            books=[sub.book for sub in self.substrates],
+            memoization_bytes=self._memoization_bytes,
         )

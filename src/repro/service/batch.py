@@ -1,0 +1,77 @@
+"""The ``repro serve`` batch-file format.
+
+A batch file is JSON: either a bare list of job objects, or an object
+with a ``"jobs"`` list and an optional ``"defaults"`` object merged
+under every job (job fields win).  Each job object holds
+:class:`~repro.service.spec.JobSpec` fields; ``app`` and ``workload``
+are required::
+
+    {
+      "defaults": {"workload": "rmat22s", "hosts": 4, "scale_delta": -4},
+      "jobs": [
+        {"app": "bfs", "policy": "cvc"},
+        {"app": "cc", "policy": "oec", "priority": 1},
+        {"app": "pr", "max_attempts": 2}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.errors import JobSpecError
+from repro.service.spec import JobSpec
+
+
+def parse_batch(document) -> List[JobSpec]:
+    """Turn a decoded batch document into job specs."""
+    if isinstance(document, list):
+        defaults, jobs = {}, document
+    elif isinstance(document, dict):
+        defaults = document.get("defaults", {})
+        if not isinstance(defaults, dict):
+            raise JobSpecError('batch "defaults" must be an object')
+        jobs = document.get("jobs")
+        if jobs is None:
+            raise JobSpecError('batch object is missing its "jobs" list')
+        unknown = sorted(set(document) - {"defaults", "jobs"})
+        if unknown:
+            raise JobSpecError(
+                f"unknown batch key(s): {', '.join(unknown)} "
+                '(expected "jobs" and optional "defaults")'
+            )
+    else:
+        raise JobSpecError(
+            "batch document must be a list of jobs or an object with a "
+            f'"jobs" list, got {type(document).__name__}'
+        )
+    if not isinstance(jobs, list) or not jobs:
+        raise JobSpecError("batch contains no jobs")
+    specs = []
+    for index, entry in enumerate(jobs):
+        if not isinstance(entry, dict):
+            raise JobSpecError(
+                f"job #{index + 1} must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        merged = {**defaults, **entry}
+        try:
+            specs.append(JobSpec.from_dict(merged))
+        except JobSpecError as exc:
+            raise JobSpecError(f"job #{index + 1}: {exc}")
+    return specs
+
+
+def load_batch(path) -> List[JobSpec]:
+    """Read and parse a batch file into job specs."""
+    path = Path(path)
+    if not path.exists():
+        raise JobSpecError(f"batch file not found: {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise JobSpecError(f"batch file {path} is not valid JSON: {exc}")
+    return parse_batch(document)

@@ -1,0 +1,127 @@
+"""Bounded priority job queue with admission control.
+
+The scheduler's front door.  Capacity is a hard bound: beyond it the
+queue *rejects* (:class:`~repro.errors.AdmissionError` — backpressure the
+caller can act on) or, under the ``shed`` policy, evicts the
+lowest-priority pending job to admit a strictly higher-priority one.
+Within a priority class jobs dequeue in submission order (FIFO), so equal
+work is served fairly and batch results stay deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, ServiceError
+from repro.observability.metrics import NULL_METRICS, MetricsRegistry
+from repro.service.spec import JobSpec
+
+#: Admission-control policies for a full queue.
+ADMISSION_POLICIES = ("reject", "shed")
+
+
+class JobQueue:
+    """A bounded max-priority, FIFO-within-priority queue of job specs.
+
+    Args:
+        max_pending: Hard capacity bound (>= 1).
+        admission: ``"reject"`` raises :class:`AdmissionError` when full;
+            ``"shed"`` drops the lowest-priority pending job if the new
+            one outranks it (and rejects otherwise).
+        metrics: Observability registry for depth/rejection instruments.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        admission: str = "reject",
+        metrics: MetricsRegistry = NULL_METRICS,
+    ) -> None:
+        if max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {admission!r} "
+                f"(known: {', '.join(ADMISSION_POLICIES)})"
+            )
+        self.max_pending = max_pending
+        self.admission = admission
+        #: Heap of (-priority, seq, spec): highest priority first, FIFO
+        #: within a priority class via the monotone sequence number.
+        self._heap: List[Tuple[int, int, JobSpec]] = []
+        self._seq = count()
+        self._depth_gauge = metrics.gauge("service_queue_depth")
+        self._rejected = metrics.counter("service_jobs_rejected_total")
+        self._shed = metrics.counter("service_jobs_shed_total")
+
+    def _note_depth(self) -> None:
+        self._depth_gauge.set(len(self._heap))
+
+    def push(self, spec: JobSpec) -> None:
+        """Admit ``spec`` or raise :class:`AdmissionError` (backpressure)."""
+        if len(self._heap) >= self.max_pending:
+            if self.admission == "shed":
+                victim = self._lowest()
+                if victim is not None and victim[2].priority < spec.priority:
+                    self._heap.remove(victim)
+                    heapq.heapify(self._heap)
+                    self._shed.inc()
+                else:
+                    self._rejected.inc()
+                    raise AdmissionError(
+                        f"queue full ({len(self._heap)} pending) and job "
+                        f"priority {spec.priority} does not outrank any "
+                        "pending job",
+                        depth=len(self._heap),
+                    )
+            else:
+                self._rejected.inc()
+                raise AdmissionError(
+                    f"queue full ({len(self._heap)} pending); raise "
+                    "max_pending or drain before submitting more",
+                    depth=len(self._heap),
+                )
+        heapq.heappush(self._heap, (-spec.priority, next(self._seq), spec))
+        self._note_depth()
+
+    def _lowest(self) -> Optional[Tuple[int, int, JobSpec]]:
+        """The pending entry that would be shed first (lowest priority,
+        most recently submitted within that priority)."""
+        if not self._heap:
+            return None
+        return max(self._heap, key=lambda entry: (entry[0], entry[1]))
+
+    def pop(self) -> Optional[JobSpec]:
+        """Dequeue the highest-priority (oldest within class) job."""
+        if not self._heap:
+            return None
+        _, _, spec = heapq.heappop(self._heap)
+        self._note_depth()
+        return spec
+
+    def drain(self) -> List[JobSpec]:
+        """Dequeue everything, in service order."""
+        specs = []
+        while self._heap:
+            specs.append(self.pop())
+        return specs
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Number of pending jobs."""
+        return len(self._heap)
+
+    def pending_hashes(self) -> Dict[str, int]:
+        """Content hash -> pending count (admission-control visibility)."""
+        counts: Dict[str, int] = {}
+        for _, _, spec in self._heap:
+            digest = spec.content_hash()
+            counts[digest] = counts.get(digest, 0) + 1
+        return counts

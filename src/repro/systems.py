@@ -38,6 +38,7 @@ from repro.network.cost_model import (
     NetworkParameters,
 )
 from repro.partition import make_partitioner
+from repro.partition.build import build_partition
 from repro.partition.strategy import OperatorClass
 from repro.runtime.executor import DistributedExecutor
 from repro.runtime.stats import RunResult
@@ -200,6 +201,7 @@ def run_app(
     k: int = 2,
     resilience=None,
     observability=None,
+    partition_cache=None,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
 
@@ -217,6 +219,15 @@ def run_app(
     memoization exchange, every BSP round, and the resilience machinery
     record into its tracer/registry, ready for the exporters
     (``repro run --trace/--metrics``).
+
+    ``partition_cache`` (anything speaking the protocol of
+    :func:`repro.partition.build.build_partition`, e.g. a
+    :class:`~repro.service.cache.ServiceCache`) short-circuits
+    partitioning *and* the memoization exchange when an identical
+    (graph, policy, hosts) triple was partitioned before; after a fresh
+    run, the partition and its harvested sync structures are stored for
+    the next caller.  ``result.partition_cache_hit`` records which path
+    ran.
     """
     prepared = prepare_input(
         app_name,
@@ -239,9 +250,11 @@ def run_app(
             partition_seed,
         )
     )
-    partition_started = time.perf_counter()
-    partitioned = partitioner.partition(prepared.edges, num_hosts)
-    partition_time = time.perf_counter() - partition_started
+    outcome = build_partition(
+        prepared.edges, partitioner, num_hosts, cache=partition_cache
+    )
+    partitioned = outcome.partitioned
+    partition_time = outcome.wall_s
     if observability is not None and observability.tracer.enabled:
         observability.tracer.record_sequential(
             "partition",
@@ -275,6 +288,11 @@ def run_app(
             max_rounds=max_rounds,
         )
         result.construction_time += partition_time
+        if partition_cache is not None and not outcome.from_cache:
+            # Multi-phase apps drive their own executors; only the
+            # partition itself is reusable.
+            partition_cache.put_partition(outcome.key, partitioned)
+        result.partition_cache_hit = outcome.from_cache  # type: ignore[attr-defined]
         return result
     executor = DistributedExecutor(
         partitioned,
@@ -287,9 +305,23 @@ def run_app(
         system_name=system.lower(),
         resilience=resilience,
         observability=observability,
+        prepared_sync=outcome.prepared_sync,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time
+    if (
+        partition_cache is not None
+        and not outcome.from_cache
+        and executor.partitioned is partitioned
+    ):
+        # Store the partition together with the memoized sync structures
+        # the run just paid for (the §4 temporal-invariance amortization,
+        # extended across jobs).  Skipped after a mid-run repartition,
+        # where the books no longer describe the keyed partition.
+        partition_cache.put_partition(
+            outcome.key, partitioned, executor.harvest_prepared_sync()
+        )
+    result.partition_cache_hit = outcome.from_cache  # type: ignore[attr-defined]
     # Keep the executor alive on the result for state inspection.
     result.executor = executor  # type: ignore[attr-defined]
     return result

@@ -70,6 +70,17 @@ _CHECKS = {
 }
 
 
+def output_key(app_name: str) -> Optional[str]:
+    """The state-field name holding an application's answer.
+
+    The same key :func:`verify_run` compares against the oracle — used by
+    the job service to gather, digest, and cache a run's output.  Returns
+    ``None`` for applications with no registered oracle field.
+    """
+    check = _CHECKS.get(app_name)
+    return check[0] if check is not None else None
+
+
 def verify_run(
     result: RunResult,
     edges: EdgeList,

@@ -42,12 +42,19 @@ class TestResume:
         indices = [record.round_index for record in result.rounds]
         assert indices == list(range(1, len(indices) + 1))
 
-    def test_run_after_convergence_is_noop(self, small_rmat):
+    def test_run_after_convergence_raises(self, small_rmat):
+        """A completed executor is single-use: rerunning it must fail
+        loudly instead of silently carrying state into the next answer
+        (the service worker pool constructs a fresh executor per job)."""
+        from repro.errors import ExecutionError, ReproError
+
         _, executor = build(small_rmat, "bfs", "cvc")
         result = executor.run()
-        rounds_before = result.num_rounds
-        again = executor.run()
-        assert again.num_rounds == rounds_before
+        assert result.converged
+        with pytest.raises(ExecutionError, match="single-use"):
+            executor.run()
+        # The guard is part of the library's error contract.
+        assert issubclass(ExecutionError, ReproError)
 
     def test_resume_matches_single_shot(self, small_rmat):
         """Splitting a run into resumed chunks changes nothing."""
@@ -110,7 +117,8 @@ class TestRepartition:
             executor.repartition(
                 make_partitioner(policy).partition(prep.edges, 4)
             )
-        executor.run()
+        if not executor._result.converged:
+            executor.run()
         got = executor.gather_result("label").astype(np.uint64)
         assert np.array_equal(got, expected)
 

@@ -1,0 +1,89 @@
+"""The ``repro serve`` batch-file format."""
+
+import json
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.service import load_batch
+from repro.service.batch import parse_batch
+
+
+class TestParseBatch:
+    def test_bare_list(self):
+        specs = parse_batch(
+            [
+                {"app": "bfs", "workload": "rmat22s"},
+                {"app": "pr", "workload": "rmat22s", "hosts": 8},
+            ]
+        )
+        assert [s.app for s in specs] == ["bfs", "pr"]
+        assert specs[1].hosts == 8
+
+    def test_defaults_merge_under_each_job(self):
+        specs = parse_batch(
+            {
+                "defaults": {"workload": "rmat22s", "hosts": 8},
+                "jobs": [
+                    {"app": "bfs"},
+                    {"app": "pr", "hosts": 2},  # job fields win
+                ],
+            }
+        )
+        assert specs[0].hosts == 8
+        assert specs[1].hosts == 2
+
+    def test_unknown_batch_keys_are_errors(self):
+        with pytest.raises(JobSpecError, match="unknown batch key"):
+            parse_batch({"jobs": [], "retries": 3})
+
+    def test_missing_jobs_list(self):
+        with pytest.raises(JobSpecError, match='"jobs"'):
+            parse_batch({"defaults": {}})
+
+    def test_empty_batch(self):
+        with pytest.raises(JobSpecError, match="no jobs"):
+            parse_batch([])
+
+    def test_job_errors_name_the_offending_entry(self):
+        with pytest.raises(JobSpecError, match="job #2"):
+            parse_batch(
+                [
+                    {"app": "bfs", "workload": "rmat22s"},
+                    {"app": "warp", "workload": "rmat22s"},
+                ]
+            )
+
+    def test_non_object_job(self):
+        with pytest.raises(JobSpecError, match="job #1"):
+            parse_batch(["bfs"])
+
+    def test_non_list_document(self):
+        with pytest.raises(JobSpecError, match="batch document"):
+            parse_batch("jobs.json")
+
+
+class TestLoadBatch:
+    def test_roundtrip_from_disk(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "defaults": {"workload": "rmat22s"},
+                    "jobs": [{"app": "bfs"}, {"app": "cc", "priority": 2}],
+                }
+            )
+        )
+        specs = load_batch(path)
+        assert [s.app for s in specs] == ["bfs", "cc"]
+        assert specs[1].priority == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(JobSpecError, match="not found"):
+            load_batch(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{jobs: [")
+        with pytest.raises(JobSpecError, match="not valid JSON"):
+            load_batch(path)

@@ -1,0 +1,95 @@
+"""The bounded priority queue: ordering, backpressure, shedding."""
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.observability.metrics import MetricsRegistry
+from repro.service import JobQueue, JobSpec
+
+
+def _spec(app="bfs", priority=0, **kw):
+    return JobSpec(app=app, workload="rmat22s", priority=priority, **kw)
+
+
+class TestOrdering:
+    def test_higher_priority_first(self):
+        queue = JobQueue()
+        queue.push(_spec(app="bfs", priority=0))
+        queue.push(_spec(app="pr", priority=5))
+        queue.push(_spec(app="cc", priority=2))
+        assert [s.app for s in queue.drain()] == ["pr", "cc", "bfs"]
+
+    def test_fifo_within_a_priority_class(self):
+        queue = JobQueue()
+        for hosts in (2, 4, 8):
+            queue.push(_spec(hosts=hosts, priority=1))
+        assert [s.hosts for s in queue.drain()] == [2, 4, 8]
+
+    def test_pop_empties_then_returns_none(self):
+        queue = JobQueue()
+        queue.push(_spec())
+        assert queue.pop() is not None
+        assert queue.pop() is None
+        assert queue.depth == 0
+
+
+class TestAdmission:
+    def test_reject_raises_with_depth(self):
+        queue = JobQueue(max_pending=2)
+        queue.push(_spec(hosts=2))
+        queue.push(_spec(hosts=4))
+        with pytest.raises(AdmissionError, match="queue full") as exc:
+            queue.push(_spec(hosts=8))
+        assert exc.value.depth == 2
+        assert queue.depth == 2  # nothing lost
+
+    def test_shed_evicts_lowest_priority_for_a_higher_one(self):
+        queue = JobQueue(max_pending=2, admission="shed")
+        queue.push(_spec(app="bfs", priority=0))
+        queue.push(_spec(app="pr", priority=3))
+        queue.push(_spec(app="cc", priority=1))  # outranks bfs -> sheds it
+        assert sorted(s.app for s in queue.drain()) == ["cc", "pr"]
+
+    def test_shed_still_rejects_an_equal_priority_job(self):
+        queue = JobQueue(max_pending=1, admission="shed")
+        queue.push(_spec(app="bfs", priority=1))
+        with pytest.raises(AdmissionError, match="does not outrank"):
+            queue.push(_spec(app="pr", priority=1))
+
+    def test_shed_victim_is_newest_within_lowest_class(self):
+        queue = JobQueue(max_pending=2, admission="shed")
+        queue.push(_spec(hosts=2, priority=0))
+        queue.push(_spec(hosts=4, priority=0))
+        queue.push(_spec(app="pr", priority=5))  # sheds the hosts=4 entry
+        assert [(s.app, s.hosts) for s in queue.drain()] == [
+            ("pr", 4), ("bfs", 2)
+        ]
+
+    def test_configuration_is_validated(self):
+        with pytest.raises(ServiceError, match="max_pending"):
+            JobQueue(max_pending=0)
+        with pytest.raises(ServiceError, match="admission"):
+            JobQueue(admission="fifo")
+
+
+class TestInstrumentation:
+    def test_depth_gauge_and_rejection_counters(self):
+        metrics = MetricsRegistry()
+        queue = JobQueue(max_pending=1, metrics=metrics)
+        queue.push(_spec())
+        assert metrics.gauge("service_queue_depth").value == 1
+        with pytest.raises(AdmissionError):
+            queue.push(_spec(hosts=8))
+        assert (
+            metrics.counter_total("service_jobs_rejected_total") == 1
+        )
+        queue.drain()
+        assert metrics.gauge("service_queue_depth").value == 0
+
+    def test_pending_hashes_groups_identical_work(self):
+        queue = JobQueue()
+        queue.push(_spec(priority=1))
+        queue.push(_spec(priority=4))  # same work, different scheduling
+        queue.push(_spec(app="pr"))
+        counts = queue.pending_hashes()
+        assert sorted(counts.values()) == [1, 2]

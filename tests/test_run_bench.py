@@ -54,3 +54,30 @@ class TestSmokeMatrix:
     def test_default_output_name_carries_the_date(self, payload):
         doc, _ = payload
         assert doc["date"] and len(doc["date"]) == 10  # YYYY-MM-DD
+
+    def test_service_cell_reports_warm_speedup(self, payload):
+        doc, _ = payload
+        cell = doc["service"]
+        assert cell is not None
+        assert cell["jobs"] >= 2
+        # Every warm job must have been served from the result cache...
+        assert cell["result_cache_hits"] == cell["jobs"] * cell["repeats"]
+        # ...and the acceptance bar is 2x; warm hits skip partitioning
+        # and execution entirely, so in practice this is orders higher.
+        assert cell["speedup"] >= 2.0
+        assert cell["warm_jobs_per_s"] > cell["cold_jobs_per_s"]
+
+
+class TestNoService:
+    def test_flag_skips_the_service_cell(self, tmp_path):
+        output = tmp_path / "BENCH_test.json"
+        code = run_bench.main(
+            [
+                "--smoke",
+                "--no-service",
+                "--output", str(output),
+                "--export-dir", str(tmp_path / "exports"),
+            ]
+        )
+        assert code == 0
+        assert json.loads(output.read_text())["service"] is None
