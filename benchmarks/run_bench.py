@@ -148,6 +148,62 @@ def bench_service(
     }
 
 
+def bench_aggregation(
+    workload: str,
+    scale_delta: int,
+    hosts: int = 4,
+    policy: str = "cvc",
+) -> dict:
+    """Cross-field aggregation cell: bc with and without the channel layer.
+
+    bc's forward sweep synchronizes two fields per phase, so per-peer
+    aggregation must cut that sweep's message count by >= 2x (the
+    acceptance bar); the single-field backward sweep keeps message
+    parity.  Results are bitwise identical either way — only the wire
+    shape and the simulated communication time differ.
+    """
+    edges = load_workload(workload, scale_delta)
+    aggregated = run_app(
+        "d-galois", "bc", edges, num_hosts=hosts, policy=policy,
+    )
+    ablated = run_app(
+        "d-galois", "bc", edges, num_hosts=hosts, policy=policy,
+        aggregate_comm=False,
+    )
+    agg_messages = sum(r.comm_messages for r in aggregated.rounds)
+    abl_messages = sum(r.comm_messages for r in ablated.rounds)
+    # The two-field (forward) rounds are exactly those where the
+    # ablation sent more messages.
+    sweep = [
+        (agg_round, abl_round)
+        for agg_round, abl_round in zip(aggregated.rounds, ablated.rounds)
+        if abl_round.comm_messages != agg_round.comm_messages
+    ]
+    sweep_agg = sum(a.comm_messages for a, _ in sweep)
+    sweep_abl = sum(b.comm_messages for _, b in sweep)
+    reduction = sweep_abl / sweep_agg if sweep_agg else 0.0
+    if reduction < 2.0:
+        raise AssertionError(
+            f"aggregation bench: two-field sweep sent {sweep_agg} "
+            f"aggregated vs {sweep_abl} per-field messages "
+            f"({reduction:.2f}x < 2x reduction)"
+        )
+    return {
+        "app": "bc",
+        "policy": policy,
+        "hosts": hosts,
+        "messages_aggregated": agg_messages,
+        "messages_per_field": abl_messages,
+        "two_field_messages_aggregated": sweep_agg,
+        "two_field_messages_per_field": sweep_abl,
+        "two_field_reduction": round(reduction, 2),
+        "sim_comm_s_aggregated": sum(r.comm_time for r in aggregated.rounds),
+        "sim_comm_s_per_field": sum(r.comm_time for r in ablated.rounds),
+        "total_bytes_aggregated": aggregated.communication_volume,
+        "total_bytes_per_field": ablated.communication_volume,
+    }
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -200,6 +256,16 @@ def run_matrix(args: argparse.Namespace) -> dict:
             f"({service['speedup']:.1f}x)",
             file=sys.stderr,
         )
+    aggregation = None
+    if not args.no_aggregation_cell:
+        aggregation = bench_aggregation(args.workload, scale_delta)
+        print(
+            f"  aggregation: bc two-field sweep "
+            f"{aggregation['two_field_messages_per_field']} -> "
+            f"{aggregation['two_field_messages_aggregated']} messages "
+            f"({aggregation['two_field_reduction']:.1f}x)",
+            file=sys.stderr,
+        )
     return {
         "date": date.today().isoformat(),
         "workload": args.workload,
@@ -207,6 +273,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         "smoke": bool(args.smoke),
         "matrix": rows,
         "service": service,
+        "aggregation": aggregation,
     }
 
 
@@ -239,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-service",
         action="store_true",
         help="skip the repeated-query job-service throughput cell",
+    )
+    parser.add_argument(
+        "--no-aggregation-cell",
+        action="store_true",
+        help="skip the bc aggregated-vs-per-field message-count cell",
     )
     parser.add_argument(
         "--export-dir",

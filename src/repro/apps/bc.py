@@ -247,6 +247,7 @@ class BetweennessCentrality(VertexProgram):
         enable_sync: bool = True,
         system_name: Optional[str] = None,
         max_rounds: int = 100_000,
+        aggregate_comm: bool = True,
     ) -> RunResult:
         """Run forward + backward sweeps; returns a merged RunResult."""
         from repro.core.optimization import OptimizationLevel
@@ -259,7 +260,7 @@ class BetweennessCentrality(VertexProgram):
         forward_executor = DistributedExecutor(
             partitioned, engine, forward, ctx,
             level=level, network=network, enable_sync=enable_sync,
-            system_name=system_name,
+            system_name=system_name, aggregate_comm=aggregate_comm,
         )
         forward_result = forward_executor.run(max_rounds=max_rounds)
 
@@ -273,7 +274,7 @@ class BetweennessCentrality(VertexProgram):
         backward_executor = DistributedExecutor(
             partitioned, engine, backward, ctx,
             level=level, network=network, enable_sync=enable_sync,
-            system_name=system_name,
+            system_name=system_name, aggregate_comm=aggregate_comm,
         )
         backward_result = backward_executor.run(max_rounds=max_rounds)
 

@@ -91,6 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the benchmark harness's scaled network model",
     )
     run_cmd.add_argument(
+        "--no-aggregation",
+        action="store_true",
+        help=(
+            "ablation: disable per-peer cross-field message aggregation "
+            "(one transport message per field, peer, and phase — the "
+            "pre-channel wire shape; results are bitwise identical)"
+        ),
+    )
+    run_cmd.add_argument(
         "--inject-fault",
         default=None,
         metavar="SPEC",
@@ -372,6 +381,7 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         resilience=resilience,
         observability=observability,
         partition_cache=partition_cache,
+        aggregate_comm=not args.no_aggregation,
     )
     if observability is not None:
         _export_observability(args, result, observability)

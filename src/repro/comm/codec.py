@@ -1,0 +1,148 @@
+"""Field codec: one synchronized field's sub-message, as pure functions.
+
+This is the bottom layer of the communication plane — the per-field
+encode/decode logic that used to live inside
+:class:`~repro.core.substrate.GluonSubstrate`.  Extracting it makes the
+codec unit-testable in isolation and lets the channel layer treat each
+field's wire bytes as an opaque *sub-message* it can aggregate into one
+multi-field buffer per peer (see :mod:`repro.comm.frame`).
+
+The functions are side-effect free: they never touch transports, stats,
+or metrics.  Instead each result carries the bookkeeping the substrate
+needs (metadata mode, translation counts) so the caller can attribute
+costs without the codec knowing about observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.metadata import MetadataMode, select_mode
+from repro.core.serialization import decode_message, encode_message
+from repro.core.sync_structures import FieldSpec
+from repro.errors import SyncError
+from repro.partition.base import LocalPartition
+
+
+@dataclass(frozen=True)
+class EncodedField:
+    """One field's encoded sub-message bound for one peer.
+
+    Attributes:
+        mode: The metadata encoding chosen for the payload.
+        payload: The wire bytes (an :func:`encode_message` buffer).
+        translations: Local->global translations the encode performed
+            (non-zero only on the GLOBAL_IDS path).
+    """
+
+    mode: MetadataMode
+    payload: bytes
+    translations: int = 0
+
+
+@dataclass(frozen=True)
+class DecodedField:
+    """One field's decoded sub-message: local IDs, values, and costs."""
+
+    lids: np.ndarray
+    values: np.ndarray
+    translations: int = 0
+
+
+def encode_memoized_field(
+    field: FieldSpec,
+    agreed: np.ndarray,
+    updated_mask: np.ndarray,
+    broadcast: bool = False,
+) -> EncodedField:
+    """Encode one memoized-order sub-message (OTI/OSTI path).
+
+    Args:
+        field: the synchronized field on the sending host.
+        agreed: the memoized proxy array agreed with the peer.
+        updated_mask: boolean mask over ``agreed`` of updated proxies.
+        broadcast: extract from the broadcast array instead of the
+            reduce array.
+    """
+    extract = field.extract_broadcast if broadcast else field.extract
+    num_updates = int(updated_mask.sum())
+    mode = select_mode(len(agreed), num_updates, field.value_size)
+    if mode is MetadataMode.EMPTY:
+        payload = encode_message(mode, np.empty(0, dtype=field.dtype))
+        return EncodedField(mode, payload)
+    if mode is MetadataMode.FULL:
+        return EncodedField(mode, encode_message(mode, extract(agreed)))
+    positions = np.flatnonzero(updated_mask).astype(np.uint32)
+    values = extract(agreed[positions])
+    payload = encode_message(
+        mode, values, num_agreed=len(agreed), selection=positions
+    )
+    return EncodedField(mode, payload)
+
+
+def encode_global_ids_field(
+    field: FieldSpec,
+    agreed: np.ndarray,
+    updated_mask: np.ndarray,
+    local_to_global: np.ndarray,
+    broadcast: bool = False,
+) -> Optional[EncodedField]:
+    """Encode one (global-ID, value) sub-message (UNOPT/OSI path).
+
+    Returns ``None`` when nothing was updated: without the memoized
+    agreement the receiver does not expect a message, so none is sent.
+    """
+    sub = agreed[updated_mask]
+    if len(sub) == 0:
+        return None
+    extract = field.extract_broadcast if broadcast else field.extract
+    gids = local_to_global[sub]
+    payload = encode_message(
+        MetadataMode.GLOBAL_IDS, extract(sub), selection=gids
+    )
+    return EncodedField(MetadataMode.GLOBAL_IDS, payload, translations=len(sub))
+
+
+def decode_field_payload(
+    payload: bytes,
+    recv_arrays: Dict[int, np.ndarray],
+    sender: int,
+    partition: LocalPartition,
+) -> Optional[DecodedField]:
+    """Decode one sub-message into (local IDs, values).
+
+    Returns ``None`` for an EMPTY message (nothing to apply).  The
+    GLOBAL_IDS path translates in bulk through
+    :meth:`~repro.partition.base.LocalPartition.to_local_array` and
+    reports the translation count for the caller's accounting.
+    """
+    host = partition.host
+    message = decode_message(payload)
+    if message.mode is MetadataMode.EMPTY:
+        return None
+    if message.mode is MetadataMode.GLOBAL_IDS:
+        lids = partition.to_local_array(message.selection)
+        return DecodedField(lids, message.values, translations=len(lids))
+    agreed = recv_arrays.get(sender)
+    if agreed is None:
+        raise SyncError(
+            f"host {host}: unexpected memoized message from host {sender}"
+        )
+    if message.mode is MetadataMode.FULL:
+        if len(message.values) != len(agreed):
+            raise SyncError(
+                f"host {host}: FULL message from {sender} has "
+                f"{len(message.values)} values for {len(agreed)} proxies"
+            )
+        return DecodedField(agreed, message.values)
+    # BITVEC / INDICES: selection holds positions in the agreed array.
+    positions = message.selection
+    if len(positions) and positions.max() >= len(agreed):
+        raise SyncError(
+            f"host {host}: position {positions.max()} out of range "
+            f"for agreed array of {len(agreed)} from host {sender}"
+        )
+    return DecodedField(agreed[positions], message.values)

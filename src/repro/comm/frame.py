@@ -1,0 +1,113 @@
+"""Multi-field channel frame: many sub-messages, one wire buffer.
+
+The aggregated wire format flushed by a :class:`~repro.comm.channel.Channel`
+at each phase boundary.  Layout (little-endian)::
+
+    ====== ====================================================
+    offset contents
+    ====== ====================================================
+    0      u16 field count ``n``
+    2      ``n`` u32 sub-message lengths, one per field slot
+    2+4n   the sub-messages, concatenated in field order
+    ====== ====================================================
+
+Every synchronized field owns one slot, in the (host-agreed) field
+order of ``VertexProgram.make_fields``.  A length of zero means the
+sender had no sub-message for that field this phase (the UNOPT/OSI
+"nothing updated" case); a present sub-message is always at least the
+2-byte :func:`~repro.core.serialization.encode_message` header, so zero
+is unambiguous.
+
+The frame is deliberately dumb — no checksums, no field names.  Field
+identity is positional (the executor guarantees every host builds the
+same field list), and integrity is the resilience subsystem's job: the
+fault-injecting transport wraps each flushed frame in one CRC frame, so
+aggregation also amortizes the integrity framing to one CRC per peer
+per phase instead of one per field.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+from repro.errors import SerializationError
+
+_COUNT = struct.Struct("<H")
+_LENGTH = struct.Struct("<I")
+
+#: Most fields one frame can carry (u16 count).
+MAX_FIELDS = 0xFFFF
+
+#: Fixed frame bytes for ``n`` field slots (count + length prefixes).
+def frame_overhead(num_fields: int) -> int:
+    """Header bytes a frame with ``num_fields`` slots costs."""
+    return _COUNT.size + num_fields * _LENGTH.size
+
+
+def encode_frame(submessages: Sequence[Optional[bytes]]) -> bytes:
+    """Pack per-field sub-messages (``None`` = empty slot) into one frame."""
+    count = len(submessages)
+    if count == 0:
+        raise SerializationError("frame must carry at least one field slot")
+    if count > MAX_FIELDS:
+        raise SerializationError(
+            f"frame cannot carry {count} fields (max {MAX_FIELDS})"
+        )
+    parts: List[bytes] = [_COUNT.pack(count)]
+    bodies: List[bytes] = []
+    for sub in submessages:
+        if sub is None:
+            parts.append(_LENGTH.pack(0))
+            continue
+        body = bytes(sub)
+        if len(body) == 0:
+            raise SerializationError(
+                "a present sub-message cannot be empty (use None)"
+            )
+        parts.append(_LENGTH.pack(len(body)))
+        bodies.append(body)
+    return b"".join(parts) + b"".join(bodies)
+
+
+def decode_frame(buffer: bytes) -> List[Optional[bytes]]:
+    """Unpack one frame into per-field sub-messages (``None`` = no message).
+
+    Raises:
+        SerializationError: the frame is truncated, its length prefixes
+            overrun the buffer, or trailing bytes follow the last
+            sub-message — any shape a corrupted aggregation could take.
+    """
+    buffer = bytes(buffer)
+    if len(buffer) < _COUNT.size:
+        raise SerializationError(
+            f"frame too short for field count: {len(buffer)} bytes"
+        )
+    (count,) = _COUNT.unpack_from(buffer, 0)
+    if count == 0:
+        raise SerializationError("frame with zero field slots")
+    header = frame_overhead(count)
+    if len(buffer) < header:
+        raise SerializationError(
+            f"frame truncated in length prefixes: {len(buffer)} bytes for "
+            f"{count} fields"
+        )
+    lengths = [
+        _LENGTH.unpack_from(buffer, _COUNT.size + i * _LENGTH.size)[0]
+        for i in range(count)
+    ]
+    expected = header + sum(lengths)
+    if len(buffer) != expected:
+        raise SerializationError(
+            f"frame body mismatch: expected {expected} bytes, got "
+            f"{len(buffer)}"
+        )
+    subs: List[Optional[bytes]] = []
+    offset = header
+    for length in lengths:
+        if length == 0:
+            subs.append(None)
+            continue
+        subs.append(buffer[offset : offset + length])
+        offset += length
+    return subs

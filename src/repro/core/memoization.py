@@ -58,6 +58,10 @@ class AddressBook:
 
     host: int
     num_hosts: int
+    #: All peers in ascending order — the memoized iteration order for
+    #: every send loop.  Each per-peer dict below is keyed by exactly
+    #: this set, so the substrate never re-sorts peers per sync call.
+    peer_order: List[int] = field(default_factory=list)
     mirrors_all: Dict[int, np.ndarray] = field(default_factory=dict)
     mirrors_reduce: Dict[int, np.ndarray] = field(default_factory=dict)
     mirrors_broadcast: Dict[int, np.ndarray] = field(default_factory=dict)
@@ -129,7 +133,14 @@ def exchange_address_books(
             f"transport has {transport.num_hosts} hosts for a "
             f"{num_hosts}-host partition"
         )
-    books = [AddressBook(host=h, num_hosts=num_hosts) for h in range(num_hosts)]
+    books = [
+        AddressBook(
+            host=h,
+            num_hosts=num_hosts,
+            peer_order=[p for p in range(num_hosts) if p != h],
+        )
+        for h in range(num_hosts)
+    ]
 
     # Local phase: group my mirrors by owning peer and compute edge flags.
     for part in partitioned.partitions:
@@ -172,11 +183,13 @@ def exchange_address_books(
         book = books[part.host]
         for sender, payload in transport.receive_all(part.host):
             gids, has_in, has_out = _decode_exchange(payload)
-            lids = np.fromiter(
-                (part.to_local(gid) for gid in gids),
-                dtype=np.uint32,
-                count=len(gids),
-            )
+            try:
+                lids = part.to_local_array(gids)
+            except KeyError as exc:
+                raise SyncError(
+                    f"host {part.host}: peer {sender} mirrors global node "
+                    f"{exc.args[0]} this host holds no proxy for"
+                )
             if len(lids) and lids.max() >= part.num_masters:
                 raise SyncError(
                     f"host {part.host}: peer {sender} mirrors a node this "

@@ -21,7 +21,7 @@ gather-apply-scatter baseline of Figure 10.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -36,6 +36,8 @@ class SyncPlan:
     aligned element-by-element by the memoization exchange.
 
     Attributes:
+        peer_order: all peers in ascending order — memoized once so no
+            sync call ever re-sorts its peer set.
         reduce_send: peer -> my mirrors whose values I send in reduce.
         reduce_recv: peer -> my masters receiving that peer's reduce.
         broadcast_send: peer -> my masters whose values I broadcast.
@@ -43,6 +45,7 @@ class SyncPlan:
     """
 
     host: int
+    peer_order: Tuple[int, ...]
     reduce_send: Dict[int, np.ndarray]
     reduce_recv: Dict[int, np.ndarray]
     broadcast_send: Dict[int, np.ndarray]
@@ -78,9 +81,14 @@ def build_sync_plan(book: AddressBook, structural: bool) -> SyncPlan:
         book: the host's memoization result.
         structural: whether OSI is enabled (restricted proxy subsets).
     """
+    peer_order = tuple(
+        getattr(book, "peer_order", None)
+        or (p for p in range(book.num_hosts) if p != book.host)
+    )
     if structural:
         return SyncPlan(
             host=book.host,
+            peer_order=peer_order,
             reduce_send=dict(book.mirrors_reduce),
             reduce_recv=dict(book.masters_reduce),
             broadcast_send=dict(book.masters_broadcast),
@@ -88,6 +96,7 @@ def build_sync_plan(book: AddressBook, structural: bool) -> SyncPlan:
         )
     return SyncPlan(
         host=book.host,
+        peer_order=peer_order,
         reduce_send=dict(book.mirrors_all),
         reduce_recv=dict(book.masters_all),
         broadcast_send=dict(book.masters_all),

@@ -3,13 +3,27 @@
 One :class:`GluonSubstrate` instance lives on each simulated host and
 composes everything in this subpackage: the memoized address book (§4.1),
 the structural-invariant sync plan (§3.2), the adaptive metadata encoder
-(§4.2), and the wire format.  A synchronization of one field is a four-step
-collective orchestrated by the distributed executor:
+(§4.2), and the layered communication plane of :mod:`repro.comm` — the
+field codec, the multi-field wire frame, and the per-peer channels.
 
-1. every host calls :meth:`GluonSubstrate.send_reduce`,
-2. every host calls :meth:`GluonSubstrate.receive_reduce`,
-3. every host calls :meth:`GluonSubstrate.send_broadcast`,
-4. every host calls :meth:`GluonSubstrate.receive_broadcast`.
+The substrate exposes two driving styles:
+
+**Aggregated (default executor path).**  A synchronization phase stages
+every field's sub-messages into the per-peer channels, then flushes one
+multi-field framed buffer per peer:
+
+1. every host calls :meth:`GluonSubstrate.stage_reduce` per field, then
+   :meth:`GluonSubstrate.flush_phase`,
+2. every host calls :meth:`GluonSubstrate.receive_reduce_all`,
+3. every host calls :meth:`GluonSubstrate.stage_broadcast` per field,
+   then :meth:`GluonSubstrate.flush_phase`,
+4. every host calls :meth:`GluonSubstrate.receive_broadcast_all`.
+
+**Per-field (ablation and unit-test path).**  The historical four-step
+collective per field — :meth:`send_reduce` / :meth:`receive_reduce` /
+:meth:`send_broadcast` / :meth:`receive_broadcast` — one transport
+message per (field, peer, phase), preserved bit for bit by the
+``--no-aggregation`` mode.
 
 The strict phase order means each receive drains exactly the messages of
 its own phase — the in-process rendering of BSP-style bulk communication.
@@ -27,15 +41,22 @@ Optimization levels (Figure 10):
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.comm.channel import CommPlane
+from repro.comm.codec import (
+    DecodedField,
+    EncodedField,
+    decode_field_payload,
+    encode_global_ids_field,
+    encode_memoized_field,
+)
 from repro.core.memoization import AddressBook, exchange_address_books
-from repro.core.metadata import MetadataMode, select_mode
+from repro.core.metadata import MetadataMode
 from repro.core.optimization import OptimizationLevel
 from repro.core.patterns import SyncPlan, build_sync_plan
-from repro.core.serialization import decode_message, encode_message
 from repro.core.sync_structures import FieldSpec
 from repro.errors import SyncError
 from repro.network.transport import InProcessTransport
@@ -64,7 +85,15 @@ class SubstrateStats:
 
 
 class GluonSubstrate:
-    """Synchronization substrate for one simulated host."""
+    """Synchronization substrate for one simulated host.
+
+    ``aggregate`` selects the communication plane's mode: ``True``
+    buffers each field's sub-messages in per-peer channels and flushes
+    one framed buffer per peer per phase (drive it with the
+    ``stage_*``/``flush_phase``/``receive_*_all`` API); ``False`` is the
+    historical pass-through — one transport message per (field, peer,
+    phase), driven with the per-field ``send_*``/``receive_*`` API.
+    """
 
     def __init__(
         self,
@@ -73,14 +102,22 @@ class GluonSubstrate:
         level: OptimizationLevel,
         book: AddressBook,
         metrics: MetricsRegistry = NULL_METRICS,
+        aggregate: bool = False,
     ) -> None:
         self.partition = partition
         self.transport = transport
         self.level = level
         self.book = book
         self.plan: SyncPlan = build_sync_plan(book, level.structural)
+        #: Memoized ascending peer list — computed once, never re-sorted
+        #: per sync call (old books from a disk cache may predate it).
+        self.peer_order: Tuple[int, ...] = self.plan.peer_order
         self.stats = SubstrateStats()
         self.metrics = metrics
+        self.aggregate = aggregate
+        self.plane = CommPlane(
+            partition.host, transport, aggregate=aggregate, metrics=metrics
+        )
 
     @property
     def host(self) -> int:
@@ -91,8 +128,6 @@ class GluonSubstrate:
     def num_local_nodes(self) -> int:
         """Number of local proxies."""
         return self.partition.num_nodes
-
-    # -- reduce phase ---------------------------------------------------------
 
     # -- per-field proxy-set selection ----------------------------------------
 
@@ -152,31 +187,210 @@ class GluonSubstrate:
             self.book.mirrors_all,
         )
 
+    # -- codec wrappers (stats + metrics accounting) ---------------------------
+
+    def _encode(
+        self,
+        field: FieldSpec,
+        agreed: np.ndarray,
+        updated_mask: np.ndarray,
+        broadcast: bool,
+    ) -> Optional[EncodedField]:
+        """Encode one sub-message via the field codec, counting costs."""
+        if self.level.temporal:
+            encoded = encode_memoized_field(
+                field, agreed, updated_mask, broadcast=broadcast
+            )
+        else:
+            encoded = encode_global_ids_field(
+                field,
+                agreed,
+                updated_mask,
+                self.partition.local_to_global,
+                broadcast=broadcast,
+            )
+            if encoded is None:
+                return None
+        self.stats.count_mode(encoded.mode)
+        if encoded.translations:
+            self.stats.translations += encoded.translations
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "metadata_mode_total", mode=encoded.mode.name
+            ).inc()
+            if encoded.translations:
+                self.metrics.counter(
+                    "translations_total", host=self.host
+                ).inc(encoded.translations)
+        return encoded
+
+    def _decode(
+        self,
+        payload: bytes,
+        recv_arrays: Dict[int, np.ndarray],
+        sender: int,
+    ) -> Optional[DecodedField]:
+        """Decode one sub-message via the field codec, counting costs."""
+        decoded = decode_field_payload(
+            payload, recv_arrays, sender, self.partition
+        )
+        if decoded is None:
+            return None
+        if decoded.translations:
+            self.stats.translations += decoded.translations
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "translations_total", host=self.host
+                ).inc(decoded.translations)
+        return decoded
+
+    # -- aggregated plane API (default executor path) --------------------------
+
+    def stage_reduce(
+        self, field_index: int, field: FieldSpec, dirty: np.ndarray
+    ) -> List[Tuple[int, int]]:
+        """Stage updated mirror values toward their masters, per peer.
+
+        Buffers one sub-message per peer into the channels (flushed by
+        :meth:`flush_phase` at the phase boundary).  Returns the staged
+        ``(peer, payload_bytes)`` pairs so the executor can attribute
+        per-field byte ranges inside the aggregated buffers.
+        """
+        self._check_dirty(dirty)
+        self.stats.sync_calls += 1
+        send_arrays = self._reduce_send_arrays(field)
+        staged: List[Tuple[int, int]] = []
+        for peer in self.peer_order:
+            agreed = send_arrays[peer]
+            if len(agreed) == 0:
+                continue
+            updated_mask = dirty[agreed]
+            encoded = self._encode(field, agreed, updated_mask, broadcast=False)
+            if encoded is None:
+                continue
+            self.plane.stage(peer, field_index, encoded.payload)
+            staged.append((peer, len(encoded.payload)))
+            # Mirrors are reset after their contribution is shipped so the
+            # next round accumulates fresh values (§3.2, OEC discussion).
+            field.reset(agreed[updated_mask])
+        return staged
+
+    def stage_broadcast(
+        self, field_index: int, field: FieldSpec, dirty: np.ndarray
+    ) -> List[Tuple[int, int]]:
+        """Stage updated master values toward their mirrors, per peer."""
+        self._check_dirty(dirty)
+        send_arrays = self._broadcast_send_arrays(field)
+        staged: List[Tuple[int, int]] = []
+        for peer in self.peer_order:
+            agreed = send_arrays[peer]
+            if len(agreed) == 0:
+                continue
+            updated_mask = dirty[agreed]
+            encoded = self._encode(field, agreed, updated_mask, broadcast=True)
+            if encoded is None:
+                continue
+            self.plane.stage(peer, field_index, encoded.payload)
+            staged.append((peer, len(encoded.payload)))
+        return staged
+
+    def flush_phase(self, num_fields: int) -> List[Tuple[int, int]]:
+        """Flush every channel: one multi-field framed buffer per peer.
+
+        Returns the flushed ``(peer, frame_bytes)`` pairs.
+        """
+        return self.plane.flush(num_fields, self.peer_order)
+
+    def receive_reduce_all(
+        self, fields: Sequence[FieldSpec]
+    ) -> List[np.ndarray]:
+        """Apply incoming aggregated mirror contributions at masters.
+
+        Returns, per field, the boolean mask (over local IDs) of masters
+        whose value changed — the input to the broadcast phase.
+        """
+        changed = [
+            np.zeros(self.num_local_nodes, dtype=bool) for _ in fields
+        ]
+        recv_arrays = [self._reduce_recv_arrays(f) for f in fields]
+        for sender, subs in self.plane.receive_frames():
+            self._check_frame_width(sender, subs, len(fields))
+            for index, payload in enumerate(subs):
+                if payload is None:
+                    continue
+                decoded = self._decode(payload, recv_arrays[index], sender)
+                if decoded is None:
+                    continue
+                changed_here = fields[index].reduce(
+                    decoded.lids, decoded.values
+                )
+                changed[index][decoded.lids[changed_here]] = True
+        return changed
+
+    def receive_broadcast_all(
+        self, fields: Sequence[FieldSpec]
+    ) -> List[np.ndarray]:
+        """Install aggregated canonical master values at mirrors.
+
+        Returns, per field, the boolean mask of mirrors whose value
+        changed (feeds the next round's frontier).
+        """
+        changed = [
+            np.zeros(self.num_local_nodes, dtype=bool) for _ in fields
+        ]
+        recv_arrays = [self._broadcast_recv_arrays(f) for f in fields]
+        for sender, subs in self.plane.receive_frames():
+            self._check_frame_width(sender, subs, len(fields))
+            for index, payload in enumerate(subs):
+                if payload is None:
+                    continue
+                decoded = self._decode(payload, recv_arrays[index], sender)
+                if decoded is None:
+                    continue
+                changed_here = fields[index].set(decoded.lids, decoded.values)
+                changed[index][decoded.lids[changed_here]] = True
+        return changed
+
+    def assert_drained(self) -> None:
+        """Check no channel still buffers un-flushed sub-messages."""
+        self.plane.assert_drained()
+
+    def _check_frame_width(
+        self, sender: int, subs: List, num_fields: int
+    ) -> None:
+        if len(subs) != num_fields:
+            raise SyncError(
+                f"host {self.host}: aggregated frame from {sender} carries "
+                f"{len(subs)} field slots, expected {num_fields}"
+            )
+
+    # -- per-field API (ablation mode and direct unit tests) -------------------
+
     def send_reduce(self, field: FieldSpec, dirty: np.ndarray) -> None:
         """Ship updated mirror values toward their masters.
+
+        One transport message per peer — the pre-aggregation wire shape,
+        kept for the ``--no-aggregation`` ablation and direct unit
+        drives.
 
         Args:
             field: the synchronized field on this host.
             dirty: boolean mask over local IDs of proxies written this
                 round (the field-specific bit-vector of §4.2).
         """
+        self._check_per_field_api()
         self._check_dirty(dirty)
         self.stats.sync_calls += 1
         send_arrays = self._reduce_send_arrays(field)
-        for peer in sorted(send_arrays):
+        for peer in self.peer_order:
             agreed = send_arrays[peer]
             if len(agreed) == 0:
                 continue
             updated_mask = dirty[agreed]
-            if self.level.temporal:
-                payload = self._encode_memoized(field, agreed, updated_mask)
-            else:
-                payload = self._encode_global_ids(field, agreed, updated_mask)
-                if payload is None:
-                    continue
-            self.transport.send(self.host, peer, payload)
-            # Mirrors are reset after their contribution is shipped so the
-            # next round accumulates fresh values (§3.2, OEC discussion).
+            encoded = self._encode(field, agreed, updated_mask, broadcast=False)
+            if encoded is None:
+                continue
+            self.transport.send(self.host, peer, encoded.payload)
             field.reset(agreed[updated_mask])
 
     def receive_reduce(self, field: FieldSpec) -> np.ndarray:
@@ -188,14 +402,12 @@ class GluonSubstrate:
         changed = np.zeros(self.num_local_nodes, dtype=bool)
         recv_arrays = self._reduce_recv_arrays(field)
         for sender, payload in self.transport.receive_all(self.host):
-            lids, values = self._decode(payload, recv_arrays, sender)
-            if lids is None:
+            decoded = self._decode(payload, recv_arrays, sender)
+            if decoded is None:
                 continue
-            changed_here = field.reduce(lids, values)
-            changed[lids[changed_here]] = True
+            changed_here = field.reduce(decoded.lids, decoded.values)
+            changed[decoded.lids[changed_here]] = True
         return changed
-
-    # -- broadcast phase ------------------------------------------------------
 
     def send_broadcast(self, field: FieldSpec, dirty: np.ndarray) -> None:
         """Ship updated master values toward their mirrors.
@@ -205,24 +417,18 @@ class GluonSubstrate:
             dirty: boolean mask over local IDs; True at masters whose
                 (broadcast) value changed this round.
         """
+        self._check_per_field_api()
         self._check_dirty(dirty)
         send_arrays = self._broadcast_send_arrays(field)
-        for peer in sorted(send_arrays):
+        for peer in self.peer_order:
             agreed = send_arrays[peer]
             if len(agreed) == 0:
                 continue
             updated_mask = dirty[agreed]
-            if self.level.temporal:
-                payload = self._encode_memoized(
-                    field, agreed, updated_mask, broadcast=True
-                )
-            else:
-                payload = self._encode_global_ids(
-                    field, agreed, updated_mask, broadcast=True
-                )
-                if payload is None:
-                    continue
-            self.transport.send(self.host, peer, payload)
+            encoded = self._encode(field, agreed, updated_mask, broadcast=True)
+            if encoded is None:
+                continue
+            self.transport.send(self.host, peer, encoded.payload)
 
     def receive_broadcast(self, field: FieldSpec) -> np.ndarray:
         """Install canonical master values at mirrors.
@@ -233,113 +439,20 @@ class GluonSubstrate:
         changed = np.zeros(self.num_local_nodes, dtype=bool)
         recv_arrays = self._broadcast_recv_arrays(field)
         for sender, payload in self.transport.receive_all(self.host):
-            lids, values = self._decode(payload, recv_arrays, sender)
-            if lids is None:
+            decoded = self._decode(payload, recv_arrays, sender)
+            if decoded is None:
                 continue
-            changed_here = field.set(lids, values)
-            changed[lids[changed_here]] = True
+            changed_here = field.set(decoded.lids, decoded.values)
+            changed[decoded.lids[changed_here]] = True
         return changed
 
-    # -- encoding helpers -----------------------------------------------------
-
-    def _encode_memoized(
-        self,
-        field: FieldSpec,
-        agreed: np.ndarray,
-        updated_mask: np.ndarray,
-        broadcast: bool = False,
-    ) -> bytes:
-        """Encode one memoized-order message (OTI/OSTI path)."""
-        extract = field.extract_broadcast if broadcast else field.extract
-        num_updates = int(updated_mask.sum())
-        mode = select_mode(len(agreed), num_updates, field.value_size)
-        self.stats.count_mode(mode)
-        if self.metrics.enabled:
-            self.metrics.counter("metadata_mode_total", mode=mode.name).inc()
-        if mode is MetadataMode.EMPTY:
-            return encode_message(mode, np.empty(0, dtype=field.dtype))
-        if mode is MetadataMode.FULL:
-            return encode_message(mode, extract(agreed))
-        positions = np.flatnonzero(updated_mask).astype(np.uint32)
-        values = extract(agreed[positions])
-        return encode_message(
-            mode, values, num_agreed=len(agreed), selection=positions
-        )
-
-    def _encode_global_ids(
-        self,
-        field: FieldSpec,
-        agreed: np.ndarray,
-        updated_mask: np.ndarray,
-        broadcast: bool = False,
-    ):
-        """Encode one (global-ID, value) message (UNOPT/OSI path).
-
-        Returns ``None`` when nothing was updated: without the memoized
-        agreement the receiver does not expect a message, so none is sent.
-        """
-        sub = agreed[updated_mask]
-        if len(sub) == 0:
-            return None
-        extract = field.extract_broadcast if broadcast else field.extract
-        gids = self.partition.local_to_global[sub]
-        self.stats.translations += len(sub)
-        self.stats.count_mode(MetadataMode.GLOBAL_IDS)
-        if self.metrics.enabled:
-            self.metrics.counter(
-                "translations_total", host=self.host
-            ).inc(len(sub))
-            self.metrics.counter(
-                "metadata_mode_total", mode=MetadataMode.GLOBAL_IDS.name
-            ).inc()
-        return encode_message(
-            MetadataMode.GLOBAL_IDS, extract(sub), selection=gids
-        )
-
-    def _decode(
-        self,
-        payload: bytes,
-        recv_arrays: Dict[int, np.ndarray],
-        sender: int,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Decode a message into (local IDs, values); (None, None) if empty."""
-        message = decode_message(payload)
-        if message.mode is MetadataMode.EMPTY:
-            return None, None
-        if message.mode is MetadataMode.GLOBAL_IDS:
-            part = self.partition
-            lids = np.fromiter(
-                (part.to_local(gid) for gid in message.selection),
-                dtype=np.uint32,
-                count=len(message.selection),
-            )
-            self.stats.translations += len(lids)
-            if self.metrics.enabled:
-                self.metrics.counter(
-                    "translations_total", host=self.host
-                ).inc(len(lids))
-            return lids, message.values
-        agreed = recv_arrays.get(sender)
-        if agreed is None:
+    def _check_per_field_api(self) -> None:
+        if self.aggregate:
             raise SyncError(
-                f"host {self.host}: unexpected memoized message from "
-                f"host {sender}"
+                f"host {self.host}: substrate is in aggregating mode; "
+                "drive it with stage_*/flush_phase/receive_*_all (the "
+                "per-field send API would bypass the channels)"
             )
-        if message.mode is MetadataMode.FULL:
-            if len(message.values) != len(agreed):
-                raise SyncError(
-                    f"host {self.host}: FULL message from {sender} has "
-                    f"{len(message.values)} values for {len(agreed)} proxies"
-                )
-            return agreed, message.values
-        # BITVEC / INDICES: selection holds positions in the agreed array.
-        positions = message.selection
-        if len(positions) and positions.max() >= len(agreed):
-            raise SyncError(
-                f"host {self.host}: position {positions.max()} out of range "
-                f"for agreed array of {len(agreed)} from host {sender}"
-            )
-        return agreed[positions], message.values
 
     def _check_dirty(self, dirty: np.ndarray) -> None:
         if dirty.dtype != np.bool_ or len(dirty) != self.num_local_nodes:
@@ -354,6 +467,7 @@ def setup_substrates(
     transport: InProcessTransport,
     level: OptimizationLevel = OptimizationLevel.OSTI,
     metrics: MetricsRegistry = NULL_METRICS,
+    aggregate: bool = False,
 ) -> List[GluonSubstrate]:
     """Create one substrate per host, running the memoization exchange.
 
@@ -364,7 +478,12 @@ def setup_substrates(
     books = exchange_address_books(partitioned, transport)
     return [
         GluonSubstrate(
-            part, transport, level, books[part.host], metrics=metrics
+            part,
+            transport,
+            level,
+            books[part.host],
+            metrics=metrics,
+            aggregate=aggregate,
         )
         for part in partitioned.partitions
     ]
@@ -393,6 +512,7 @@ def setup_substrates_from_books(
     level: OptimizationLevel,
     prepared: PreparedSync,
     metrics: MetricsRegistry = NULL_METRICS,
+    aggregate: bool = False,
 ) -> List[GluonSubstrate]:
     """Create per-host substrates from already-memoized address books.
 
@@ -406,7 +526,12 @@ def setup_substrates_from_books(
         )
     return [
         GluonSubstrate(
-            part, transport, level, prepared.books[part.host], metrics=metrics
+            part,
+            transport,
+            level,
+            prepared.books[part.host],
+            metrics=metrics,
+            aggregate=aggregate,
         )
         for part in partitioned.partitions
     ]

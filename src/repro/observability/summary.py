@@ -142,7 +142,9 @@ def phase_byte_rows(events: List[Dict]) -> List[Dict]:
         rows.append(
             {
                 "phase": name,
-                "KB": round(nbytes / 1e3, 2),
+                # Three decimals keep KB byte-exact, so the rows still
+                # sum to the run's exact communication volume.
+                "KB": round(nbytes / 1e3, 3),
                 "messages": int(messages),
                 "time_ms": round(dur_us / 1e3, 4),
             }

@@ -104,6 +104,9 @@ class LocalPartition:
         self._global_to_local = {
             int(gid): lid for lid, gid in enumerate(self.local_to_global)
         }
+        # Lazily built sort order for bulk translation (to_local_array).
+        self._l2g_order: Optional[np.ndarray] = None
+        self._l2g_sorted: Optional[np.ndarray] = None
 
     @property
     def num_nodes(self) -> int:
@@ -141,6 +144,32 @@ class LocalPartition:
         Raises ``KeyError`` if this host holds no proxy for the node.
         """
         return self._global_to_local[int(global_id)]
+
+    def to_local_array(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate many global IDs to local IDs in one vectorized lookup.
+
+        The bulk twin of :meth:`to_local` — a sorted binary search over
+        the proxy table instead of a per-ID dict probe, used on every
+        GLOBAL_IDS decode and in the memoization exchange.
+
+        Raises ``KeyError`` naming the first unknown ID if any global ID
+        has no proxy on this host.
+        """
+        gids = np.ascontiguousarray(global_ids, dtype=np.uint32)
+        if len(gids) == 0:
+            return np.empty(0, dtype=np.uint32)
+        if self._l2g_order is None:
+            self._l2g_order = np.argsort(self.local_to_global).astype(
+                np.uint32
+            )
+            self._l2g_sorted = self.local_to_global[self._l2g_order]
+        pos = np.searchsorted(self._l2g_sorted, gids)
+        pos_clipped = np.minimum(pos, len(self._l2g_sorted) - 1)
+        misses = self._l2g_sorted[pos_clipped] != gids
+        if misses.any():
+            missing = int(gids[misses][0])
+            raise KeyError(missing)
+        return self._l2g_order[pos_clipped]
 
     def has_proxy(self, global_id: int) -> bool:
         """Whether this host holds a proxy for the global node."""

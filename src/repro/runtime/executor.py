@@ -3,10 +3,17 @@
 Execution proceeds in rounds: every host applies the operator to its own
 partition (through its engine), then all hosts take part in a global
 communication phase run by the Gluon substrate — reduce, master-side
-apply, broadcast — field by field.  The executor is also the metrology
-layer: it converts counted work into simulated computation time, closes
-each transport round to capture its exact byte trace, and applies the
-alpha-beta model for communication time.
+apply, broadcast.  By default the executor drives the substrate *per
+phase*: every field's sub-messages are staged into per-peer channels and
+each peer receives one aggregated multi-field buffer per phase
+(``2 × peer_pairs`` messages per round instead of
+``2 × num_fields × peer_pairs``).  ``aggregate_comm=False`` (the CLI's
+``--no-aggregation``) restores the historical per-field collective — one
+transport message per (field, peer, phase) — as an ablation; both modes
+produce bitwise-identical application results.  The executor is also the
+metrology layer: it converts counted work into simulated computation
+time, closes each transport round to capture its exact byte trace, and
+applies the alpha-beta model for communication time.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from repro.comm.frame import frame_overhead
 from repro.core.optimization import OptimizationLevel
 from repro.core.substrate import (
     GluonSubstrate,
@@ -71,6 +79,7 @@ class DistributedExecutor:
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[Observability] = None,
         prepared_sync: Optional[PreparedSync] = None,
+        aggregate_comm: bool = True,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
@@ -95,6 +104,9 @@ class DistributedExecutor:
         self.level = level
         self.cost_model = CostModel(network)
         self.enable_sync = enable_sync
+        #: Cross-field message aggregation: one framed buffer per peer per
+        #: phase (False = the ``--no-aggregation`` per-field ablation).
+        self.aggregate_comm = aggregate_comm
         if system_name is not None:
             self.system_name = system_name
         elif len(set(e.name for e in self.engines)) > 1:
@@ -133,9 +145,12 @@ class DistributedExecutor:
         self.metrics = self.obs.metrics
         #: Simulated-clock cursor for span placement (advanced per round).
         self._trace_clock = 0.0
-        #: Per-round sync-phase records: (label, msg_start, msg_end,
+        #: Per-round sync-phase records: (label, [(src, dst, nbytes)...],
         #: serialize_wall_s, apply_wall_s), filled by _synchronize when
-        #: tracing is on and turned into nested spans at round close.
+        #: tracing is on and turned into nested spans at round close.  In
+        #: aggregated mode the message list holds per-field *sub-message*
+        #: sizes (byte attribution inside the framed buffers); in
+        #: per-field mode it is the phase's slice of the transport trace.
         self._phase_records: List = []
         self._last_round_traffic = None
 
@@ -194,12 +209,17 @@ class DistributedExecutor:
                     self.level,
                     self.prepared_sync,
                     self.metrics,
+                    aggregate=self.aggregate_comm,
                 )
                 memoization_bytes = self.prepared_sync.memoization_bytes
                 result.construction_bytes += memoization_bytes
             else:
                 self.substrates = setup_substrates(
-                    self.partitioned, self.transport, self.level, self.metrics
+                    self.partitioned,
+                    self.transport,
+                    self.level,
+                    self.metrics,
+                    aggregate=self.aggregate_comm,
                 )
                 memoization_bytes = self.transport.stats.total_bytes
                 result.construction_bytes += memoization_bytes
@@ -455,7 +475,11 @@ class DistributedExecutor:
             self.substrates = []
             return 0, 0.0
         self.substrates = setup_substrates(
-            self.partitioned, self.transport, self.level, self.metrics
+            self.partitioned,
+            self.transport,
+            self.level,
+            self.metrics,
+            aggregate=self.aggregate_comm,
         )
         return self._close_recovery_exchange()
 
@@ -511,7 +535,11 @@ class DistributedExecutor:
         self.transport = self._make_transport(new_partitioned.num_hosts)
         if self.enable_sync:
             self.substrates = setup_substrates(
-                new_partitioned, self.transport, self.level, self.metrics
+                new_partitioned,
+                self.transport,
+                self.level,
+                self.metrics,
+                aggregate=self.aggregate_comm,
             )
             self._result.construction_bytes += self.transport.stats.total_bytes
             self.transport.end_round()
@@ -555,18 +583,178 @@ class DistributedExecutor:
         outcomes: List[RoundOutcome],
         next_frontiers: List[np.ndarray],
     ) -> None:
-        """Run the reduce/apply/broadcast collective for every field.
+        """Run the reduce/apply/broadcast collective for the round.
 
-        With tracing enabled, each phase's slice of the round's message
-        trace and its wall-clock serialize/apply split are captured as a
-        phase record; :meth:`_trace_round` later maps the records onto
+        Dispatches to the aggregated (phase-major, one framed buffer per
+        peer per phase) or per-field (field-major, the ``--no-aggregation``
+        ablation) driver.  With tracing enabled, each per-field phase's
+        messages and its wall-clock serialize/apply split are captured as
+        a phase record; :meth:`_trace_round` later maps the records onto
         the simulated comm window as nested spans.
+        """
+        if self.tracer.enabled:
+            self._phase_records = []
+        if self.aggregate_comm:
+            self._synchronize_aggregated(outcomes, next_frontiers)
+        else:
+            self._synchronize_per_field(outcomes, next_frontiers)
+
+    def _broadcast_dirty(
+        self,
+        host: int,
+        field: FieldSpec,
+        reduce_changed: np.ndarray,
+        outcome: RoundOutcome,
+    ) -> np.ndarray:
+        """Master-side apply: which masters broadcast after the reduce."""
+        if field.on_master_after_reduce is not None:
+            return field.on_master_after_reduce(reduce_changed)
+        dirty = reduce_changed | outcome.updated
+        dirty[self.partitioned.partitions[host].num_masters :] = False
+        return dirty
+
+    def _synchronize_aggregated(
+        self,
+        outcomes: List[RoundOutcome],
+        next_frontiers: List[np.ndarray],
+    ) -> None:
+        """Phase-major collective over the channel layer.
+
+        Every field's reduce sub-messages are staged first, then each
+        channel flushes one multi-field framed buffer per peer; the
+        broadcast phase repeats the pattern.  Field-level results are
+        bitwise identical to the per-field driver: each field's arrays
+        are independent and every receiver applies senders in the same
+        mailbox order as before.
+        """
+        num_hosts = len(self.substrates)
+        num_fields = len(self.fields[0])
+        tracing = self.tracer.enabled
+
+        # -- reduce: stage all fields, flush, receive aggregated --------
+        reduce_msgs = [[] for _ in range(num_fields)]
+        ser_walls = [0.0] * num_fields
+        for i in range(num_fields):
+            if tracing:
+                wall_start = time.perf_counter()
+            for h in range(num_hosts):
+                staged = self.substrates[h].stage_reduce(
+                    i, self.fields[h][i], outcomes[h].updated
+                )
+                if tracing:
+                    reduce_msgs[i].extend(
+                        (h, peer, nbytes) for peer, nbytes in staged
+                    )
+            if tracing:
+                ser_walls[i] = time.perf_counter() - wall_start
+        flushed = [
+            self.substrates[h].flush_phase(num_fields)
+            for h in range(num_hosts)
+        ]
+        if tracing:
+            wall_start = time.perf_counter()
+        reduce_changed = [
+            self.substrates[h].receive_reduce_all(self.fields[h])
+            for h in range(num_hosts)
+        ]
+        if tracing:
+            apply_share = (time.perf_counter() - wall_start) / num_fields
+            for i in range(num_fields):
+                self._phase_records.append(
+                    (
+                        f"reduce:{self.fields[0][i].name}",
+                        reduce_msgs[i],
+                        ser_walls[i],
+                        apply_share,
+                    )
+                )
+            self._record_framing("reduce", flushed, num_fields)
+
+        # -- master-side apply ------------------------------------------
+        broadcast_dirty = []
+        for h in range(num_hosts):
+            per_host = []
+            for i in range(num_fields):
+                dirty = self._broadcast_dirty(
+                    h, self.fields[h][i], reduce_changed[h][i], outcomes[h]
+                )
+                per_host.append(dirty)
+                next_frontiers[h] |= reduce_changed[h][i] | dirty
+            broadcast_dirty.append(per_host)
+
+        # -- broadcast: stage all fields, flush, receive aggregated -----
+        broadcast_msgs = [[] for _ in range(num_fields)]
+        for i in range(num_fields):
+            if tracing:
+                wall_start = time.perf_counter()
+            for h in range(num_hosts):
+                staged = self.substrates[h].stage_broadcast(
+                    i, self.fields[h][i], broadcast_dirty[h][i]
+                )
+                if tracing:
+                    broadcast_msgs[i].extend(
+                        (h, peer, nbytes) for peer, nbytes in staged
+                    )
+            if tracing:
+                ser_walls[i] = time.perf_counter() - wall_start
+        flushed = [
+            self.substrates[h].flush_phase(num_fields)
+            for h in range(num_hosts)
+        ]
+        if tracing:
+            wall_start = time.perf_counter()
+        for h in range(num_hosts):
+            changed = self.substrates[h].receive_broadcast_all(self.fields[h])
+            for mask in changed:
+                next_frontiers[h] |= mask
+        if tracing:
+            apply_share = (time.perf_counter() - wall_start) / num_fields
+            for i in range(num_fields):
+                self._phase_records.append(
+                    (
+                        f"broadcast:{self.fields[0][i].name}",
+                        broadcast_msgs[i],
+                        ser_walls[i],
+                        apply_share,
+                    )
+                )
+            self._record_framing("broadcast", flushed, num_fields)
+
+    def _record_framing(
+        self, phase: str, flushed: List[List[tuple]], num_fields: int
+    ) -> None:
+        """Attribute the aggregated frames' header bytes to a trace record.
+
+        Per-field records carry sub-message bytes only; the fixed frame
+        header (count + length prefixes) belongs to the phase as a whole.
+        Recording it separately keeps the trace's phase byte totals
+        reconciling exactly with the transport's round volume.
+        """
+        overhead = frame_overhead(num_fields)
+        framing = [
+            (h, peer, overhead)
+            for h, per_host in enumerate(flushed)
+            for peer, _ in per_host
+        ]
+        if framing:
+            self._phase_records.append((f"framing:{phase}", framing, 0.0, 0.0))
+
+    def _synchronize_per_field(
+        self,
+        outcomes: List[RoundOutcome],
+        next_frontiers: List[np.ndarray],
+    ) -> None:
+        """Field-major collective: the pre-aggregation wire shape.
+
+        Each field runs the full four-step collective before the next
+        field starts — one transport message per (field, peer, phase).
+        Receives must follow each field's sends because raw payloads
+        carry no field identity on the wire.
         """
         num_hosts = len(self.substrates)
         num_fields = len(self.fields[0])
         tracing = self.tracer.enabled
         if tracing:
-            self._phase_records = []
             messages = self.transport.stats.current_round.messages
         for field_index in range(num_fields):
             fields = [self.fields[h][field_index] for h in range(num_hosts)]
@@ -585,8 +773,7 @@ class DistributedExecutor:
                 self._phase_records.append(
                     (
                         f"reduce:{fields[0].name}",
-                        msg_start,
-                        len(messages),
+                        list(messages[msg_start:]),
                         wall_sent - wall_start,
                         time.perf_counter() - wall_sent,
                     )
@@ -595,12 +782,9 @@ class DistributedExecutor:
                 wall_start = time.perf_counter()
             broadcast_dirty = []
             for h in range(num_hosts):
-                part = self.partitioned.partitions[h]
-                if fields[h].on_master_after_reduce is not None:
-                    dirty = fields[h].on_master_after_reduce(reduce_changed[h])
-                else:
-                    dirty = reduce_changed[h] | outcomes[h].updated
-                    dirty[part.num_masters :] = False
+                dirty = self._broadcast_dirty(
+                    h, fields[h], reduce_changed[h], outcomes[h]
+                )
                 broadcast_dirty.append(dirty)
                 next_frontiers[h] |= reduce_changed[h] | dirty
             for h in range(num_hosts):
@@ -614,8 +798,7 @@ class DistributedExecutor:
                 self._phase_records.append(
                     (
                         f"broadcast:{fields[0].name}",
-                        msg_start,
-                        len(messages),
+                        list(messages[msg_start:]),
                         wall_sent - wall_start,
                         time.perf_counter() - wall_sent,
                     )
@@ -640,6 +823,11 @@ class DistributedExecutor:
         num_hosts = self.partitioned.num_hosts
         if self.transport is None:
             return 0.0, 0, 0
+        # Channel drain guard: a field staged after the phase flush would
+        # sit in a buffer forever — fail loudly at the round boundary,
+        # complementing the transport's own undelivered-mail detection.
+        for sub in self.substrates:
+            sub.assert_drained()
         traffic = self.transport.stats.current_round
         self._last_round_traffic = traffic
         self.transport.end_round()
@@ -736,25 +924,28 @@ class DistributedExecutor:
         window is apportioned among phases by their exact byte volumes,
         and each phase is split into its serialize (encode+send) and
         apply (decode+reduce/set) halves by measured wall-time ratio.
+        Each record carries its own (src, dst, nbytes) message list: the
+        phase's transport slice in per-field mode, the per-field
+        sub-message sizes inside the aggregated buffers otherwise — so
+        per-field spans survive aggregation via byte attribution.
         """
         records = self._phase_records
         if not records:
             return
         num_hosts = self.partitioned.num_hosts
         phase_bytes = [
-            sum(nbytes for _, _, nbytes in traffic.messages[start:end])
-            for _, start, end, _, _ in records
+            sum(nbytes for _, _, nbytes in msgs)
+            for _, msgs, _, _ in records
         ]
         grand_total = sum(phase_bytes)
         cursor = begin_s
-        for (label, start, end, wall_ser, wall_apply), nbytes in zip(
+        for (label, slice_msgs, wall_ser, wall_apply), nbytes in zip(
             records, phase_bytes
         ):
             if grand_total > 0:
                 share = comm_time * (nbytes / grand_total)
             else:
                 share = comm_time / len(records)
-            slice_msgs = traffic.messages[start:end]
             sent = [0] * num_hosts
             received = [0] * num_hosts
             counts = [0] * num_hosts

@@ -202,8 +202,15 @@ def run_app(
     resilience=None,
     observability=None,
     partition_cache=None,
+    aggregate_comm: bool = True,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
+
+    ``aggregate_comm`` selects the communication plane's mode: per-peer
+    cross-field message aggregation (default) or the per-field ablation
+    (the CLI's ``--no-aggregation``).  Application results are bitwise
+    identical either way; only the wire shape — and therefore the
+    simulated communication time — differs.
 
     Returns the :class:`~repro.runtime.stats.RunResult`, whose
     ``construction_time`` includes the measured partitioning wall-clock
@@ -286,6 +293,7 @@ def run_app(
             enable_sync=sync,
             system_name=system.lower(),
             max_rounds=max_rounds,
+            aggregate_comm=aggregate_comm,
         )
         result.construction_time += partition_time
         if partition_cache is not None and not outcome.from_cache:
@@ -306,6 +314,7 @@ def run_app(
         resilience=resilience,
         observability=observability,
         prepared_sync=outcome.prepared_sync,
+        aggregate_comm=aggregate_comm,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time

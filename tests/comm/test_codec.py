@@ -1,0 +1,205 @@
+"""Field codec: seeded-random round-trip properties across all modes.
+
+Every (metadata mode x dtype x mask density) combination must survive an
+encode/decode round trip bit for bit, and the codec must report its costs
+(mode choice, translation counts) faithfully.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.codec import (
+    decode_field_payload,
+    encode_global_ids_field,
+    encode_memoized_field,
+)
+from repro.core.metadata import MetadataMode, select_mode
+from repro.core.sync_structures import ADD, MIN, FieldSpec
+from repro.errors import SyncError
+
+DTYPES = [np.uint8, np.uint32, np.int32, np.int64, np.uint64, np.float32, np.float64]
+
+#: Mask densities spanning the encoder's regimes: nothing updated (EMPTY),
+#: very sparse (INDICES), moderately sparse (BITVEC), everything (FULL).
+DENSITIES = [0.0, 0.02, 0.4, 1.0]
+
+
+class StubPartition:
+    """Just enough of LocalPartition for the decode path."""
+
+    def __init__(self, local_to_global, host=0):
+        self.host = host
+        self.local_to_global = np.asarray(local_to_global, dtype=np.uint32)
+        self._inverse = {
+            int(gid): lid for lid, gid in enumerate(self.local_to_global)
+        }
+
+    def to_local_array(self, gids):
+        return np.array(
+            [self._inverse[int(g)] for g in gids], dtype=np.uint32
+        )
+
+
+def make_field(rng, dtype, num_locals, name="f"):
+    if np.issubdtype(dtype, np.floating):
+        values = rng.random(num_locals).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        values = rng.integers(
+            0, min(int(info.max), 10_000), size=num_locals
+        ).astype(dtype)
+    return FieldSpec(name, values, MIN)
+
+
+def make_mask(rng, size, density):
+    if density == 0.0:
+        return np.zeros(size, dtype=bool)
+    if density == 1.0:
+        return np.ones(size, dtype=bool)
+    mask = rng.random(size) < density
+    return mask
+
+
+class TestMemoizedRoundTrip:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_round_trip(self, dtype, density):
+        rng = np.random.default_rng(
+            DTYPES.index(dtype) * 10 + DENSITIES.index(density)
+        )
+        num_locals = 400
+        field = make_field(rng, dtype, num_locals)
+        agreed = rng.choice(num_locals, size=200, replace=False).astype(np.uint32)
+        mask = make_mask(rng, len(agreed), density)
+
+        encoded = encode_memoized_field(field, agreed, mask)
+        expected_mode = select_mode(
+            len(agreed), int(mask.sum()), field.value_size
+        )
+        assert encoded.mode is expected_mode
+        assert encoded.translations == 0  # memoized order: no translation
+
+        # The receiver's aligned master array (any distinct lids work).
+        recv_agreed = rng.choice(300, size=len(agreed), replace=False).astype(
+            np.uint32
+        )
+        decoded = decode_field_payload(
+            encoded.payload, {7: recv_agreed}, 7, StubPartition([])
+        )
+        if encoded.mode is MetadataMode.EMPTY:
+            assert decoded is None
+            return
+        if encoded.mode is MetadataMode.FULL:
+            assert np.array_equal(decoded.lids, recv_agreed)
+            assert np.array_equal(decoded.values, field.values[agreed])
+        else:
+            positions = np.flatnonzero(mask)
+            assert np.array_equal(decoded.lids, recv_agreed[positions])
+            assert np.array_equal(
+                decoded.values, field.values[agreed[positions]]
+            )
+        assert decoded.values.dtype == field.dtype
+        assert decoded.translations == 0
+
+    def test_all_modes_reachable(self):
+        """Update counts from none to all span all four metadata modes."""
+        seen = set()
+        rng = np.random.default_rng(7)
+        field = make_field(rng, np.uint32, 400)
+        agreed = np.arange(200, dtype=np.uint32)
+        for updates in (0, 3, 80, 200):
+            mask = np.zeros(len(agreed), dtype=bool)
+            mask[:updates] = True
+            seen.add(encode_memoized_field(field, agreed, mask).mode)
+        assert seen == {
+            MetadataMode.EMPTY,
+            MetadataMode.INDICES,
+            MetadataMode.BITVEC,
+            MetadataMode.FULL,
+        }
+
+    def test_broadcast_reads_broadcast_array(self):
+        """broadcast=True must extract from broadcast_values, not values."""
+        rng = np.random.default_rng(11)
+        values = np.zeros(50, dtype=np.float64)
+        broadcast = rng.random(50)
+        field = FieldSpec("pr", values, ADD, broadcast_values=broadcast)
+        agreed = np.arange(20, dtype=np.uint32)
+        mask = np.ones(20, dtype=bool)
+        encoded = encode_memoized_field(field, agreed, mask, broadcast=True)
+        decoded = decode_field_payload(
+            encoded.payload, {1: agreed}, 1, StubPartition([])
+        )
+        assert np.array_equal(decoded.values, broadcast[:20])
+
+
+class TestGlobalIdsRoundTrip:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_round_trip(self, dtype, density):
+        rng = np.random.default_rng(
+            1000 + DTYPES.index(dtype) * 10 + DENSITIES.index(density)
+        )
+        num_locals = 120
+        # Sender's proxies map to distinct globals in a 1000-node graph.
+        sender_l2g = rng.choice(1000, size=num_locals, replace=False).astype(
+            np.uint32
+        )
+        field = make_field(rng, dtype, num_locals)
+        agreed = rng.choice(num_locals, size=60, replace=False).astype(np.uint32)
+        mask = make_mask(rng, len(agreed), density)
+
+        encoded = encode_global_ids_field(field, agreed, mask, sender_l2g)
+        if mask.sum() == 0:
+            # No memoized agreement: nothing updated means no message.
+            assert encoded is None
+            return
+        assert encoded.mode is MetadataMode.GLOBAL_IDS
+        assert encoded.translations == int(mask.sum())
+
+        # Receiver holds proxies for (at least) the shipped globals,
+        # at different local ids than the sender's.
+        shipped_gids = sender_l2g[agreed[mask]]
+        receiver_l2g = rng.permutation(
+            np.arange(1000, dtype=np.uint32)
+        )
+        part = StubPartition(receiver_l2g, host=3)
+        decoded = decode_field_payload(encoded.payload, {}, 0, part)
+        assert decoded.translations == int(mask.sum())
+        assert np.array_equal(
+            part.local_to_global[decoded.lids], shipped_gids
+        )
+        assert np.array_equal(decoded.values, field.values[agreed[mask]])
+
+
+class TestDecodeErrors:
+    def test_unexpected_memoized_sender(self):
+        field = make_field(np.random.default_rng(0), np.uint32, 50)
+        agreed = np.arange(20, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(20, dtype=bool)
+        )
+        with pytest.raises(SyncError, match="unexpected memoized message"):
+            decode_field_payload(encoded.payload, {}, 9, StubPartition([]))
+
+    def test_full_length_mismatch(self):
+        field = make_field(np.random.default_rng(1), np.uint32, 50)
+        agreed = np.arange(20, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(20, dtype=bool)
+        )
+        assert encoded.mode is MetadataMode.FULL
+        short = np.arange(5, dtype=np.uint32)
+        with pytest.raises(SyncError, match="FULL message"):
+            decode_field_payload(encoded.payload, {2: short}, 2, StubPartition([]))
+
+    def test_position_out_of_range(self):
+        field = make_field(np.random.default_rng(2), np.uint32, 600)
+        agreed = np.arange(500, dtype=np.uint32)
+        mask = np.zeros(500, dtype=bool)
+        mask[490] = True  # very sparse -> INDICES, position 490
+        encoded = encode_memoized_field(field, agreed, mask)
+        assert encoded.mode is MetadataMode.INDICES
+        short = np.arange(10, dtype=np.uint32)
+        with pytest.raises(SyncError, match="out of range"):
+            decode_field_payload(encoded.payload, {4: short}, 4, StubPartition([]))

@@ -1,0 +1,98 @@
+"""Multi-field frame: round trips and corrupted-buffer rejection."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.comm.frame import MAX_FIELDS, decode_frame, encode_frame, frame_overhead
+from repro.errors import SerializationError
+
+
+def random_submessages(rng, num_fields):
+    """Random slot assignment: None, or 1..64 random bytes, per field."""
+    subs = []
+    for _ in range(num_fields):
+        if rng.random() < 0.4:
+            subs.append(None)
+        else:
+            subs.append(rng.bytes(int(rng.integers(1, 65))))
+    return subs
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_frames_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        num_fields = int(rng.integers(1, 12))
+        subs = random_submessages(rng, num_fields)
+        frame = encode_frame(subs)
+        assert decode_frame(frame) == subs
+        assert len(frame) == frame_overhead(num_fields) + sum(
+            len(s) for s in subs if s is not None
+        )
+
+    def test_all_slots_empty_still_frames(self):
+        frame = encode_frame([None, None, None])
+        assert decode_frame(frame) == [None, None, None]
+        assert len(frame) == frame_overhead(3)
+
+    def test_single_field_frame(self):
+        frame = encode_frame([b"\x01\x02"])
+        assert decode_frame(frame) == [b"\x01\x02"]
+
+
+class TestEncodeErrors:
+    def test_zero_slots_rejected(self):
+        with pytest.raises(SerializationError, match="at least one field"):
+            encode_frame([])
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(SerializationError, match="cannot carry"):
+            encode_frame([None] * (MAX_FIELDS + 1))
+
+    def test_empty_present_submessage_rejected(self):
+        with pytest.raises(SerializationError, match="cannot be empty"):
+            encode_frame([b""])
+
+
+class TestDecodeErrors:
+    def test_buffer_too_short_for_count(self):
+        with pytest.raises(SerializationError, match="too short"):
+            decode_frame(b"\x01")
+
+    def test_zero_field_count_rejected(self):
+        with pytest.raises(SerializationError, match="zero field"):
+            decode_frame(struct.pack("<H", 0))
+
+    def test_truncated_length_prefixes(self):
+        # Claims 3 fields but carries only one length prefix.
+        buffer = struct.pack("<H", 3) + struct.pack("<I", 4)
+        with pytest.raises(SerializationError, match="truncated"):
+            decode_frame(buffer)
+
+    def test_truncated_body(self):
+        frame = encode_frame([b"abcd", b"efgh"])
+        with pytest.raises(SerializationError, match="body mismatch"):
+            decode_frame(frame[:-3])
+
+    def test_trailing_garbage(self):
+        frame = encode_frame([b"abcd"])
+        with pytest.raises(SerializationError, match="body mismatch"):
+            decode_frame(frame + b"zz")
+
+    def test_corrupted_length_prefix_overruns(self):
+        frame = bytearray(encode_frame([b"abcd"]))
+        # Inflate the first length prefix past the buffer end.
+        struct.pack_into("<I", frame, 2, 1_000_000)
+        with pytest.raises(SerializationError, match="body mismatch"):
+            decode_frame(bytes(frame))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_truncations_never_crash(self, seed):
+        """Any prefix of a valid frame either decodes or raises cleanly."""
+        rng = np.random.default_rng(100 + seed)
+        frame = encode_frame(random_submessages(rng, int(rng.integers(1, 8))))
+        for cut in range(len(frame)):
+            with pytest.raises(SerializationError):
+                decode_frame(frame[:cut])

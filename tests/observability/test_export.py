@@ -81,8 +81,11 @@ class TestChromeTraceSchema:
         phase_events = [e for e in events if e["cat"] == "sync-phase"]
         phase_rounds = {e["args"]["round"] for e in phase_events}
         assert phase_rounds == rounds_seen
+        # Per-field spans survive aggregation (sub-message byte
+        # attribution); the frames' header bytes get their own spans.
         assert {e["name"] for e in phase_events} == {
             "reduce:dist", "broadcast:dist",
+            "framing:reduce", "framing:broadcast",
         }
 
     def test_spans_tagged_with_run_identity(self, trace_doc):

@@ -68,6 +68,21 @@ class TestSmokeMatrix:
         assert cell["warm_jobs_per_s"] > cell["cold_jobs_per_s"]
 
 
+    def test_aggregation_cell_reports_message_reduction(self, payload):
+        doc, _ = payload
+        cell = doc["aggregation"]
+        assert cell is not None
+        assert cell["app"] == "bc"
+        # Two-field sweep: the acceptance bar is a 2x message cut.
+        assert cell["two_field_reduction"] >= 2.0
+        assert (
+            cell["messages_aggregated"] < cell["messages_per_field"]
+        )
+        assert (
+            cell["sim_comm_s_aggregated"] < cell["sim_comm_s_per_field"]
+        )
+
+
 class TestNoService:
     def test_flag_skips_the_service_cell(self, tmp_path):
         output = tmp_path / "BENCH_test.json"
@@ -75,9 +90,12 @@ class TestNoService:
             [
                 "--smoke",
                 "--no-service",
+                "--no-aggregation-cell",
                 "--output", str(output),
                 "--export-dir", str(tmp_path / "exports"),
             ]
         )
         assert code == 0
-        assert json.loads(output.read_text())["service"] is None
+        doc = json.loads(output.read_text())
+        assert doc["service"] is None
+        assert doc["aggregation"] is None
