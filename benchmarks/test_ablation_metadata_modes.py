@@ -7,7 +7,7 @@ paper's dense/sparse/very-sparse rules.
 
 from benchmarks.conftest import emit, once
 from repro.analysis import experiments, format_table
-from repro.core.metadata import MetadataMode, select_mode
+from repro.core.metadata import select_mode
 
 
 def test_metadata_mode_crossovers(benchmark):

@@ -6,8 +6,6 @@ seeds.  The reproduction claims (orderings) must hold for every seed, and
 the spread shows how much a single-seed number can move.
 """
 
-import numpy as np
-
 from benchmarks.conftest import emit, once
 from repro.analysis.experiments import bench_network
 from repro.analysis.tables import format_table

@@ -1,12 +1,56 @@
-"""Analysis layer: experiment harnesses and table/figure rendering.
+"""Analysis layer: experiment harnesses, rendering, and contract checks.
 
 `repro.analysis.experiments` regenerates the data behind every table and
 figure in the paper's evaluation (§5); `repro.analysis.tables` renders the
 rows the way the paper prints them.  The benchmark suite under
 ``benchmarks/`` is a thin pytest-benchmark wrapper over these functions.
+
+The sync-contract checking layer (``repro lint`` / ``--sanitize``) also
+lives here: :mod:`~repro.analysis.findings` (rule catalog),
+:mod:`~repro.analysis.astlint` (static endpoint-provenance lint),
+:mod:`~repro.analysis.algebra` (reduction-law checker),
+:mod:`~repro.analysis.linter` (orchestration), and
+:mod:`~repro.analysis.sanitizer` (runtime proxy-access sanitizer).
 """
 
+from repro.analysis.algebra import check_reduction, check_reductions
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    Rule,
+    has_errors,
+    render_json,
+    render_text,
+    severity_counts,
+    sort_findings,
+)
+from repro.analysis.linter import (
+    lint_all_apps,
+    lint_app,
+    lint_module_path,
+    lint_programs,
+    run_lint,
+)
 from repro.analysis.tables import format_table, geomean
 from repro.analysis import experiments
 
-__all__ = ["format_table", "geomean", "experiments"]
+__all__ = [
+    "format_table",
+    "geomean",
+    "experiments",
+    "RULES",
+    "Rule",
+    "Finding",
+    "has_errors",
+    "severity_counts",
+    "sort_findings",
+    "render_text",
+    "render_json",
+    "check_reduction",
+    "check_reductions",
+    "lint_app",
+    "lint_module_path",
+    "lint_all_apps",
+    "lint_programs",
+    "run_lint",
+]

@@ -1,0 +1,177 @@
+"""Algebraic checker for :class:`~repro.core.sync_structures.ReductionOp`.
+
+The substrate trusts three declared properties of every reduction (§3.3):
+
+* the **identity** really is an identity — fresh master/mirror proxies
+  are seeded with it, and non-idempotent mirrors are reset to it, so
+  ``combine(identity, x)`` must return ``x`` unchanged;
+* **idempotence** — ``idempotent=True`` lets mirrors keep their value at
+  reset (§2.3), so re-applying a kept contribution must be a no-op:
+  ``combine(a, a) == a``;
+* **commutativity** — peer contributions are applied in ascending host
+  order, so ``commutative=True`` promises ``combine(a, b) ==
+  combine(b, a)`` (otherwise answers depend on the partitioning).
+
+None of these can be type-checked in Python the way the paper's C++
+templates could, so this module *measures* them: every law is evaluated
+over deterministic sample vectors across all synced dtypes, and a
+violated claim becomes an error-severity finding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+from repro.core.sync_structures import REDUCTIONS, ReductionOp
+
+#: dtypes the checker exercises — the integer/float types the built-in
+#: applications synchronize, plus int32 for narrow-label programs.
+CHECKED_DTYPES = (np.int32, np.int64, np.uint32, np.float64)
+
+
+def sample_values(dtype: np.dtype) -> np.ndarray:
+    """Deterministic, dtype-spanning sample vector for law checks.
+
+    Covers zero, small values, and the representable extremes (where the
+    min/max identities live); float samples stay finite so comparisons
+    are exact.
+    """
+    dtype = np.dtype(dtype)
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        values = [0, 1, 2, 3, 5, 17, info.max // 2, info.max, info.min]
+    else:
+        info = np.finfo(dtype)
+        values = [0.0, 1.0, 0.5, -2.25, 1e-9, -1e9, float(info.max) / 4]
+    return np.array(values, dtype=dtype)
+
+
+def _pairs(samples: np.ndarray):
+    """All ordered sample pairs, as two aligned vectors."""
+    n = len(samples)
+    left = np.repeat(samples, n)
+    right = np.tile(samples, n)
+    return left, right
+
+
+def _equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact elementwise equality (the substrate compares with ``!=``)."""
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+def check_reduction(
+    op: ReductionOp, dtypes: Sequence = CHECKED_DTYPES
+) -> List[Finding]:
+    """Verify one op's declared laws across ``dtypes``; return findings."""
+    findings: List[Finding] = []
+    always_idempotent = True
+    for dtype in dtypes:
+        dtype = np.dtype(dtype)
+        samples = sample_values(dtype)
+        try:
+            # Ops are allowed to be partial over dtypes (bitwise-or has
+            # no float meaning); the laws apply where combine applies.
+            op.combine(samples[:1].copy(), samples[:1])
+        except TypeError:
+            continue
+        identity = np.full(len(samples), op.identity(dtype), dtype=dtype)
+        with np.errstate(over="ignore"):
+            findings.extend(_check_identity(op, dtype, samples, identity))
+            left, right = _pairs(samples)
+            combined = op.combine(left.copy(), right.copy())
+            idempotent_here = _equal(op.combine(samples.copy(), samples), samples)
+            always_idempotent &= idempotent_here
+            if op.idempotent and not idempotent_here:
+                findings.append(
+                    Finding(
+                        rule_id="GL102",
+                        subject=op.name,
+                        message=(
+                            f"declared idempotent, but combine(a, a) != a "
+                            f"over {dtype.name} — mirrors keeping their "
+                            "value at reset will double count"
+                        ),
+                    )
+                )
+            if op.commutative and not _equal(
+                combined, op.combine(right.copy(), left.copy())
+            ):
+                findings.append(
+                    Finding(
+                        rule_id="GL103",
+                        subject=op.name,
+                        message=(
+                            f"declared commutative, but combine is "
+                            f"order-dependent over {dtype.name} — results "
+                            "will depend on peer application order"
+                        ),
+                    )
+                )
+    if not op.idempotent and always_idempotent:
+        findings.append(
+            Finding(
+                rule_id="GL104",
+                subject=op.name,
+                message=(
+                    "measures idempotent over every checked dtype but is "
+                    "declared idempotent=False — mirrors are reset to the "
+                    "identity needlessly"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_identity(
+    op: ReductionOp,
+    dtype: np.dtype,
+    samples: np.ndarray,
+    identity: np.ndarray,
+) -> List[Finding]:
+    """The identity law(s): left always; right only for commutative ops."""
+    findings = []
+    if not _equal(op.combine(identity.copy(), samples), samples):
+        findings.append(
+            Finding(
+                rule_id="GL101",
+                subject=op.name,
+                message=(
+                    f"combine(identity, x) != x over {dtype.name} "
+                    f"(identity={op.identity(dtype)!r}) — freshly seeded "
+                    "proxies corrupt the first contribution"
+                ),
+            )
+        )
+    elif op.commutative and not _equal(
+        op.combine(samples.copy(), identity), samples
+    ):
+        findings.append(
+            Finding(
+                rule_id="GL101",
+                subject=op.name,
+                message=(
+                    f"combine(x, identity) != x over {dtype.name} — a "
+                    "reset mirror's contribution destroys the master value"
+                ),
+            )
+        )
+    return findings
+
+
+def check_reductions(
+    ops: Optional[Iterable[ReductionOp]] = None,
+    dtypes: Sequence = CHECKED_DTYPES,
+) -> List[Finding]:
+    """Check many ops (default: the whole ``REDUCTIONS`` registry)."""
+    if ops is None:
+        ops = REDUCTIONS.values()
+    seen: Dict[int, ReductionOp] = {}
+    for op in ops:
+        seen.setdefault(id(op), op)
+    findings: List[Finding] = []
+    for op in seen.values():
+        findings.extend(check_reduction(op, dtypes))
+    return findings

@@ -79,7 +79,7 @@ def project(
         known = ", ".join(sorted(PAPER_SIZES))
         raise ValueError(
             f"unknown paper input {paper_input!r} (known: {known})"
-        )
+        ) from None
     if host_scale <= 0:
         raise ValueError(f"host_scale must be positive, got {host_scale}")
     total_edges = max(partitioned.num_global_edges, 1)

@@ -32,7 +32,7 @@ def make_app(name: str):
         cls = APP_BY_NAME[name.lower()]
     except KeyError:
         known = ", ".join(sorted(APP_BY_NAME))
-        raise ValueError(f"unknown application {name!r} (known: {known})")
+        raise ValueError(f"unknown application {name!r} (known: {known})") from None
     return cls()
 
 

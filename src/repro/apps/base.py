@@ -10,7 +10,7 @@ IrGL), to a local fixpoint for the asynchronous-within-host engine
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

@@ -248,6 +248,7 @@ class BetweennessCentrality(VertexProgram):
         system_name: Optional[str] = None,
         max_rounds: int = 100_000,
         aggregate_comm: bool = True,
+        sanitize: bool = False,
     ) -> RunResult:
         """Run forward + backward sweeps; returns a merged RunResult."""
         from repro.core.optimization import OptimizationLevel
@@ -261,6 +262,7 @@ class BetweennessCentrality(VertexProgram):
             partitioned, engine, forward, ctx,
             level=level, network=network, enable_sync=enable_sync,
             system_name=system_name, aggregate_comm=aggregate_comm,
+            sanitize=sanitize,
         )
         forward_result = forward_executor.run(max_rounds=max_rounds)
 
@@ -275,6 +277,7 @@ class BetweennessCentrality(VertexProgram):
             partitioned, engine, backward, ctx,
             level=level, network=network, enable_sync=enable_sync,
             system_name=system_name, aggregate_comm=aggregate_comm,
+            sanitize=sanitize,
         )
         backward_result = backward_executor.run(max_rounds=max_rounds)
 
@@ -309,5 +312,9 @@ class BetweennessCentrality(VertexProgram):
                     merged.mode_counts.get(mode, 0) + count
                 )
         merged.replication_factor = forward_result.replication_factor
+        merged.sanitizer_findings = (
+            forward_result.sanitizer_findings
+            + backward_result.sanitizer_findings
+        )
         merged.executor = backward_executor  # type: ignore[attr-defined]
         return merged

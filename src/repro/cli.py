@@ -148,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics and dump them here (.json, or .csv for CSV)",
     )
     run_cmd.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "debug mode: audit every endpoint-indexed field access "
+            "against the declared sync contract (results stay bitwise "
+            "identical; violations are reported and exit non-zero)"
+        ),
+    )
+    run_cmd.add_argument(
         "--json",
         action="store_true",
         help="emit the full RunResult as JSON on stdout (for scripting)",
@@ -165,6 +174,37 @@ def build_parser() -> argparse.ArgumentParser:
             "route partitioning through the service's content-addressed "
             "cache in DIR (reused across runs and by `repro serve`)"
         ),
+    )
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help=(
+            "check vertex programs against the sync contract "
+            "(static endpoint analysis + reduction-law checks)"
+        ),
+    )
+    lint_targets = lint_cmd.add_mutually_exclusive_group()
+    lint_targets.add_argument(
+        "--app",
+        choices=sorted(APP_BY_NAME),
+        default=None,
+        help="lint one built-in application (default: all of them)",
+    )
+    lint_targets.add_argument(
+        "--module",
+        default=None,
+        metavar="PATH",
+        help="lint every VertexProgram subclass defined in a module file",
+    )
+    lint_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable findings on stdout",
+    )
+    lint_cmd.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog (IDs, severities, invariants) and exit",
     )
 
     exp_cmd = commands.add_parser(
@@ -382,13 +422,22 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         observability=observability,
         partition_cache=partition_cache,
         aggregate_comm=not args.no_aggregation,
+        sanitize=args.sanitize,
     )
     if observability is not None:
         _export_observability(args, result, observability)
+    sanitizer_failed = bool(result.sanitizer_findings)
+    if sanitizer_failed:
+        for doc in result.sanitizer_findings:
+            print(
+                f"sanitizer: {doc['rule']} [{doc.get('field', '-')}] "
+                f"{doc['message']}",
+                file=sys.stderr,
+            )
     if args.json:
         # Machine-readable mode: the JSON document is the entire stdout.
         print(result.to_json())
-        return 0
+        return 1 if sanitizer_failed else 0
     print(format_table([result.summary()], title="run summary"))
     if partition_cache is not None:
         status = "hit" if result.partition_cache_hit else "miss"
@@ -417,7 +466,9 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
 
         print()
         print(round_table(result), end="")
-    return 0
+    if args.sanitize and not sanitizer_failed:
+        print("sanitizer          : clean (no contract violations)")
+    return 1 if sanitizer_failed else 0
 
 
 def _export_observability(args, result, observability) -> None:
@@ -439,6 +490,35 @@ def _export_observability(args, result, observability) -> None:
     if args.metrics is not None:
         write_metrics(observability.metrics, args.metrics)
         print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+
+def _command_lint(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.analysis.findings import (
+        RULES,
+        has_errors,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.linter import run_lint
+    from repro.errors import LintError
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.severity:>7}  {rule.title}")
+            print(f"    {rule.invariant}")
+        return 0
+    try:
+        targets, findings = run_lint(app=args.app, module=args.module)
+    except LintError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(render_json(findings, targets))
+    else:
+        print(f"linting: {', '.join(targets)}")
+        print(render_text(findings), end="")
+    return 1 if has_errors(findings) else 0
 
 
 def _command_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -630,6 +710,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _validate_args(parser, args)
     handlers = {
         "run": lambda a: _command_run(a, parser),
+        "lint": lambda a: _command_lint(a, parser),
         "experiment": _command_experiment,
         "inputs": _command_inputs,
         "analyze": _command_analyze,

@@ -18,7 +18,6 @@ from typing import Dict, Tuple
 from repro.compiler.spec import OperatorSpec
 from repro.errors import StrategyError
 from repro.partition.strategy import (
-    OperatorClass,
     PartitionStrategy,
     check_strategy_legal,
 )

@@ -189,7 +189,7 @@ def exchange_address_books(
                 raise SyncError(
                     f"host {part.host}: peer {sender} mirrors global node "
                     f"{exc.args[0]} this host holds no proxy for"
-                )
+                ) from exc
             if len(lids) and lids.max() >= part.num_masters:
                 raise SyncError(
                     f"host {part.host}: peer {sender} mirrors a node this "

@@ -45,4 +45,4 @@ class OptimizationLevel(enum.Enum):
             known = ", ".join(level.value for level in cls)
             raise ValueError(
                 f"unknown optimization level {name!r} (known: {known})"
-            )
+            ) from None

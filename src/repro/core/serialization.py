@@ -61,7 +61,7 @@ def dtype_code(dtype: np.dtype) -> int:
         supported = ", ".join(str(d) for d in _DTYPE_CODES)
         raise SerializationError(
             f"unsupported sync dtype {dtype} (supported: {supported})"
-        )
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -143,11 +143,11 @@ def decode_message(payload: bytes) -> SyncMessage:
     try:
         mode = MetadataMode(mode_tag)
     except ValueError:
-        raise SerializationError(f"unknown mode tag {mode_tag}")
+        raise SerializationError(f"unknown mode tag {mode_tag}") from None
     try:
         dtype = _DTYPE_BY_CODE[code]
     except KeyError:
-        raise SerializationError(f"unknown dtype code {code}")
+        raise SerializationError(f"unknown dtype code {code}") from None
     body = payload[2:]
     if mode is MetadataMode.EMPTY:
         if body:

@@ -187,6 +187,34 @@ class GluonSubstrate:
             self.book.mirrors_all,
         )
 
+    # -- sanitizer support (proxy-set masks over local IDs) ---------------------
+
+    def _proxy_mask(self, arrays: Dict[int, np.ndarray]) -> np.ndarray:
+        """Masters plus the union of per-peer proxy arrays, as a mask."""
+        mask = np.zeros(self.num_local_nodes, dtype=bool)
+        mask[: self.partition.num_masters] = True
+        for agreed in arrays.values():
+            mask[agreed] = True
+        return mask
+
+    def writable_mirror_mask(self, field: FieldSpec) -> np.ndarray:
+        """Local IDs the compute phase may write for ``field``.
+
+        Masters plus the mirrors whose contribution the reduce phase
+        ships (the declared-write proxy set).  A write outside this mask
+        is a lost update — the ``--sanitize`` mode's GL201.
+        """
+        return self._proxy_mask(self._reduce_send_arrays(field))
+
+    def readable_mirror_mask(self, field: FieldSpec) -> np.ndarray:
+        """Local IDs the compute phase may read for ``field``.
+
+        Masters plus the mirrors the broadcast phase refreshes (the
+        declared-read proxy set).  A read outside this mask sees a stale
+        value — the ``--sanitize`` mode's GL202.
+        """
+        return self._proxy_mask(self._broadcast_recv_arrays(field))
+
     # -- codec wrappers (stats + metrics accounting) ---------------------------
 
     def _encode(

@@ -18,7 +18,7 @@ all accessors are vectorized numpy operations over index arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -38,12 +38,18 @@ class ReductionOp:
             Idempotent reductions (min/max/or) let mirrors *keep* their
             value at reset (§2.3: sssp keeps labels); non-idempotent ones
             (add) must reset mirrors to the identity (push pagerank).
+        commutative: Whether ``combine(a, b) == combine(b, a)``.  The
+            substrate applies peer contributions in ascending host order,
+            so a non-commutative reduction (assign) gives answers that
+            depend on the partitioning — declare it so the contract
+            checker (``repro lint``) can warn at the use site.
     """
 
     name: str
     combine: Callable[[np.ndarray, np.ndarray], np.ndarray]
     identity_for: Callable[[np.dtype], object]
     idempotent: bool
+    commutative: bool = True
 
     def identity(self, dtype: np.dtype) -> object:
         """The identity value of this reduction for ``dtype``."""
@@ -104,6 +110,7 @@ ASSIGN = ReductionOp(
     combine=lambda a, b: b,
     identity_for=lambda dtype: dtype.type(0),
     idempotent=True,
+    commutative=False,
 )
 
 REDUCTIONS: Dict[str, ReductionOp] = {
@@ -226,9 +233,8 @@ class FieldSpec:
         incoming = incoming.astype(self.broadcast_values.dtype)
         current = self.broadcast_values[local_ids]
         changed = current != incoming
+        # With a derived broadcast the reduce-side array is not touched at
+        # mirrors; only the broadcast array is cached there.  Same-field
+        # sync writes the shared array either way.
         self.broadcast_values[local_ids] = incoming
-        if self.broadcast_values is not self.values:
-            # Derived broadcast: the reduce-side array is not touched at
-            # mirrors; only the broadcast array is cached there.
-            return changed
         return changed

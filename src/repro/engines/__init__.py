@@ -32,7 +32,7 @@ def make_engine(name: str, **kwargs):
         cls = ENGINE_BY_NAME[name.lower()]
     except KeyError:
         known = ", ".join(sorted(ENGINE_BY_NAME))
-        raise ValueError(f"unknown engine {name!r} (known: {known})")
+        raise ValueError(f"unknown engine {name!r} (known: {known})") from None
     return cls(**kwargs)
 
 

@@ -93,3 +93,7 @@ class AdmissionError(ServiceError):
 class CacheError(ServiceError):
     """Raised for misuse of the service cache (corruption is *not* an
     error: a corrupted entry is dropped and recomputed)."""
+
+
+class LintError(ReproError):
+    """Raised when the sync-contract linter cannot analyze its target."""

@@ -8,8 +8,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
 

@@ -29,9 +29,9 @@ def load_trace(path) -> List[Dict]:
     try:
         payload = json.loads(Path(path).read_text())
     except FileNotFoundError:
-        raise TraceFileError(f"no trace file {path}")
+        raise TraceFileError(f"no trace file {path}") from None
     except json.JSONDecodeError as exc:
-        raise TraceFileError(f"{path} is not valid JSON: {exc}")
+        raise TraceFileError(f"{path} is not valid JSON: {exc}") from exc
     events = payload.get("traceEvents") if isinstance(payload, dict) else payload
     if not isinstance(events, list):
         raise TraceFileError(

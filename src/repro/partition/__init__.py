@@ -50,7 +50,7 @@ def make_partitioner(name: str, **kwargs):
         cls = PARTITIONER_BY_NAME[name.lower()]
     except KeyError:
         known = ", ".join(sorted(PARTITIONER_BY_NAME))
-        raise ValueError(f"unknown partitioner {name!r} (known: {known})")
+        raise ValueError(f"unknown partitioner {name!r} (known: {known})") from None
     return cls(**kwargs)
 
 

@@ -44,7 +44,7 @@ class MemoryCheckpointBackend:
         try:
             return self._blobs[digest]
         except KeyError:
-            raise CheckpointError(f"no checkpoint blob for digest {digest}")
+            raise CheckpointError(f"no checkpoint blob for digest {digest}") from None
 
     def __contains__(self, digest: str) -> bool:
         return digest in self._blobs

@@ -12,7 +12,7 @@ crash round without re-killing the reborn host).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.errors import FaultPlanError
@@ -139,7 +139,7 @@ class FaultPlan:
                 except ValueError:
                     raise FaultPlanError(
                         f"crash clause {clause!r}: HOST and ROUND must be ints"
-                    )
+                    ) from None
             elif kind in ("drop", "corrupt", "dup", "duplicate"):
                 key = "duplicate" if kind == "dup" else kind
                 try:
@@ -147,7 +147,7 @@ class FaultPlan:
                 except ValueError:
                     raise FaultPlanError(
                         f"{kind} clause {clause!r}: rate must be a float"
-                    )
+                    ) from None
             else:
                 raise FaultPlanError(
                     f"unknown fault kind {kind!r} in {clause!r} "

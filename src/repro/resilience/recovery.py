@@ -31,7 +31,7 @@ reported exactly like the paper reports communication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import TYPE_CHECKING, List, Optional
 

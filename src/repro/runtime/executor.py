@@ -80,6 +80,7 @@ class DistributedExecutor:
         observability: Optional[Observability] = None,
         prepared_sync: Optional[PreparedSync] = None,
         aggregate_comm: bool = True,
+        sanitize: bool = False,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
@@ -107,6 +108,14 @@ class DistributedExecutor:
         #: Cross-field message aggregation: one framed buffer per peer per
         #: phase (False = the ``--no-aggregation`` per-field ablation).
         self.aggregate_comm = aggregate_comm
+        # -- proxy-access sanitizer (the ``--sanitize`` debug mode) ---------
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: repro.analysis pulls in the experiment
+            # harness, which imports this module.
+            from repro.analysis.sanitizer import ProxySanitizer
+
+            self.sanitizer = ProxySanitizer(app)
         if system_name is not None:
             self.system_name = system_name
         elif len(set(e.name for e in self.engines)) > 1:
@@ -305,12 +314,7 @@ class DistributedExecutor:
                     self._survive_crash(crashed, round_index)
                     continue
             frontiers = self._frontiers
-            outcomes = [
-                self.engines[h].compute_round(
-                    self.app, parts[h], self.states[h], frontiers[h]
-                )
-                for h in range(num_hosts)
-            ]
+            outcomes = self._compute_round_all(parts, frontiers, round_index)
             comp_times = [
                 self.engines[h].compute_time(outcomes[h].work)
                 for h in range(num_hosts)
@@ -329,6 +333,8 @@ class DistributedExecutor:
                 self._synchronize(outcomes, next_frontiers)
             else:
                 self._apply_hooks_locally(next_frontiers)
+            if self.sanitizer is not None and self.enable_sync:
+                self.sanitizer.note_sync_completed()
             fault_bytes = self._take_round_fault_bytes()
             comm_time, comm_bytes, comm_messages = self._close_round(
                 comp_times, pre_translations
@@ -372,6 +378,30 @@ class DistributedExecutor:
             self._maybe_checkpoint(round_index)
         self._finalize(result)
         return result
+
+    def _compute_round_all(self, parts, frontiers, round_index):
+        """Run every host's compute, under guarded views when sanitizing."""
+        num_hosts = len(parts)
+        if self.sanitizer is None:
+            return [
+                self.engines[h].compute_round(
+                    self.app, parts[h], self.states[h], frontiers[h]
+                )
+                for h in range(num_hosts)
+            ]
+        outcomes = []
+        for h in range(num_hosts):
+            substrate = self.substrates[h] if self.substrates else None
+            with self.sanitizer.guard_round(
+                h, parts[h], self.fields[h], substrate, self.states[h],
+                round_index,
+            ):
+                outcomes.append(
+                    self.engines[h].compute_round(
+                        self.app, parts[h], self.states[h], frontiers[h]
+                    )
+                )
+        return outcomes
 
     # -- resilience (fault injection + checkpointing + recovery) ------------------
 
@@ -1004,6 +1034,9 @@ class DistributedExecutor:
         self.metrics.gauge("active_nodes").set(active)
 
     def _finalize(self, result: RunResult) -> None:
+        if self.sanitizer is not None:
+            # Recomputed whole (not appended) so resumed runs stay correct.
+            result.sanitizer_findings = self.sanitizer.findings_as_dicts()
         # Recomputed (not accumulated) so resumed runs stay correct.
         result.translations = self._carried_translations
         result.mode_counts = dict(self._carried_mode_counts)

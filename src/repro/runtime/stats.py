@@ -77,6 +77,10 @@ class RunResult:
     #: Snapshot of the run's metrics registry (empty unless the run was
     #: observed — see :mod:`repro.observability`).
     metrics: Dict = field(default_factory=dict)
+    #: Proxy-access sanitizer findings as flat dicts (empty unless the
+    #: run was sanitized — ``--sanitize`` / ``DistributedExecutor(
+    #: sanitize=True)``; see :mod:`repro.analysis.sanitizer`).
+    sanitizer_findings: List[Dict] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -220,6 +224,8 @@ class RunResult:
             "rounds": self.round_rows(),
             "metrics": self.metrics,
         }
+        if self.sanitizer_findings:
+            payload["sanitizer_findings"] = self.sanitizer_findings
         text = json.dumps(payload, indent=2)
         if path is not None:
             from pathlib import Path

@@ -61,7 +61,7 @@ def parse_batch(document) -> List[JobSpec]:
         try:
             specs.append(JobSpec.from_dict(merged))
         except JobSpecError as exc:
-            raise JobSpecError(f"job #{index + 1}: {exc}")
+            raise JobSpecError(f"job #{index + 1}: {exc}") from exc
     return specs
 
 
@@ -73,5 +73,5 @@ def load_batch(path) -> List[JobSpec]:
     try:
         document = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
-        raise JobSpecError(f"batch file {path} is not valid JSON: {exc}")
+        raise JobSpecError(f"batch file {path} is not valid JSON: {exc}") from exc
     return parse_batch(document)

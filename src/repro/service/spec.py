@@ -101,7 +101,7 @@ class JobSpec:
                 raise JobSpecError(
                     f"unknown optimization level {self.level!r} "
                     f"(known: {known})"
-                )
+                ) from None
         if self.hosts < 1:
             raise JobSpecError(f"hosts must be >= 1, got {self.hosts}")
         if self.max_rounds < 1:
@@ -125,7 +125,7 @@ class JobSpec:
             try:
                 FaultPlan.parse(self.inject_fault, seed=self.fault_seed)
             except FaultPlanError as exc:
-                raise JobSpecError(f"inject_fault: {exc}")
+                raise JobSpecError(f"inject_fault: {exc}") from exc
 
     # -- serialization -----------------------------------------------------
 

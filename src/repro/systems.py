@@ -20,7 +20,6 @@ Gluon's central usability claim (§3.3).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -203,6 +202,7 @@ def run_app(
     observability=None,
     partition_cache=None,
     aggregate_comm: bool = True,
+    sanitize: bool = False,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
 
@@ -211,6 +211,12 @@ def run_app(
     (the CLI's ``--no-aggregation``).  Application results are bitwise
     identical either way; only the wire shape — and therefore the
     simulated communication time — differs.
+
+    ``sanitize`` turns on the proxy-access sanitizer (the CLI's
+    ``--sanitize``): compute rounds run over guarded field views that
+    audit endpoint-indexed accesses against each field's declared proxy
+    sets.  Results stay bitwise identical; violations land on
+    ``result.sanitizer_findings``.
 
     Returns the :class:`~repro.runtime.stats.RunResult`, whose
     ``construction_time`` includes the measured partitioning wall-clock
@@ -294,6 +300,7 @@ def run_app(
             system_name=system.lower(),
             max_rounds=max_rounds,
             aggregate_comm=aggregate_comm,
+            sanitize=sanitize,
         )
         result.construction_time += partition_time
         if partition_cache is not None and not outcome.from_cache:
@@ -315,6 +322,7 @@ def run_app(
         observability=observability,
         prepared_sync=outcome.prepared_sync,
         aggregate_comm=aggregate_comm,
+        sanitize=sanitize,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time

@@ -66,7 +66,7 @@ def load_workload(name: str, scale_delta: int = 0) -> EdgeList:
         builder = _BUILDERS[name]
     except KeyError:
         known = ", ".join(WORKLOAD_NAMES)
-        raise ValueError(f"unknown workload {name!r} (known: {known})")
+        raise ValueError(f"unknown workload {name!r} (known: {known})") from None
     key = (name, scale_delta)
     if key not in _CACHE:
         _CACHE[key] = builder(scale_delta)

@@ -1,0 +1,88 @@
+"""Algebraic reduction checker: broken ops caught, registry clean."""
+
+import numpy as np
+
+from repro.analysis import check_reduction, check_reductions
+from repro.core.sync_structures import REDUCTIONS, ReductionOp
+
+
+def _rule_ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestBrokenOps:
+    def test_bad_identity_fires_gl101(self):
+        op = ReductionOp(
+            name="bad-identity-add",
+            combine=lambda a, b: a + b,
+            identity_for=lambda dtype: dtype.type(1),  # 1 + x != x
+            idempotent=False,
+        )
+        findings = check_reduction(op)
+        assert "GL101" in _rule_ids(findings)
+        assert all(f.severity == "error" for f in findings)
+
+    def test_false_idempotence_fires_gl102(self):
+        op = ReductionOp(
+            name="false-idempotent-add",
+            combine=lambda a, b: a + b,
+            identity_for=lambda dtype: dtype.type(0),
+            idempotent=True,  # add(a, a) == 2a
+        )
+        assert "GL102" in _rule_ids(check_reduction(op))
+
+    def test_false_commutativity_fires_gl103(self):
+        # First-nonidentity-wins: both identity laws hold, but the
+        # result depends on application order.
+        op = ReductionOp(
+            name="first-wins",
+            combine=lambda a, b: np.where(a == 0, b, a),
+            identity_for=lambda dtype: dtype.type(0),
+            idempotent=True,
+        )
+        ids = _rule_ids(check_reduction(op))
+        assert "GL103" in ids
+        assert "GL101" not in ids
+
+    def test_undeclared_idempotence_fires_gl104(self):
+        op = ReductionOp(
+            name="shy-min",
+            combine=np.minimum,
+            identity_for=lambda dtype: (
+                dtype.type(np.iinfo(dtype).max)
+                if np.issubdtype(dtype, np.integer)
+                else dtype.type(np.finfo(dtype).max)
+            ),
+            idempotent=False,  # min is idempotent; declaring it isn't
+        )
+        findings = check_reduction(op)
+        assert _rule_ids(findings) == ["GL104"]
+        assert findings[0].severity == "info"
+
+    def test_partial_dtype_ops_are_checked_where_defined(self):
+        # bitwise-or has no float meaning; the checker must skip the
+        # dtype instead of crashing, and still catch integer defects.
+        op = ReductionOp(
+            name="bad-bor",
+            combine=np.bitwise_or,
+            identity_for=lambda dtype: dtype.type(1),  # 1 | x != x
+            idempotent=True,
+        )
+        assert "GL101" in _rule_ids(check_reduction(op))
+
+
+class TestRegistry:
+    def test_builtin_registry_is_clean(self):
+        findings = check_reductions()
+        assert findings == [], [f.to_dict() for f in findings]
+
+    def test_duplicate_ops_measured_once(self):
+        op = REDUCTIONS["min"]
+        findings = check_reductions([op, op, op])
+        assert findings == []
+
+    def test_assign_declared_noncommutative(self):
+        # The declaration that makes GL009/GL103 meaningful: assign is
+        # order-dependent and says so, so no algebraic finding fires.
+        assert not REDUCTIONS["assign"].commutative
+        assert check_reduction(REDUCTIONS["assign"]) == []

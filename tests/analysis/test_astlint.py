@@ -1,0 +1,88 @@
+"""Static sync-contract lint: every rule fires, every app is clean."""
+
+import pytest
+
+from repro.analysis import lint_all_apps, lint_programs
+from repro.analysis.astlint import analyze_program, lint_program
+from repro.analysis.findings import RULES, has_errors
+from repro.analysis.linter import lint_module_path
+from repro.apps import APP_BY_NAME
+from repro.apps.bfs import BFS
+
+from tests.analysis.broken_programs import (
+    RULE_FIXTURES,
+    UnsyncedWrite,
+    WrongWriteEndpoint,
+)
+
+
+class TestBrokenFixtures:
+    @pytest.mark.parametrize(
+        "rule_id,cls",
+        sorted(RULE_FIXTURES.items()),
+        ids=sorted(RULE_FIXTURES),
+    )
+    def test_rule_fires(self, rule_id, cls):
+        findings = lint_programs([cls])
+        fired = {f.rule_id for f in findings}
+        assert rule_id in fired, (
+            f"{cls.__name__} should trigger {rule_id}, got {sorted(fired)}"
+        )
+        finding = next(f for f in findings if f.rule_id == rule_id)
+        assert finding.severity == RULES[rule_id].severity
+        assert finding.subject == cls.__name__
+
+    def test_findings_carry_anchors(self):
+        findings = lint_programs([WrongWriteEndpoint])
+        finding = next(f for f in findings if f.rule_id == "GL001")
+        assert finding.file.endswith("broken_programs.py")
+        assert finding.line > 0
+        assert finding.field_name == "dist"
+        assert "destination" in finding.message
+
+    def test_unsynced_write_names_the_state_key(self):
+        findings = lint_program(UnsyncedWrite)
+        finding = next(f for f in findings if f.rule_id == "GL003")
+        assert "hops" in finding.message
+
+    def test_module_path_lints_the_fixture_file(self):
+        import tests.analysis.broken_programs as module
+
+        findings = lint_module_path(module.__file__)
+        assert set(RULE_FIXTURES) <= {f.rule_id for f in findings}
+        subjects = {f.subject for f in findings}
+        assert "WrongWriteEndpoint" in subjects
+
+
+class TestEndpointInference:
+    def test_bfs_push_endpoints(self):
+        report = analyze_program(BFS)
+        writes = {
+            e.key: e.endpoint for e in report.events if e.kind == "write"
+        }
+        reads = {e.key: e.endpoint for e in report.events if e.kind == "read"}
+        assert writes.get("dist") == "destination"
+        assert reads.get("dist") == "source"
+
+    def test_bfs_pull_path_detected(self):
+        report = analyze_program(BFS)
+        assert report.has_pull_path
+        assert report.gathers_forward
+        assert report.gathers_transpose
+
+
+class TestBuiltinAppsClean:
+    def test_all_apps_have_no_errors(self):
+        names, findings = lint_all_apps()
+        # Aliases collapse to one target, but every app class is covered.
+        assert {APP_BY_NAME[n] for n in names} == set(APP_BY_NAME.values())
+        errors = [f for f in findings if f.severity == "error"]
+        assert not has_errors(findings), [f.to_dict() for f in errors]
+
+    @pytest.mark.parametrize("app_name", sorted(APP_BY_NAME))
+    def test_each_app_individually_clean(self, app_name):
+        from repro.analysis import lint_app
+
+        findings = lint_app(app_name)
+        errors = [f for f in findings if f.severity == "error"]
+        assert not errors, [f.to_dict() for f in errors]

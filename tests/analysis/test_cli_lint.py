@@ -1,0 +1,84 @@
+"""CLI surface of the contract checker: ``repro lint`` and ``--sanitize``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+import tests.analysis.broken_programs as broken_programs
+
+FIXTURE_PATH = broken_programs.__file__
+
+
+class TestLintCommand:
+    def test_default_sweep_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "linting:" in out
+        assert "0 error(s)" in out
+
+    def test_single_app_target(self, capsys):
+        assert main(["lint", "--app", "bfs"]) == 0
+        assert "linting: bfs" in capsys.readouterr().out
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--app", "wcc"])
+
+    def test_broken_module_exits_nonzero(self, capsys):
+        assert main(["lint", "--module", FIXTURE_PATH]) == 1
+        out = capsys.readouterr().out
+        assert "GL001" in out
+        assert "GL003" in out
+
+    def test_json_document(self, capsys):
+        assert main(["lint", "--module", FIXTURE_PATH, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["targets"] == [FIXTURE_PATH]
+        assert doc["counts"]["error"] > 0
+        rules = {f["rule"] for f in doc["findings"]}
+        assert {"GL001", "GL002", "GL003"} <= rules
+        first = doc["findings"][0]
+        assert {"rule", "severity", "subject", "message", "file", "line"} <= (
+            set(first)
+        )
+        # Errors sort before warnings before infos.
+        severities = [f["severity"] for f in doc["findings"]]
+        order = {"error": 0, "warning": 1, "info": 2}
+        assert severities == sorted(severities, key=order.__getitem__)
+
+    def test_rules_catalog(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("GL001", "GL010", "GL101", "GL104", "GL201", "GL202"):
+            assert rule_id in out
+
+    def test_app_and_module_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--app", "bfs", "--module", FIXTURE_PATH])
+
+
+class TestRunSanitize:
+    _BASE = [
+        "run",
+        "--system", "d-galois",
+        "--app", "bfs",
+        "--workload", "rmat22s",
+        "--scale-delta", "-5",
+        "--hosts", "2",
+    ]
+
+    def test_clean_run_reports_clean(self, capsys):
+        assert main(self._BASE + ["--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer          : clean (no contract violations)" in out
+
+    def test_sanitize_preserves_results(self, capsys):
+        assert main(self._BASE + ["--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(self._BASE + ["--sanitize", "--json"]) == 0
+        guarded = json.loads(capsys.readouterr().out)
+        assert "sanitizer_findings" not in guarded
+        assert guarded["summary"]["rounds"] == plain["summary"]["rounds"]
+        assert guarded["summary"]["comm_MB"] == plain["summary"]["comm_MB"]

@@ -4,8 +4,6 @@ The benchmark suite runs these at full scale; here they run at minimal
 scale so a refactor that breaks a harness's plumbing fails in seconds.
 """
 
-import pytest
-
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
 

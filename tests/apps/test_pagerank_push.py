@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.systems import prepare_input, run_app
+from repro.systems import run_app
 from tests.conftest import reference_pagerank
 
 POLICIES = ["oec", "iec", "cvc", "hvc"]

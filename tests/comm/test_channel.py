@@ -1,6 +1,5 @@
 """Channel layer: staging, flushing, drain checks, and the comm plane."""
 
-import numpy as np
 import pytest
 
 from repro.comm.channel import Channel, CommPlane

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.memoization import (
-    AddressBook,
     _decode_exchange,
     _encode_exchange,
     exchange_address_books,

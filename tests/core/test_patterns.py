@@ -1,7 +1,5 @@
 """Unit tests for per-strategy communication plans (§3.2)."""
 
-import numpy as np
-
 from repro.core.memoization import exchange_address_books
 from repro.core.patterns import build_sync_plan
 from repro.network.transport import InProcessTransport

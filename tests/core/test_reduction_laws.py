@@ -1,0 +1,109 @@
+"""Property-based checks of every registered reduction's declared laws.
+
+The substrate leans on three declarations per :class:`ReductionOp`
+(identity, idempotence, commutativity — see ``repro.analysis.algebra``
+for why each one matters to synchronization).  Here hypothesis hunts for
+counterexamples over the dtypes the built-in applications synchronize.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sync_structures import REDUCTIONS
+
+DTYPES = (np.int32, np.int64, np.float64)
+
+_settings = settings(max_examples=75, deadline=None)
+
+
+def _same(a, b) -> bool:
+    """Elementwise equality; NaN == NaN (inf + -inf is still commutative)."""
+    if np.issubdtype(np.asarray(a).dtype, np.floating):
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return bool(np.array_equal(a, b))
+
+
+def _supports(op, dtype) -> bool:
+    """Whether ``op.combine`` is defined over ``dtype`` (bor is int-only)."""
+    probe = np.ones(1, dtype=dtype)
+    try:
+        op.combine(probe.copy(), probe)
+    except TypeError:
+        return False
+    return True
+
+
+def _vector_strategy(dtype):
+    dtype = np.dtype(dtype)
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        elements = st.integers(min_value=int(info.min), max_value=int(info.max))
+    else:
+        elements = st.floats(allow_nan=False, width=64)
+    return st.lists(elements, min_size=1, max_size=16).map(
+        lambda values: np.array(values, dtype=dtype)
+    )
+
+
+def _pair_strategy(dtype):
+    return _vector_strategy(dtype).flatmap(
+        lambda a: st.tuples(
+            st.just(a),
+            _vector_strategy(dtype).map(
+                lambda b: np.resize(b, a.shape).astype(a.dtype)
+            ),
+        )
+    )
+
+
+CASES = [
+    pytest.param(op, dtype, id=f"{name}-{np.dtype(dtype).name}")
+    for name, op in sorted(REDUCTIONS.items())
+    for dtype in DTYPES
+    if _supports(op, np.dtype(dtype))
+]
+
+
+@pytest.mark.parametrize("op,dtype", CASES)
+class TestDeclaredLaws:
+    @_settings
+    @given(data=st.data())
+    def test_identity_is_neutral(self, op, dtype, data):
+        x = data.draw(_vector_strategy(dtype))
+        identity = np.full(x.shape, op.identity(x.dtype), dtype=x.dtype)
+        with np.errstate(over="ignore"):
+            assert np.array_equal(op.combine(identity.copy(), x), x)
+            if op.commutative:
+                assert np.array_equal(op.combine(x.copy(), identity), x)
+
+    @_settings
+    @given(data=st.data())
+    def test_declared_idempotence_holds(self, op, dtype, data):
+        if not op.idempotent:
+            pytest.skip(f"{op.name} does not declare idempotence")
+        x = data.draw(_vector_strategy(dtype))
+        with np.errstate(over="ignore"):
+            assert np.array_equal(op.combine(x.copy(), x), x)
+
+    @_settings
+    @given(data=st.data())
+    def test_declared_commutativity_holds(self, op, dtype, data):
+        if not op.commutative:
+            pytest.skip(f"{op.name} does not declare commutativity")
+        a, b = data.draw(_pair_strategy(dtype))
+        with np.errstate(over="ignore", invalid="ignore"):
+            assert _same(op.combine(a.copy(), b), op.combine(b.copy(), a))
+
+
+class TestAssignSemantics:
+    @_settings
+    @given(data=st.data())
+    def test_assign_takes_the_incoming_value(self, data):
+        op = REDUCTIONS["assign"]
+        a, b = data.draw(_pair_strategy(np.int64))
+        assert np.array_equal(op.combine(a.copy(), b), b)
+
+    def test_assign_is_declared_noncommutative(self):
+        assert not REDUCTIONS["assign"].commutative

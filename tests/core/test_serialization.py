@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.metadata import MetadataMode, encoded_size
 from repro.core.serialization import (
-    SyncMessage,
     decode_message,
     dtype_code,
     encode_message,

@@ -1,7 +1,6 @@
 """Tests pinning which wire modes the substrate emits in which situations."""
 
 import numpy as np
-import pytest
 
 from repro.core.metadata import MetadataMode
 from repro.core.optimization import OptimizationLevel

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.apps import make_app
-from repro.apps.base import AppContext
 from repro.engines import ENGINE_BY_NAME, make_engine
 from repro.engines.galois import GaloisEngine
 from repro.engines.ligra import LigraEngine

@@ -5,7 +5,6 @@ wins, what gets smaller, where overhead appears.  Absolute numbers are
 simulation-specific; the orderings are the reproduction targets.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.metadata import MetadataMode

@@ -1,6 +1,5 @@
 """Tests for the workload catalog (Table 1 stand-ins)."""
 
-import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph

@@ -9,7 +9,7 @@ from repro.engines import make_engine
 from repro.errors import ExecutionError, StrategyError
 from repro.partition import make_partitioner
 from repro.runtime.executor import DistributedExecutor
-from repro.systems import prepare_input, run_app
+from repro.systems import prepare_input
 
 
 def build_executor(edges, app_name="bfs", policy="cvc", num_hosts=4, **kwargs):
