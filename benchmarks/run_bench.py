@@ -204,6 +204,78 @@ def bench_aggregation(
     }
 
 
+def bench_parallel(
+    workload: str,
+    scale_delta: int,
+    hosts: int = 8,
+    policy: str = "oec",
+    worker_counts: tuple = (1, 2, 4, 8),
+    smoke: bool = False,
+) -> dict:
+    """Wall-clock speedup cell: pagerank over real worker processes.
+
+    Runs pagerank once on the simulated runtime (every host round-robins
+    in this process) and then on the process runtime at each worker
+    count, asserting the simulated quantities — rounds, alpha-beta time,
+    communication volume — stay bitwise identical while measuring the
+    round loop's real wall clock.  Full mode asserts the >= 2x speedup
+    bar at 4 workers vs 1; smoke mode only checks identity and records
+    the numbers (CI shards and dev containers may be single-core, where
+    extra workers cannot help).
+    """
+    edges = load_workload(workload, scale_delta)
+    simulated = run_app(
+        "d-galois", "pr", edges, num_hosts=hosts, policy=policy
+    )
+    rows: List[dict] = []
+    walls = {}
+    for workers in worker_counts:
+        result = run_app(
+            "d-galois", "pr", edges, num_hosts=hosts, policy=policy,
+            runtime="process", workers=workers,
+        )
+        identical = (
+            result.num_rounds == simulated.num_rounds
+            and result.total_time == simulated.total_time
+            and result.communication_volume == simulated.communication_volume
+            and result.communication_messages
+            == simulated.communication_messages
+        )
+        if not identical:
+            raise AssertionError(
+                f"parallel bench: process runtime at {workers} workers "
+                "diverged from the simulated runtime"
+            )
+        walls[workers] = result.wall_rounds_s
+        rows.append(
+            {
+                "workers": workers,
+                "wall_rounds_s": round(result.wall_rounds_s, 4),
+                "sim_time_s": result.total_time,
+                "rounds": result.num_rounds,
+                "bitwise_identical": identical,
+            }
+        )
+    base = walls.get(worker_counts[0])
+    speedup_at_4 = None
+    if base and 4 in walls and walls[4] > 0:
+        speedup_at_4 = round(base / walls[4], 2)
+    if not smoke and speedup_at_4 is not None and speedup_at_4 < 2.0:
+        raise AssertionError(
+            f"parallel bench: pagerank at 4 workers is only "
+            f"{speedup_at_4:.2f}x over 1 worker (bar: >= 2x)"
+        )
+    return {
+        "app": "pr",
+        "policy": policy,
+        "hosts": hosts,
+        "simulated_wall_rounds_s": round(simulated.wall_rounds_s, 4),
+        "sim_time_s": simulated.total_time,
+        "workers": rows,
+        "speedup_at_4_workers": speedup_at_4,
+    }
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -266,6 +338,25 @@ def run_matrix(args: argparse.Namespace) -> dict:
             f"({aggregation['two_field_reduction']:.1f}x)",
             file=sys.stderr,
         )
+    parallel = None
+    if not args.no_parallel_cell:
+        parallel = bench_parallel(
+            args.workload,
+            scale_delta,
+            hosts=4 if args.smoke else 8,
+            worker_counts=(1, 2) if args.smoke else (1, 2, 4, 8),
+            smoke=args.smoke,
+        )
+        per_worker = ", ".join(
+            f"{row['workers']}w {row['wall_rounds_s']:.3f}s"
+            for row in parallel["workers"]
+        )
+        speedup = parallel["speedup_at_4_workers"]
+        print(
+            f"  parallel: pr {parallel['hosts']} hosts ({per_worker})"
+            + (f", {speedup:.1f}x at 4 workers" if speedup else ""),
+            file=sys.stderr,
+        )
     return {
         "date": date.today().isoformat(),
         "workload": args.workload,
@@ -274,6 +365,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         "matrix": rows,
         "service": service,
         "aggregation": aggregation,
+        "parallel": parallel,
     }
 
 
@@ -311,6 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-aggregation-cell",
         action="store_true",
         help="skip the bc aggregated-vs-per-field message-count cell",
+    )
+    parser.add_argument(
+        "--no-parallel-cell",
+        action="store_true",
+        help="skip the process-runtime pagerank wall-clock speedup cell",
     )
     parser.add_argument(
         "--export-dir",

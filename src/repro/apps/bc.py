@@ -249,6 +249,8 @@ class BetweennessCentrality(VertexProgram):
         max_rounds: int = 100_000,
         aggregate_comm: bool = True,
         sanitize: bool = False,
+        runtime: str = "simulated",
+        workers=None,
     ) -> RunResult:
         """Run forward + backward sweeps; returns a merged RunResult."""
         from repro.core.optimization import OptimizationLevel
@@ -262,7 +264,7 @@ class BetweennessCentrality(VertexProgram):
             partitioned, engine, forward, ctx,
             level=level, network=network, enable_sync=enable_sync,
             system_name=system_name, aggregate_comm=aggregate_comm,
-            sanitize=sanitize,
+            sanitize=sanitize, runtime=runtime, workers=workers,
         )
         forward_result = forward_executor.run(max_rounds=max_rounds)
 
@@ -277,7 +279,7 @@ class BetweennessCentrality(VertexProgram):
             partitioned, engine, backward, ctx,
             level=level, network=network, enable_sync=enable_sync,
             system_name=system_name, aggregate_comm=aggregate_comm,
-            sanitize=sanitize,
+            sanitize=sanitize, runtime=runtime, workers=workers,
         )
         backward_result = backward_executor.run(max_rounds=max_rounds)
 
@@ -312,6 +314,10 @@ class BetweennessCentrality(VertexProgram):
                     merged.mode_counts.get(mode, 0) + count
                 )
         merged.replication_factor = forward_result.replication_factor
+        merged.runtime = forward_result.runtime
+        merged.wall_rounds_s = (
+            forward_result.wall_rounds_s + backward_result.wall_rounds_s
+        )
         merged.sanitizer_findings = (
             forward_result.sanitizer_findings
             + backward_result.sanitizer_findings

@@ -175,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
             "cache in DIR (reused across runs and by `repro serve`)"
         ),
     )
+    run_cmd.add_argument(
+        "--runtime",
+        choices=["simulated", "process"],
+        default="simulated",
+        help=(
+            "round-execution backend: 'simulated' runs every host "
+            "in-process (default); 'process' runs hosts in real worker "
+            "processes over shared-memory graph stores (bitwise-identical "
+            "results, adds a measured wall-clock column)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for --runtime process "
+            "(default: min(hosts, cpu count))"
+        ),
+    )
 
     lint_cmd = commands.add_parser(
         "lint",
@@ -359,6 +380,13 @@ def _validate_args(
             "--checkpoint-every must be at least 1 round, got "
             f"{args.checkpoint_every}"
         )
+    if args.workers is not None:
+        if args.runtime != "process":
+            parser.error("--workers only applies to --runtime process")
+        if args.workers < 1:
+            parser.error(
+                f"--workers must be at least 1, got {args.workers}"
+            )
 
 
 def _resilience_config(
@@ -423,6 +451,8 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         partition_cache=partition_cache,
         aggregate_comm=not args.no_aggregation,
         sanitize=args.sanitize,
+        runtime=args.runtime,
+        workers=args.workers,
     )
     if observability is not None:
         _export_observability(args, result, observability)
@@ -446,6 +476,11 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     print(f"construction       : {result.construction_time*1e3:.2f} ms, "
           f"{result.construction_bytes/1e3:.1f} KB exchanged")
     print(f"load imbalance     : {result.load_imbalance():.2f} (max/mean)")
+    if result.runtime != "simulated":
+        print(
+            f"runtime            : {result.runtime}, "
+            f"{result.wall_rounds_s*1e3:.1f} ms measured wall in rounds"
+        )
     if result.translations:
         print(f"address translations: {result.translations}")
     if result.num_checkpoints:

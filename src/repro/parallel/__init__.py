@@ -1,0 +1,32 @@
+"""The shared-memory multiprocess host runtime (``--runtime process``).
+
+Real parallel execution of the simulated cluster: worker processes
+attach zero-copy shared-memory graph stores (:mod:`repro.parallel.shm`),
+exchange the comm plane's framed buffers over real inter-process queues
+(:mod:`repro.parallel.pipes`), and a coordinator
+(:mod:`repro.parallel.coordinator`) merges their raw reports so every
+result — values, byte counts, alpha-beta "cluster time" — stays bitwise
+identical to the default simulated runtime
+(:class:`~repro.parallel.runner.InProcessRunner`).
+"""
+
+from repro.parallel.pipes import PhasedCommRecords, PipeFabric, PipeTransport
+from repro.parallel.runner import InProcessRunner, RoundData
+from repro.parallel.shm import (
+    GraphManifest,
+    SharedArrayStore,
+    SharedGraphStore,
+    StoreManifest,
+)
+
+__all__ = [
+    "GraphManifest",
+    "InProcessRunner",
+    "PhasedCommRecords",
+    "PipeFabric",
+    "PipeTransport",
+    "RoundData",
+    "SharedArrayStore",
+    "SharedGraphStore",
+    "StoreManifest",
+]

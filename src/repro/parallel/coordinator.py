@@ -1,0 +1,365 @@
+"""The coordinator of the multiprocess host runtime (``--runtime process``).
+
+:class:`ProcessRunner` is the process-backed
+:class:`~repro.parallel.runner.RoundData` producer.  On :meth:`start` it
+
+1. exports the partitioned graph and every host's ndarray state entries
+   into shared-memory stores (:mod:`repro.parallel.shm`) — one copy,
+   attached zero-copy by every worker;
+2. forks ``workers`` processes (``fork`` start method: address books,
+   engines, and the app are inherited, never pickled), each owning the
+   hosts ``{h : h % workers == w}``;
+3. wires them through a :class:`~repro.parallel.pipes.PipeFabric`.
+
+Per round it broadcasts a command, collects every worker's raw report,
+and *replays* the workers' per-phase ``(src, dst, nbytes)`` traffic
+records into the executor's own
+:class:`~repro.network.stats.CommStats` — in phase order, host-ascending
+within each phase, FIFO within a host, which is exactly the order the
+simulated runtime records in.  The alpha-beta "cluster time" and every
+byte counter are therefore bitwise identical to ``--runtime simulated``;
+the wall clock (the executor's ``wall_rounds_s``) is where real
+parallelism shows up.
+
+The runtime is deliberately restricted: proxy sanitization, crash-fault
+plans, periodic checkpoints, and mid-run repartitioning all require the
+coordinator to observe host state mid-round, which only the simulated
+runtime can do.  The executor rejects those combinations up front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.parallel.pipes import SEQ_STRIDE, PipeFabric
+from repro.parallel.runner import RoundData
+from repro.parallel.shm import SharedArrayStore, SharedGraphStore
+from repro.parallel.worker import WorkerTask, worker_main
+from repro.resilience.transport import FaultyTransport
+from repro.runtime.timing import round_communication_time
+
+#: Default seconds the coordinator waits for a round's worker reports.
+DEFAULT_ROUND_TIMEOUT_S = 600.0
+
+#: Seconds between liveness checks while waiting on the report queue.
+_POLL_S = 1.0
+
+
+def resolve_workers(workers: Optional[int], num_hosts: int) -> int:
+    """Validate and clamp a worker count against the cluster size."""
+    if workers is None:
+        workers = min(num_hosts, multiprocessing.cpu_count())
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    # More workers than hosts would fork idle processes whose empty
+    # phase reports still cost a barrier round-trip each round.
+    return min(workers, num_hosts)
+
+
+class ProcessRunner:
+    """Real parallel execution: one forked worker per host group."""
+
+    def __init__(
+        self,
+        executor,
+        workers: Optional[int] = None,
+        round_timeout_s: float = DEFAULT_ROUND_TIMEOUT_S,
+    ) -> None:
+        self.ex = executor
+        self.num_hosts = executor.partitioned.num_hosts
+        self.workers = resolve_workers(workers, self.num_hosts)
+        self.round_timeout_s = round_timeout_s
+        self.graph_store: Optional[SharedGraphStore] = None
+        self.arena: Optional[SharedArrayStore] = None
+        self.fabric: Optional[PipeFabric] = None
+        self._procs: List = []
+        self._cmd_qs: List = []
+        self._report_q = None
+        self._started = False
+        self._finished = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Export the stores and fork the worker fleet."""
+        ex = self.ex
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            raise ExecutionError(
+                "the process runtime needs the 'fork' start method "
+                "(POSIX only)"
+            ) from None
+        self.graph_store = SharedGraphStore.export(ex.partitioned)
+        arrays: Dict[str, np.ndarray] = {}
+        scalars: List[Dict] = []
+        for h, state in enumerate(ex.states):
+            plain = {}
+            for key, value in state.items():
+                if isinstance(value, np.ndarray):
+                    arrays[f"s{h}/{key}"] = value
+                else:
+                    plain[key] = value
+            scalars.append(plain)
+        self.arena = SharedArrayStore.create(arrays)
+        self.fabric = PipeFabric(self.num_hosts, ctx)
+        self._report_q = ctx.Queue()
+        self._cmd_qs = [ctx.Queue() for _ in range(self.workers)]
+        books = [sub.book for sub in ex.substrates]
+        fault_plan = (
+            ex.fault_injector.plan if ex.fault_injector is not None else None
+        )
+        for w in range(self.workers):
+            task = WorkerTask(
+                worker_index=w,
+                num_workers=self.workers,
+                num_hosts=self.num_hosts,
+                graph_manifest=self.graph_store.manifest,
+                arena_manifest=self.arena.manifest,
+                app=ex.app,
+                ctx=ex.ctx,
+                engines=ex.engines,
+                level=ex.level,
+                aggregate_comm=ex.aggregate_comm,
+                enable_sync=ex.enable_sync,
+                books=books,
+                scalars=scalars,
+                frontiers=ex._frontiers,
+                fault_plan=fault_plan,
+                # Disjoint per-worker sequence namespaces so frames from
+                # different workers never collide at a receiver's
+                # duplicate filter (the coordinator's own injector, used
+                # by the memoization exchange, owns the base-0 range).
+                fault_seq_base=(w + 1) * SEQ_STRIDE,
+            )
+            proc = ctx.Process(
+                target=worker_main,
+                args=(task, self.fabric, self._cmd_qs[w], self._report_q),
+                daemon=True,
+            )
+            self._procs.append(proc)
+        for proc in self._procs:
+            proc.start()
+        self._started = True
+
+    # -- per-round protocol -------------------------------------------------
+
+    def run_round(self, round_index: int) -> RoundData:
+        """Broadcast one round command; merge the workers' reports."""
+        if self._finished:
+            raise ExecutionError(
+                "the process runtime is single-shot: its workers already "
+                "stopped — construct a new executor to run again"
+            )
+        if not self._started:
+            raise ExecutionError("process runner was never started")
+        for q in self._cmd_qs:
+            q.put(("round", round_index))
+        reports = self._collect("round")
+        ex = self.ex
+        num_hosts = self.num_hosts
+        comp_times = [0.0] * num_hosts
+        active_total = 0
+        fault_bytes = ex._take_round_fault_bytes()
+        residual_sum: Optional[float] = None
+        translation_deltas: Dict[int, int] = {}
+        residuals: Dict[int, float] = {}
+        for w in range(self.workers):
+            report = reports[w]
+            for h, comp in report["comp_times"].items():
+                comp_times[h] = comp
+            for h, count in report["active"].items():
+                active_total += count
+            if report["residuals"] is not None:
+                residuals.update(report["residuals"])
+            translation_deltas.update(report["translation_deltas"])
+            fault_bytes += report["fault_bytes"]
+        if residuals:
+            # Host-ascending accumulation: the simulated runtime's
+            # ``sum(local_residual(state) for state in states)`` order.
+            residual_sum = sum(residuals[h] for h in range(num_hosts))
+        self._replay_traffic([reports[w]["records"] for w in range(self.workers)])
+        comm_time, comm_bytes, comm_messages = self._close_round(
+            translation_deltas
+        )
+        return RoundData(
+            comp_times=comp_times,
+            comm_time=comm_time,
+            comm_bytes=comm_bytes,
+            comm_messages=comm_messages,
+            active=active_total,
+            fault_bytes=fault_bytes,
+            residual_sum=residual_sum,
+        )
+
+    def _replay_traffic(self, all_records: List[Dict]) -> None:
+        """Re-record the workers' traffic in the simulated runtime's order.
+
+        Within a phase the simulated executor records host-ascending
+        (hosts flush in ``h`` order), FIFO within a host; each host is
+        owned by exactly one worker, so merging the per-worker phase
+        buckets by ascending source reproduces that order exactly —
+        including the float-accumulation order of the cost model.
+        """
+        stats = self.ex.transport.stats
+        phases = sorted({phase for rec in all_records for phase in rec})
+        for phase in phases:
+            merged: Dict[int, List] = {}
+            for rec in all_records:
+                merged.update(rec.get(phase, {}))
+            for src in sorted(merged):
+                for dst, nbytes in merged[src]:
+                    stats.record(src, dst, nbytes)
+
+    def _close_round(self, translation_deltas: Dict[int, int]):
+        """The executor's ``_close_round`` over the replayed traffic."""
+        ex = self.ex
+        num_hosts = self.num_hosts
+        traffic = ex.transport.stats.current_round
+        ex._last_round_traffic = traffic
+        ex._phase_records = []
+        ex.transport.end_round()
+        extras = [0.0] * num_hosts
+        for h, delta in translation_deltas.items():
+            extras[h] += delta * ex.engines[h].cost.translation_s
+        sent, received = traffic.bytes_by_host(num_hosts)
+        for h in range(num_hosts):
+            cost = ex.engines[h].cost
+            if not (ex.engines[h].is_gpu and cost.device_bandwidth_bytes_per_s):
+                continue
+            moved = sent[h] + received[h]
+            if moved:
+                extras[h] += (
+                    moved / cost.device_bandwidth_bytes_per_s
+                    + 2 * cost.device_latency_s
+                )
+        comm_time = round_communication_time(
+            traffic, num_hosts, ex.cost_model, extras
+        )
+        return comm_time, traffic.total_bytes, traffic.num_messages
+
+    def _collect(self, kind: str) -> Dict[int, Dict]:
+        """Gather one report of ``kind`` from every worker, or die loudly."""
+        reports: Dict[int, Dict] = {}
+        deadline = time.monotonic() + self.round_timeout_s
+        while len(reports) < self.workers:
+            try:
+                msg = self._report_q.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                dead = [
+                    w
+                    for w, proc in enumerate(self._procs)
+                    if not proc.is_alive()
+                ]
+                if dead:
+                    raise ExecutionError(
+                        f"worker(s) {dead} died without reporting "
+                        f"(exit codes: "
+                        f"{[self._procs[w].exitcode for w in dead]})"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise ExecutionError(
+                        f"timed out after {self.round_timeout_s:.0f}s "
+                        f"waiting for worker reports "
+                        f"({sorted(reports)} of {self.workers} arrived)"
+                    ) from None
+                continue
+            if msg[0] == "error":
+                raise ExecutionError(
+                    f"worker {msg[1]} failed:\n{msg[2]}"
+                )
+            if msg[0] != kind:
+                raise ExecutionError(
+                    f"protocol violation: expected a {kind!r} report, "
+                    f"worker {msg[1]} sent {msg[0]!r}"
+                )
+            reports[msg[1]] = msg[2]
+        return reports
+
+    # -- teardown -----------------------------------------------------------
+
+    def finish(self, result) -> None:
+        """Stop the fleet; merge final state and stats into the executor."""
+        if self._finished:
+            return
+        if not self._started:
+            self._finished = True
+            return
+        ex = self.ex
+        try:
+            for q in self._cmd_qs:
+                q.put(("stop",))
+            finals = self._collect("done")
+            # The executor's state dicts still hold the pre-run arrays
+            # (the arena copied them at export): copy the workers' final
+            # values out of shared memory, then overlay every entry a
+            # worker reported as divergent (mutated scalars, reassigned
+            # arrays).
+            for h in range(self.num_hosts):
+                state = ex.states[h]
+                prefix = f"s{h}/"
+                for name, view in self.arena.views.items():
+                    if name.startswith(prefix):
+                        state[name[len(prefix) :]] = np.array(view, copy=True)
+                for key, value in finals[h % self.workers]["divergent"][
+                    h
+                ].items():
+                    state[key] = value
+            for w in range(self.workers):
+                final = finals[w]
+                for translations, mode_counts in final[
+                    "substrate_stats"
+                ].values():
+                    ex._carried_translations += translations
+                    for mode, count in mode_counts.items():
+                        ex._carried_mode_counts[mode] = (
+                            ex._carried_mode_counts.get(mode, 0) + count
+                        )
+                if final["faults"] and isinstance(ex.transport, FaultyTransport):
+                    faults = ex.transport.faults
+                    for name, value in final["faults"].items():
+                        setattr(faults, name, getattr(faults, name) + value)
+        finally:
+            self._teardown()
+
+    def abort(self) -> None:
+        """Exceptional teardown: kill the fleet, release the stores."""
+        if self._finished or not self._started:
+            self._finished = True
+            self._release_stores()
+            return
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10.0)
+        if self.fabric is not None:
+            self.fabric.shutdown()
+        for q in self._cmd_qs:
+            q.cancel_join_thread()
+            q.close()
+        if self._report_q is not None:
+            self._report_q.cancel_join_thread()
+            self._report_q.close()
+        self._release_stores()
+        self._finished = True
+
+    def _release_stores(self) -> None:
+        if self.arena is not None:
+            self.arena.release()
+            self.arena = None
+        if self.graph_store is not None:
+            self.graph_store.release()
+            self.graph_store = None

@@ -1,0 +1,288 @@
+"""A real inter-process transport with the in-process transport's contract.
+
+:class:`PipeTransport` ships the comm plane's framed per-peer buffers
+between worker processes over ``multiprocessing`` queues (one inbox per
+simulated host; ``mp.Queue``'s feeder thread makes sends non-blocking,
+so the all-send-then-all-receive BSP pattern cannot deadlock on OS pipe
+buffers).  It implements the same surface as
+:class:`~repro.network.transport.InProcessTransport` — ``send``,
+``receive_all``, ``pending``, ``crash``, ``is_crashed``,
+``crashed_hosts``, ``end_round``, ``stats`` — so the Gluon substrate,
+the comm plane, and the fault-injecting wrapper run over it unchanged.
+
+Differences forced by real process boundaries:
+
+* **Integrity framing.**  Every payload crosses the boundary inside a
+  CRC-32 frame (:func:`repro.core.serialization.frame_payload`), with
+  sequence numbers namespaced per source host so frames from different
+  workers can never collide at a receiver.
+* **Phases instead of mailbox peeking.**  The simulated transport's
+  receivers drain a mailbox that senders filled synchronously; across
+  processes the receiver instead blocks until an end-of-phase marker
+  from every live peer has arrived (:meth:`finish_phase` emits them).
+  Delivery order is then made deterministic — ascending sender, FIFO
+  within a sender — which is exactly the mailbox order the simulated
+  runtime produces, so results stay bitwise identical.
+* **Phased traffic records.**  ``stats`` is a
+  :class:`PhasedCommRecords`: it captures ``(src, dst, nbytes)`` per
+  phase rather than pricing anything locally.  The coordinator replays
+  the per-phase records of all workers (ascending host within each
+  phase) into its own :class:`~repro.network.stats.CommStats`, which
+  reproduces the simulated runtime's float-accumulation order and keeps
+  the alpha-beta "cluster time" bitwise identical.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+from typing import Dict, List, Tuple
+
+from repro.core.serialization import frame_payload, unframe_payload
+from repro.errors import ChecksumError, HostCrashedError, TransportError
+
+#: Sequence-number namespace stride per source host: each host may send
+#: up to 2**40 frames before its namespace would touch the next one.
+SEQ_STRIDE = 1 << 40
+
+#: Default seconds a blocking receive waits for a peer before declaring
+#: the cluster wedged (a crashed worker, not a slow one).
+DEFAULT_RECEIVE_TIMEOUT_S = 120.0
+
+
+class PipeFabric:
+    """The wiring of one process-backed cluster: one inbox per host.
+
+    Created once by the coordinator and inherited by every forked
+    worker; each worker then builds its own :class:`PipeTransport` over
+    the shared queues.
+    """
+
+    def __init__(self, num_hosts: int, ctx) -> None:
+        self.num_hosts = num_hosts
+        self.inboxes = [ctx.Queue() for _ in range(num_hosts)]
+
+    def shutdown(self) -> None:
+        """Best-effort queue teardown (coordinator, after workers exit)."""
+        for q in self.inboxes:
+            q.cancel_join_thread()
+            q.close()
+
+
+class PhasedCommRecords:
+    """Per-phase ``(src, dst, nbytes)`` capture with CommStats's record API.
+
+    The fault-injecting wrapper calls ``stats.record`` directly for
+    dropped first transmissions; routing everything through this object
+    keeps that accounting in the right phase bucket.
+    """
+
+    def __init__(self, transport: "PipeTransport") -> None:
+        self._transport = transport
+        self._records: Dict[int, Dict[int, List[Tuple[int, int]]]] = {}
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        """Attribute one message to the sender's current phase."""
+        phase = self._transport._send_phase[src]
+        bucket = self._records.setdefault(phase, {}).setdefault(src, [])
+        bucket.append((dst, nbytes))
+
+    def take(self) -> Dict[int, Dict[int, List[Tuple[int, int]]]]:
+        """Drain and return the accumulated per-phase records."""
+        records = self._records
+        self._records = {}
+        return records
+
+    def end_round(self) -> None:
+        """No-op (rounds are closed by the coordinator's replay)."""
+
+
+class PipeTransport:
+    """Inter-process transport over a :class:`PipeFabric`.
+
+    One instance per worker process; all instances share the fabric's
+    queues.  A host's sends go out through the transport of the worker
+    that owns it, and its receives are served by the same worker — the
+    phase counters therefore advance consistently per host even though
+    every worker holds its own instance.
+    """
+
+    def __init__(
+        self,
+        fabric: PipeFabric,
+        receive_timeout_s: float = DEFAULT_RECEIVE_TIMEOUT_S,
+    ) -> None:
+        self.fabric = fabric
+        self.num_hosts = fabric.num_hosts
+        self.receive_timeout_s = receive_timeout_s
+        self._send_phase = [0] * self.num_hosts
+        self._recv_phase = [0] * self.num_hosts
+        self._seq = [0] * self.num_hosts
+        self._dead: set = set()
+        #: Frames pulled off a host's inbox for a phase not yet
+        #: delivered: ``host -> phase -> src -> [frame, ...]`` (FIFO per
+        #: sender).  Keyed per *receiving* host: one worker may own
+        #: several hosts on this transport, and an item drained from
+        #: host ``h``'s inbox belongs to ``h`` exclusively — a marker
+        #: for a future phase must not satisfy a co-owned host's wait.
+        self._buffered: Dict[int, Dict[int, Dict[int, List[bytes]]]] = {
+            h: {} for h in range(self.num_hosts)
+        }
+        #: End-of-phase markers seen: ``host -> phase -> {src, ...}``.
+        self._eops: Dict[int, Dict[int, set]] = {
+            h: {} for h in range(self.num_hosts)
+        }
+        self.stats = PhasedCommRecords(self)
+
+    # -- guards ------------------------------------------------------------
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise TransportError(
+                f"host {host} out of range [0, {self.num_hosts})"
+            )
+
+    def _check_alive(self, host: int) -> None:
+        if host in self._dead:
+            raise HostCrashedError(f"host {host} has crashed")
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: bytes) -> None:
+        """Frame ``payload`` (seq + CRC-32) and enqueue it for ``dst``."""
+        self._check_host(src)
+        self._check_host(dst)
+        self._check_alive(src)
+        self._check_alive(dst)
+        if src == dst:
+            raise TransportError(f"host {src} cannot send to itself")
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise TransportError(
+                f"payload must be bytes-like, got {type(payload)!r}"
+            )
+        payload = bytes(payload)
+        seq = src * SEQ_STRIDE + self._seq[src]
+        self._seq[src] += 1
+        frame = frame_payload(seq, payload)
+        self.fabric.inboxes[dst].put(("m", self._send_phase[src], src, frame))
+        self.stats.record(src, dst, len(payload))
+
+    def finish_phase(self, src: int) -> None:
+        """Mark ``src``'s sends for the current phase complete.
+
+        Emits an end-of-phase marker to every other live host and
+        advances ``src``'s send-phase counter.  Every host must finish
+        every phase, with or without traffic — the markers are what
+        unblock the receivers.
+        """
+        self._check_host(src)
+        self._check_alive(src)
+        phase = self._send_phase[src]
+        for dst in range(self.num_hosts):
+            if dst == src or dst in self._dead:
+                continue
+            self.fabric.inboxes[dst].put(("e", phase, src))
+        self._send_phase[src] = phase + 1
+
+    # -- receiving ---------------------------------------------------------
+
+    def _drain_one(self, host: int, block: bool) -> bool:
+        """Pull one item from ``host``'s inbox into the phase buffers."""
+        try:
+            if block:
+                item = self.fabric.inboxes[host].get(
+                    timeout=self.receive_timeout_s
+                )
+            else:
+                item = self.fabric.inboxes[host].get_nowait()
+        except queue_module.Empty:
+            if block:
+                raise TransportError(
+                    f"host {host} timed out waiting for peers after "
+                    f"{self.receive_timeout_s:.0f}s (a worker likely died)"
+                ) from None
+            return False
+        if item[0] == "e":
+            _, phase, src = item
+            self._eops[host].setdefault(phase, set()).add(src)
+        else:
+            _, phase, src, frame = item
+            self._buffered[host].setdefault(phase, {}).setdefault(
+                src, []
+            ).append(frame)
+        return True
+
+    def receive_all(self, host: int) -> List[Tuple[int, bytes]]:
+        """Block until every live peer ended the phase; deliver in order.
+
+        Returns ``(sender, payload)`` pairs sorted ascending by sender,
+        FIFO within a sender — the simulated mailbox order.
+        """
+        self._check_host(host)
+        self._check_alive(host)
+        phase = self._recv_phase[host]
+        self._recv_phase[host] = phase + 1
+        need = {
+            src
+            for src in range(self.num_hosts)
+            if src != host and src not in self._dead
+        }
+        while not need <= self._eops[host].get(phase, set()):
+            self._drain_one(host, block=True)
+        self._eops[host].pop(phase, None)
+        buffered = self._buffered[host].pop(phase, {})
+        delivered: List[Tuple[int, bytes]] = []
+        for src in sorted(buffered):
+            for frame in buffered[src]:
+                try:
+                    seq, payload = unframe_payload(frame)
+                except ChecksumError as exc:
+                    raise TransportError(
+                        f"frame from host {src} failed its pipe CRC: {exc}"
+                    ) from exc
+                if seq // SEQ_STRIDE != src:
+                    raise TransportError(
+                        f"frame claims host {src} but carries sequence "
+                        f"namespace {seq // SEQ_STRIDE}"
+                    )
+                delivered.append((src, payload))
+        return delivered
+
+    def pending(self, host: int) -> int:
+        """Frames already queued for ``host`` (non-blocking; best effort)."""
+        self._check_host(host)
+        while self._drain_one(host, block=False):
+            pass
+        return sum(
+            len(frames)
+            for per_phase in self._buffered[host].values()
+            for frames in per_phase.values()
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def crash(self, host: int) -> None:
+        """Mark ``host`` dead for this worker's view of the cluster."""
+        self._check_host(host)
+        self._dead.add(host)
+
+    def is_crashed(self, host: int) -> bool:
+        """Whether ``host`` was marked dead."""
+        return host in self._dead
+
+    @property
+    def crashed_hosts(self) -> frozenset:
+        """Dead host ids."""
+        return frozenset(self._dead)
+
+    def end_round(self) -> None:
+        """Assert the round drained: no received-but-undelivered frames."""
+        leftovers = {
+            (host, phase): sorted(per_phase)
+            for host, per_host in self._buffered.items()
+            for phase, per_phase in per_host.items()
+            if any(per_phase.values())
+        }
+        if leftovers:
+            raise TransportError(
+                f"undelivered frames at round end: {leftovers}"
+            )

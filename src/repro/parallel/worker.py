@@ -1,0 +1,336 @@
+"""The per-process host worker of the multiprocess runtime.
+
+:func:`worker_main` is the ``fork`` entry point.  Worker ``w`` of ``W``
+owns the simulated hosts ``{h : h % W == w}``: it attaches the shared
+topology and field arenas (zero-copy), rebuilds its hosts' partitions,
+states, fields, and Gluon substrates locally, then executes rounds on
+the coordinator's command — compute, then the reduce/apply/broadcast
+collective over the :class:`~repro.parallel.pipes.PipeTransport`.
+
+The sync drivers here mirror the executor's
+``_synchronize_aggregated`` / ``_synchronize_per_field`` exactly, per
+owned host, with one addition: after each host's sends are flushed, the
+worker emits the pipe transport's end-of-phase markers that unblock the
+receivers.  All of a worker's flushes precede all of its receives within
+a phase, so the barrier-per-phase protocol cannot deadlock.
+
+Per round the worker reports raw measurements only — counted work
+converted to per-host compute seconds, per-host active counts and local
+residuals, per-phase ``(src, dst, nbytes)`` traffic records, translation
+deltas, and fault bytes.  The coordinator owns the clock: it replays the
+traffic through its own :class:`~repro.network.stats.CommStats` and the
+alpha-beta model so "cluster time" stays bitwise identical to the
+simulated runtime.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.substrate import GluonSubstrate
+from repro.parallel.pipes import PipeFabric, PipeTransport
+from repro.parallel.shm import GraphManifest, SharedArrayStore, SharedGraphStore
+from repro.runtime.executor import SYNC_SCAN_PER_NODE_S
+
+
+@dataclass
+class WorkerTask:
+    """Everything one worker needs (inherited through ``fork``)."""
+
+    worker_index: int
+    num_workers: int
+    num_hosts: int
+    graph_manifest: GraphManifest
+    arena_manifest: object
+    app: object
+    ctx: object
+    engines: List[object]
+    level: object
+    aggregate_comm: bool
+    enable_sync: bool
+    books: List[object]
+    scalars: List[Dict]
+    frontiers: List[Optional[np.ndarray]]
+    fault_plan: Optional[object] = None
+    fault_seq_base: int = 0
+
+    @property
+    def owned(self) -> List[int]:
+        """The hosts this worker executes, ascending."""
+        return [
+            h
+            for h in range(self.num_hosts)
+            if h % self.num_workers == self.worker_index
+        ]
+
+
+def _broadcast_dirty(part, field, reduce_changed, outcome):
+    """Master-side apply (the executor's ``_broadcast_dirty``)."""
+    if field.on_master_after_reduce is not None:
+        return field.on_master_after_reduce(reduce_changed)
+    dirty = reduce_changed | outcome.updated
+    dirty[part.num_masters :] = False
+    return dirty
+
+
+class _HostWorker:
+    """One worker's live state: partitions, states, fields, substrates."""
+
+    def __init__(self, task: WorkerTask, fabric: PipeFabric) -> None:
+        self.task = task
+        self.owned = task.owned
+        self.graph_store = SharedGraphStore.attach(task.graph_manifest)
+        self.arena = SharedArrayStore.attach(task.arena_manifest)
+        partitioned = self.graph_store.build_partitioned()
+        self.parts = {h: partitioned.partitions[h] for h in self.owned}
+        self.pipe = PipeTransport(fabric)
+        self.transport = self.pipe
+        if task.fault_plan is not None:
+            from repro.resilience.faults import FaultInjector
+            from repro.resilience.transport import FaultyTransport
+
+            self.transport = FaultyTransport(
+                task.num_hosts,
+                FaultInjector(task.fault_plan, seq_base=task.fault_seq_base),
+                inner=self.pipe,
+            )
+        self.states: Dict[int, Dict] = {}
+        for h in self.owned:
+            state = dict(task.scalars[h])
+            prefix = f"s{h}/"
+            for name, view in self.arena.views.items():
+                if name.startswith(prefix):
+                    state[name[len(prefix) :]] = view
+            self.states[h] = state
+        self.fields = {
+            h: task.app.make_fields(self.parts[h], self.states[h])
+            for h in self.owned
+        }
+        self.substrates: Dict[int, GluonSubstrate] = {}
+        if task.enable_sync:
+            self.substrates = {
+                h: GluonSubstrate(
+                    self.parts[h],
+                    self.transport,
+                    task.level,
+                    task.books[h],
+                    aggregate=task.aggregate_comm,
+                )
+                for h in self.owned
+            }
+        self.frontiers = {h: task.frontiers[h] for h in self.owned}
+
+    # -- one BSP round ------------------------------------------------------
+
+    def run_round(self) -> Dict:
+        task = self.task
+        app = task.app
+        outcomes = {}
+        comp_times = {}
+        for h in self.owned:
+            outcome = task.engines[h].compute_round(
+                app, self.parts[h], self.states[h], self.frontiers[h]
+            )
+            outcomes[h] = outcome
+            comp = task.engines[h].compute_time(outcome.work)
+            if task.enable_sync:
+                num_fields = len(self.fields[h])
+                comp += (
+                    self.parts[h].num_nodes
+                    * num_fields
+                    * SYNC_SCAN_PER_NODE_S
+                )
+            comp_times[h] = comp
+        pre_translations = {
+            h: self.substrates[h].stats.translations for h in self.substrates
+        }
+        next_frontiers = {h: outcomes[h].updated.copy() for h in self.owned}
+        if task.enable_sync:
+            if task.aggregate_comm:
+                self._sync_aggregated(outcomes, next_frontiers)
+            else:
+                self._sync_per_field(outcomes, next_frontiers)
+            for h in self.owned:
+                self.substrates[h].assert_drained()
+        else:
+            self._apply_hooks_locally(next_frontiers)
+        active = {h: int(next_frontiers[h].sum()) for h in self.owned}
+        residuals = None
+        if app.uses_frontier:
+            self.frontiers.update(next_frontiers)
+        else:
+            residuals = {
+                h: float(app.local_residual(self.states[h]))
+                for h in self.owned
+            }
+        fault_bytes = 0
+        if self.transport is not self.pipe:
+            fault_bytes = self.transport.take_round_fault_bytes()
+        records = self.pipe.stats.take()
+        self.pipe.end_round()
+        return {
+            "comp_times": comp_times,
+            "active": active,
+            "residuals": residuals,
+            "records": records,
+            "translation_deltas": {
+                h: self.substrates[h].stats.translations - pre_translations[h]
+                for h in self.substrates
+            },
+            "fault_bytes": fault_bytes,
+        }
+
+    # -- sync drivers (per-host mirrors of the executor's) ------------------
+
+    def _finish_phase(self) -> None:
+        for h in self.owned:
+            self.pipe.finish_phase(h)
+
+    def _sync_aggregated(self, outcomes, next_frontiers) -> None:
+        num_fields = len(self.fields[self.owned[0]])
+        for i in range(num_fields):
+            for h in self.owned:
+                self.substrates[h].stage_reduce(
+                    i, self.fields[h][i], outcomes[h].updated
+                )
+        for h in self.owned:
+            self.substrates[h].flush_phase(num_fields)
+        self._finish_phase()
+        reduce_changed = {
+            h: self.substrates[h].receive_reduce_all(self.fields[h])
+            for h in self.owned
+        }
+        broadcast_dirty = {}
+        for h in self.owned:
+            per_host = []
+            for i in range(num_fields):
+                dirty = _broadcast_dirty(
+                    self.parts[h],
+                    self.fields[h][i],
+                    reduce_changed[h][i],
+                    outcomes[h],
+                )
+                per_host.append(dirty)
+                next_frontiers[h] |= reduce_changed[h][i] | dirty
+            broadcast_dirty[h] = per_host
+        for i in range(num_fields):
+            for h in self.owned:
+                self.substrates[h].stage_broadcast(
+                    i, self.fields[h][i], broadcast_dirty[h][i]
+                )
+        for h in self.owned:
+            self.substrates[h].flush_phase(num_fields)
+        self._finish_phase()
+        for h in self.owned:
+            changed = self.substrates[h].receive_broadcast_all(self.fields[h])
+            for mask in changed:
+                next_frontiers[h] |= mask
+
+    def _sync_per_field(self, outcomes, next_frontiers) -> None:
+        num_fields = len(self.fields[self.owned[0]])
+        for i in range(num_fields):
+            for h in self.owned:
+                self.substrates[h].send_reduce(
+                    self.fields[h][i], outcomes[h].updated
+                )
+            self._finish_phase()
+            reduce_changed = {
+                h: self.substrates[h].receive_reduce(self.fields[h][i])
+                for h in self.owned
+            }
+            broadcast_dirty = {}
+            for h in self.owned:
+                dirty = _broadcast_dirty(
+                    self.parts[h],
+                    self.fields[h][i],
+                    reduce_changed[h],
+                    outcomes[h],
+                )
+                broadcast_dirty[h] = dirty
+                next_frontiers[h] |= reduce_changed[h] | dirty
+            for h in self.owned:
+                self.substrates[h].send_broadcast(
+                    self.fields[h][i], broadcast_dirty[h]
+                )
+            self._finish_phase()
+            for h in self.owned:
+                next_frontiers[h] |= self.substrates[h].receive_broadcast(
+                    self.fields[h][i]
+                )
+
+    def _apply_hooks_locally(self, next_frontiers) -> None:
+        for h in self.owned:
+            for field in self.fields[h]:
+                if field.on_master_after_reduce is not None:
+                    no_changes = np.zeros(len(field.values), dtype=bool)
+                    dirty = field.on_master_after_reduce(no_changes)
+                    if dirty is not None:
+                        next_frontiers[h] |= dirty
+
+    # -- teardown -----------------------------------------------------------
+
+    def final_report(self) -> Dict:
+        """State divergences and substrate stats, shipped once at stop."""
+        divergent = {}
+        for h in self.owned:
+            prefix = f"s{h}/"
+            entries = {}
+            for key, value in self.states[h].items():
+                view = self.arena.views.get(prefix + key)
+                if isinstance(value, np.ndarray) and value is view:
+                    continue
+                entries[key] = value
+            divergent[h] = entries
+        substrate_stats = {
+            h: (
+                self.substrates[h].stats.translations,
+                dict(self.substrates[h].stats.mode_counts),
+            )
+            for h in self.substrates
+        }
+        faults = None
+        if self.transport is not self.pipe:
+            f = self.transport.faults
+            faults = {
+                "dropped": f.dropped,
+                "duplicated": f.duplicated,
+                "corrupted": f.corrupted,
+                "checksum_failures": f.checksum_failures,
+                "duplicates_discarded": f.duplicates_discarded,
+                "fault_bytes": f.fault_bytes,
+                "framing_bytes": f.framing_bytes,
+            }
+        return {
+            "divergent": divergent,
+            "substrate_stats": substrate_stats,
+            "faults": faults,
+        }
+
+    def close(self) -> None:
+        self.arena.close()
+        self.graph_store.close()
+
+
+def worker_main(task: WorkerTask, fabric: PipeFabric, cmd_q, report_q) -> None:
+    """Process entry point: attach, then serve round commands until stop."""
+    worker = None
+    try:
+        worker = _HostWorker(task, fabric)
+        while True:
+            cmd = cmd_q.get()
+            if cmd[0] == "stop":
+                report_q.put(
+                    ("done", task.worker_index, worker.final_report())
+                )
+                break
+            report = worker.run_round()
+            report_q.put(("round", task.worker_index, report))
+    except BaseException:
+        report_q.put(("error", task.worker_index, traceback.format_exc()))
+    finally:
+        if worker is not None:
+            worker.close()

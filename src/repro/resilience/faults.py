@@ -162,12 +162,17 @@ class FaultInjector:
     One injector lives for a whole execution, *across* transport rebirths
     (recovery replaces the transport, not the injector), so sequence
     numbers stay globally unique and fired crashes stay fired.
+
+    ``seq_base`` namespaces the sequence counter: the multiprocess
+    runtime gives each worker's injector a disjoint base so frames from
+    different workers can never collide at a receiver's duplicate
+    filter.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, seq_base: int = 0) -> None:
         self.plan = plan
         self.rng = make_rng(plan.seed)
-        self._seq = 0
+        self._seq = seq_base
         self._fired: Set[CrashFault] = set()
 
     # -- sequence numbers -----------------------------------------------------

@@ -87,6 +87,12 @@ class FaultyTransport:
         injector: the run's fault injector (shared across transport
             rebirths so sequence numbers and crash one-shots persist).
         stats: optional pre-existing traffic accounting to append to.
+        inner: the channel being made unreliable.  Defaults to a fresh
+            :class:`InProcessTransport`; the multiprocess runtime passes
+            its :class:`~repro.parallel.pipes.PipeTransport` so faults
+            are injected across real process boundaries.  When ``inner``
+            is supplied it brings its own stats (``stats`` must be
+            ``None``).
     """
 
     def __init__(
@@ -94,8 +100,20 @@ class FaultyTransport:
         num_hosts: int,
         injector: FaultInjector,
         stats: Optional[CommStats] = None,
+        inner=None,
     ) -> None:
-        self.inner = InProcessTransport(num_hosts, stats)
+        if inner is None:
+            inner = InProcessTransport(num_hosts, stats)
+        elif stats is not None:
+            raise TransportError(
+                "an explicit inner transport brings its own stats"
+            )
+        elif inner.num_hosts != num_hosts:
+            raise TransportError(
+                f"inner transport has {inner.num_hosts} hosts, "
+                f"wrapper expects {num_hosts}"
+            )
+        self.inner = inner
         self.injector = injector
         self.faults = FaultStats()
         self._seen_seqs: Set[int] = set()
@@ -109,7 +127,7 @@ class FaultyTransport:
         return self.inner.num_hosts
 
     @property
-    def stats(self) -> CommStats:
+    def stats(self):
         """Exact traffic accounting (includes fault and framing overhead)."""
         return self.inner.stats
 

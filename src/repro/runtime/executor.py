@@ -81,11 +81,40 @@ class DistributedExecutor:
         prepared_sync: Optional[PreparedSync] = None,
         aggregate_comm: bool = True,
         sanitize: bool = False,
+        runtime: str = "simulated",
+        workers: Optional[int] = None,
     ) -> None:
         if not enable_sync and partitioned.num_hosts > 1:
             raise ExecutionError(
                 "synchronization can only be disabled on a single host"
             )
+        if runtime not in ("simulated", "process"):
+            raise ExecutionError(
+                f"unknown runtime {runtime!r} (known: simulated, process)"
+            )
+        if workers is not None and runtime != "process":
+            raise ExecutionError(
+                "workers only applies to the process runtime"
+            )
+        if runtime == "process":
+            # These features need the coordinator to observe host state
+            # mid-round, which only the simulated runtime can do.
+            if sanitize:
+                raise ExecutionError(
+                    "the proxy sanitizer requires --runtime simulated"
+                )
+            if resilience is not None:
+                if resilience.plan is not None and resilience.plan.crashes:
+                    raise ExecutionError(
+                        "crash-fault plans require --runtime simulated "
+                        "(transient drop/corrupt/dup faults are fine)"
+                    )
+                if resilience.checkpoint_every > 0:
+                    raise ExecutionError(
+                        "periodic checkpoints require --runtime simulated"
+                    )
+        self.runtime = runtime
+        self.workers = workers
         check_strategy_legal(
             partitioned.strategy, app.operator_class, app.is_reduction
         )
@@ -162,6 +191,10 @@ class DistributedExecutor:
         #: per-field mode it is the phase's slice of the transport trace.
         self._phase_records: List = []
         self._last_round_traffic = None
+        #: The round-execution backend (created on the first run() call):
+        #: InProcessRunner for the simulated runtime, ProcessRunner for
+        #: ``--runtime process``.
+        self._runner = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -296,88 +329,92 @@ class DistributedExecutor:
                 app=self.app.name,
                 policy=self.partitioned.policy_name,
                 num_hosts=self.partitioned.num_hosts,
+                runtime=self.runtime,
             )
             self._setup(self._result)
             # The recovery protocols need a round-0 baseline to roll back
             # to even before the first periodic snapshot is due.
             self._maybe_checkpoint(0, force=True)
         result = self._result
-        parts = self.partitioned.partitions
-        num_hosts = len(parts)
+        runner = self._ensure_runner(result)
         executed = 0
-        while executed < max_rounds:
-            executed += 1
-            round_index = result.num_rounds + 1
-            if self.fault_injector is not None:
-                crashed = self.fault_injector.take_crashes(round_index)
-                if crashed:
-                    self._survive_crash(crashed, round_index)
-                    continue
-            frontiers = self._frontiers
-            outcomes = self._compute_round_all(parts, frontiers, round_index)
-            comp_times = [
-                self.engines[h].compute_time(outcomes[h].work)
-                for h in range(num_hosts)
-            ]
-            if self.enable_sync:
-                num_fields = len(self.fields[0])
-                for h in range(num_hosts):
-                    comp_times[h] += (
-                        parts[h].num_nodes * num_fields * SYNC_SCAN_PER_NODE_S
+        loop_start = time.perf_counter()
+        try:
+            while executed < max_rounds:
+                executed += 1
+                round_index = result.num_rounds + 1
+                if self.fault_injector is not None:
+                    crashed = self.fault_injector.take_crashes(round_index)
+                    if crashed:
+                        self._survive_crash(crashed, round_index)
+                        continue
+                data = runner.run_round(round_index)
+                if self.tracer.enabled:
+                    self._trace_round(
+                        round_index, data.comp_times, data.comm_time,
+                        data.active,
                     )
-            pre_translations = [
-                sub.stats.translations for sub in self.substrates
-            ]
-            next_frontiers = [o.updated.copy() for o in outcomes]
-            if self.enable_sync:
-                self._synchronize(outcomes, next_frontiers)
-            else:
-                self._apply_hooks_locally(next_frontiers)
-            if self.sanitizer is not None and self.enable_sync:
-                self.sanitizer.note_sync_completed()
-            fault_bytes = self._take_round_fault_bytes()
-            comm_time, comm_bytes, comm_messages = self._close_round(
-                comp_times, pre_translations
-            )
-            active = sum(int(f.sum()) for f in next_frontiers)
-            if self.tracer.enabled:
-                self._trace_round(round_index, comp_times, comm_time, active)
-            if self.metrics.enabled:
-                self._publish_round_metrics(
-                    comp_times, comm_time, comm_bytes, comm_messages, active
+                if self.metrics.enabled:
+                    self._publish_round_metrics(
+                        data.comp_times, data.comm_time, data.comm_bytes,
+                        data.comm_messages, data.active,
+                    )
+                recovery_bytes, recovery_time = self._pending_recovery
+                self._pending_recovery = (0, 0.0)
+                result.recovery_bytes += data.fault_bytes
+                result.rounds.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        comp_time_per_host=data.comp_times,
+                        comm_time=data.comm_time,
+                        comm_bytes=data.comm_bytes,
+                        comm_messages=data.comm_messages,
+                        active_nodes=data.active,
+                        recovery_bytes=recovery_bytes + data.fault_bytes,
+                        recovery_time=recovery_time,
+                    )
                 )
-            recovery_bytes, recovery_time = self._pending_recovery
-            self._pending_recovery = (0, 0.0)
-            result.recovery_bytes += fault_bytes
-            result.rounds.append(
-                RoundRecord(
-                    round_index=round_index,
-                    comp_time_per_host=comp_times,
-                    comm_time=comm_time,
-                    comm_bytes=comm_bytes,
-                    comm_messages=comm_messages,
-                    active_nodes=active,
-                    recovery_bytes=recovery_bytes + fault_bytes,
-                    recovery_time=recovery_time,
-                )
-            )
-            if self.app.uses_frontier:
-                if active == 0:
-                    result.converged = True
-                    break
-                self._frontiers = next_frontiers
-            else:
-                residual_sum = sum(
-                    self.app.local_residual(state) for state in self.states
-                )
-                if self.app.is_globally_converged(
-                    residual_sum, round_index, self.ctx
-                ):
-                    result.converged = True
-                    break
-            self._maybe_checkpoint(round_index)
+                if self.app.uses_frontier:
+                    if data.active == 0:
+                        result.converged = True
+                        break
+                else:
+                    if self.app.is_globally_converged(
+                        data.residual_sum, round_index, self.ctx
+                    ):
+                        result.converged = True
+                        break
+                self._maybe_checkpoint(round_index)
+        except BaseException:
+            runner.abort()
+            raise
+        result.wall_rounds_s += time.perf_counter() - loop_start
+        if result.converged:
+            runner.finish(result)
         self._finalize(result)
         return result
+
+    def _ensure_runner(self, result: RunResult):
+        """Create the round-execution backend on the first run() call."""
+        if self._runner is None:
+            if self.runtime == "process":
+                # Imported lazily: the coordinator imports the worker
+                # module, which imports this module.
+                from repro.parallel.coordinator import ProcessRunner
+
+                runner = ProcessRunner(self, self.workers)
+                started = time.perf_counter()
+                runner.start()
+                # Forking the fleet and exporting the shared stores is
+                # real construction work: charge it where the partition
+                # build and memoization exchange already land.
+                result.construction_time += time.perf_counter() - started
+                self._runner = runner
+            else:
+                from repro.parallel.runner import InProcessRunner
+
+                self._runner = InProcessRunner(self)
+        return self._runner
 
     def _compute_round_all(self, parts, frontiers, round_index):
         """Run every host's compute, under guarded views when sanitizing."""
@@ -540,6 +577,11 @@ class DistributedExecutor:
             raise ExecutionError("repartition requires a started run")
         if self._result.converged:
             raise ExecutionError("cannot repartition a converged run")
+        if self.runtime == "process":
+            raise ExecutionError(
+                "mid-run repartitioning requires --runtime simulated "
+                "(the workers' shared graph store is immutable)"
+            )
         if new_partitioned.num_global_nodes != self.partitioned.num_global_nodes:
             raise ExecutionError(
                 "repartitioning must keep the same global graph"

@@ -81,6 +81,15 @@ class RunResult:
     #: run was sanitized — ``--sanitize`` / ``DistributedExecutor(
     #: sanitize=True)``; see :mod:`repro.analysis.sanitizer`).
     sanitizer_findings: List[Dict] = field(default_factory=list)
+    #: Which round-execution backend ran the rounds: ``"simulated"``
+    #: (in-process round-robin) or ``"process"`` (real worker processes
+    #: over shared-memory stores).  Either way the simulated quantities
+    #: above are bitwise identical; only the wall clock differs.
+    runtime: str = "simulated"
+    #: Measured wall-clock seconds spent inside the BSP round loop —
+    #: the real-time column next to the alpha-beta model's "cluster
+    #: time" (which ``total_time`` reports).
+    wall_rounds_s: float = 0.0
 
     @property
     def num_rounds(self) -> int:
@@ -222,6 +231,10 @@ class RunResult:
                 "checkpoint_time_s": self.checkpoint_time,
             },
             "rounds": self.round_rows(),
+            "measured": {
+                "runtime": self.runtime,
+                "wall_rounds_s": self.wall_rounds_s,
+            },
             "metrics": self.metrics,
         }
         if self.sanitizer_findings:

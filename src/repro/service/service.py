@@ -10,9 +10,12 @@ and drains them through a worker pool (:meth:`~JobService.run_pending` /
 * ``"thread"`` — a ``ThreadPoolExecutor`` with ``workers`` threads; the
   in-memory cache is shared, so concurrent *identical* jobs may race to
   compute (both answers are identical by construction — last store wins).
-* ``"process"`` — a ``multiprocessing`` pool; requires a disk-backed
-  cache (``cache_dir``) for any cross-job reuse, since each child opens
-  its own view of the store.
+* ``"process"`` — a ``multiprocessing`` pool.  The batch's partitions
+  are staged once into shared-memory graph stores that every child
+  attaches zero-copy (see
+  :func:`~repro.service.worker.stage_shared_partitions`); *result*
+  reuse across jobs still needs a disk-backed cache (``cache_dir``),
+  since each child opens its own view of the result store.
 
 Every job-level event — submitted, completed, failed, retried, cache
 provenance — is counted in the observability metrics registry, so
@@ -175,19 +178,30 @@ class JobService:
         else:  # process
             import multiprocessing
 
+            from repro.service.worker import stage_shared_partitions
+
             ctx = multiprocessing.get_context()
-            with ctx.Pool(processes=self.config.workers) as pool:
-                results = pool.starmap(
-                    run_job_payload,
-                    [
-                        (
-                            spec.to_dict(),
-                            self.config.cache_dir,
-                            self.config.retry_backoff_s,
-                        )
-                        for spec in specs
-                    ],
-                )
+            # Stage each unique partition into a shared-memory graph
+            # store once; workers attach zero-copy instead of each
+            # re-unpickling its own copy from the disk cache.
+            shared, stores = stage_shared_partitions(specs, cache=self.cache)
+            try:
+                with ctx.Pool(processes=self.config.workers) as pool:
+                    results = pool.starmap(
+                        run_job_payload,
+                        [
+                            (
+                                spec.to_dict(),
+                                self.config.cache_dir,
+                                self.config.retry_backoff_s,
+                                shared,
+                            )
+                            for spec in specs
+                        ],
+                    )
+            finally:
+                for store in stores:
+                    store.release()
             # Child processes wrote through their own cache views; keep
             # the parent's (disk-backed) view coherent for later lookups.
             if self.config.cache_dir is not None:

@@ -203,8 +203,17 @@ def run_app(
     partition_cache=None,
     aggregate_comm: bool = True,
     sanitize: bool = False,
+    runtime: str = "simulated",
+    workers=None,
 ) -> RunResult:
     """Run ``app_name`` on ``edges`` under ``system`` with ``num_hosts``.
+
+    ``runtime`` selects the round-execution backend: ``"simulated"``
+    (default, every host round-robins in this process) or ``"process"``
+    (the CLI's ``--runtime process`` — hosts execute in real worker
+    processes over zero-copy shared-memory graph stores; ``workers``
+    caps the fleet size).  Results are bitwise identical either way;
+    only ``result.wall_rounds_s`` differs.
 
     ``aggregate_comm`` selects the communication plane's mode: per-peer
     cross-field message aggregation (default) or the per-field ablation
@@ -301,6 +310,8 @@ def run_app(
             max_rounds=max_rounds,
             aggregate_comm=aggregate_comm,
             sanitize=sanitize,
+            runtime=runtime,
+            workers=workers,
         )
         result.construction_time += partition_time
         if partition_cache is not None and not outcome.from_cache:
@@ -323,6 +334,8 @@ def run_app(
         prepared_sync=outcome.prepared_sync,
         aggregate_comm=aggregate_comm,
         sanitize=sanitize,
+        runtime=runtime,
+        workers=workers,
     )
     result = executor.run(max_rounds=max_rounds)
     result.construction_time += partition_time

@@ -1,0 +1,149 @@
+"""Shared-memory partition staging for the service's process backend:
+the parent exports each unique partition once, workers attach zero-copy,
+and the answers stay bitwise identical to the serial backend."""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedGraphStore
+from repro.service import JobService, JobSpec, ServiceConfig
+from repro.service.worker import (
+    SharedPartitionCache,
+    run_job_payload,
+    stage_shared_partitions,
+)
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="shared staging needs a POSIX /dev/shm"
+)
+
+#: Small enough to keep every test fast; big enough to run real rounds.
+SCALE = -6
+
+
+def _spec(app="bfs", **kw):
+    kw.setdefault("policy", "cvc")
+    kw.setdefault("scale_delta", SCALE)
+    return JobSpec(app=app, workload="rmat22s", **kw)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = set(os.listdir(SHM_DIR))
+    yield
+    gc.collect()
+    leaked = set(os.listdir(SHM_DIR)) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+class TestStaging:
+    def test_one_store_per_unique_partition(self):
+        # Three jobs, two distinct (graph, policy, hosts) triples: the
+        # bfs and pr jobs share a partition, the oec job does not.
+        specs = [_spec("bfs"), _spec("pr"), _spec("bfs", policy="oec")]
+        shared, stores = stage_shared_partitions(specs)
+        try:
+            assert len(shared) == 2
+            assert len(stores) == 2
+        finally:
+            for store in stores:
+                store.release()
+
+    def test_manifests_rebuild_the_partition(self):
+        shared, stores = stage_shared_partitions([_spec("bfs")])
+        try:
+            ((manifest, prepared_sync),) = shared.values()
+            attached = SharedGraphStore.attach(manifest)
+            rebuilt = attached.build_partitioned()
+            assert rebuilt.num_hosts == stores[0].num_hosts
+            np.testing.assert_array_equal(
+                rebuilt.master_host,
+                stores[0].build_partitioned().master_host,
+            )
+            # Cold staging (no cache) ships no memoized sync structures;
+            # each worker runs the exchange itself — still bitwise, the
+            # cold path is the reference.
+            assert prepared_sync is None
+            attached.close()
+        finally:
+            for store in stores:
+                store.release()
+
+    def test_unstageable_specs_are_skipped_not_fatal(self):
+        bad = _spec("bfs")
+        object.__setattr__(bad, "workload", "no-such-workload")
+        shared, stores = stage_shared_partitions([bad, _spec("bfs")])
+        try:
+            assert len(shared) == 1  # the good spec still staged
+        finally:
+            for store in stores:
+                store.release()
+
+
+class TestSharedPartitionCache:
+    def test_attach_hit_and_put_skip(self):
+        spec = _spec("bfs")
+        shared, stores = stage_shared_partitions([spec])
+        try:
+            (key,) = shared.keys()
+            cache = SharedPartitionCache(shared)
+            hit = cache.get_partition(key)
+            assert hit is not None
+            np.testing.assert_array_equal(
+                hit.partitioned.master_host,
+                stores[0].build_partitioned().master_host,
+            )
+            assert cache.get_partition("not-staged") is None
+            # No inner cache: puts and result lookups are no-ops.
+            cache.put_partition(key, hit.partitioned)
+            assert cache.get_result("anything") is None
+            cache.close()
+        finally:
+            for store in stores:
+                store.release()
+
+
+class TestEndToEnd:
+    def test_payload_attaches_without_a_disk_cache(self):
+        spec = _spec("bfs")
+        baseline = run_job_payload(spec.to_dict())
+        shared, stores = stage_shared_partitions([spec])
+        try:
+            result = run_job_payload(
+                spec.to_dict(), shared_partitions=shared
+            )
+        finally:
+            for store in stores:
+                store.release()
+        assert result.status == "ok"
+        # The shared store counts as a partition-cache hit even with no
+        # disk cache configured, and the answer is bitwise the uncached
+        # run's (memoization_bytes accounting rides along).
+        assert result.partition_cache == "hit"
+        assert result.output_digest == baseline.output_digest
+        assert result.sim_time_s == baseline.sim_time_s
+        assert result.construction_bytes == baseline.construction_bytes
+        np.testing.assert_array_equal(result.values, baseline.values)
+
+    def test_process_backend_matches_serial_bitwise(self):
+        specs = [_spec("bfs"), _spec("pr"), _spec("cc")]
+        serial = JobService(ServiceConfig()).run_batch(
+            [_spec("bfs"), _spec("pr"), _spec("cc")]
+        )
+        process = JobService(
+            ServiceConfig(backend="process", workers=2)
+        ).run_batch(specs)
+        assert all(r.status == "ok" for r in process)
+        for s, p in zip(serial, process):
+            assert p.output_digest == s.output_digest
+            assert p.sim_time_s == s.sim_time_s
+            assert p.comm_bytes == s.comm_bytes
+            np.testing.assert_array_equal(p.values, s.values)
