@@ -276,6 +276,139 @@ def bench_parallel(
     }
 
 
+def bench_incremental(
+    workload: str,
+    scale_delta: int,
+    hosts: int = 8,
+    smoke: bool = False,
+) -> dict:
+    """Streaming cell: incremental recomputation vs full recompute.
+
+    Keeps bfs (min-plus, delete+insert batches) and cc (component,
+    insert-only batches — deletions on an rmat graph tear the giant
+    component and honestly affect most vertices) converged across a
+    mutation stream, sweeping the batch size.  Every step is verified
+    bitwise against a cold recompute of the same version, the streamed
+    rounds/messages are compared against the cold run's, and the warm
+    partition-cache hits for untouched hosts are recorded.
+
+    Acceptance bar (full mode): at ~1%% mutations the incremental path
+    must cut the synchronization message count by >= 2x versus a cold
+    recompute, and untouched hosts must hit the partition cache across
+    the sweep (single-edge batches leave most hosts' inputs unchanged).
+    """
+    import numpy as np
+
+    from repro.observability.metrics import MetricsRegistry
+    from repro.service import ServiceCache
+    from repro.streaming import StreamingSession, random_mutation_batch
+    from repro.utils.rng import make_rng
+
+    # Per-app affected-fraction sweep of (delete, insert) fractions.
+    # Each row runs against a fresh session of the pristine base, so the
+    # fraction -> savings curve is not confounded by earlier batches.
+    # The ~1% row (marked) carries the >= 2x message-cut bar; bfs keeps
+    # its 1% batch insert-heavy (inserts re-converge in O(1) rounds,
+    # deletions re-derive a whole SP-DAG region), and cc is insert-only
+    # (any deletion on an rmat graph tears the giant component and
+    # honestly affects most vertices).
+    sweeps = {
+        ("bfs", "oec"): [
+            (0.0002, 0.0002, False),
+            (0.002, 0.008, True),
+        ] + ([] if smoke else [(0.02, 0.02, False)]),
+        ("sssp", "oec"): [] if smoke else [(0.005, 0.005, True)],
+        ("cc", "iec"): [] if smoke else [
+            (0.0, 0.0002, False), (0.0, 0.01, True),
+        ],
+    }
+    apps = []
+    total_cache_reuses = 0
+    for (app, policy), sweep in sweeps.items():
+        if not sweep:
+            continue
+        rows: List[dict] = []
+        cache_reuses = 0
+        cache_invalidations = 0
+        for delete_fraction, insert_fraction, is_bar in sweep:
+            edges = load_workload(workload, scale_delta)
+            cache = ServiceCache(metrics=MetricsRegistry())
+            session = StreamingSession(
+                "d-galois", app, edges, hosts, policy=policy, cache=cache
+            )
+            base = session.run()
+            rng = make_rng(1234)
+            batch = random_mutation_batch(
+                session.version.edges,
+                rng,
+                delete_fraction=delete_fraction,
+                insert_fraction=insert_fraction,
+            )
+            step = session.apply_batch(batch)
+            cold = session.cold_run()
+            warm_values = session.values()
+            cold_values = session.cold_values(cold)
+            identical = set(warm_values) == set(cold_values) and all(
+                np.array_equal(warm_values[key], cold_values[key])
+                for key in cold_values
+            )
+            if not identical:
+                raise AssertionError(
+                    f"incremental bench: {app} at {delete_fraction}+"
+                    f"{insert_fraction} diverged from the cold recompute"
+                )
+            cut = (
+                cold.communication_messages
+                / step.result.communication_messages
+                if step.result.communication_messages
+                else float("inf")
+            )
+            if not smoke and is_bar and cut < 2.0:
+                raise AssertionError(
+                    f"incremental bench: {app} at ~1% mutations cut "
+                    f"messages only {cut:.2f}x (bar: >= 2x)"
+                )
+            cache_reuses += step.cache_reuses
+            cache_invalidations += step.cache_invalidations
+            rows.append({
+                "mutated_fraction": delete_fraction + insert_fraction,
+                "strategy": step.strategy,
+                "affected_fraction": round(step.affected_fraction, 4),
+                "hosts_reused": step.hosts_reused,
+                "hosts_rebuilt": step.hosts_rebuilt,
+                "cache_reuses": step.cache_reuses,
+                "base_rounds": base.num_rounds,
+                "streamed_rounds": step.result.num_rounds,
+                "cold_rounds": cold.num_rounds,
+                "streamed_messages": step.result.communication_messages,
+                "cold_messages": cold.communication_messages,
+                "streamed_bytes": step.result.communication_volume,
+                "cold_bytes": cold.communication_volume,
+                "message_cut": round(cut, 2),
+                "acceptance_bar": is_bar,
+                "bitwise_identical": identical,
+            })
+        total_cache_reuses += cache_reuses
+        apps.append({
+            "app": app,
+            "policy": policy,
+            "hosts": hosts,
+            "steps": rows,
+            "message_cut_at_1pct": next(
+                (r["message_cut"] for r in rows if r["acceptance_bar"]),
+                None,
+            ),
+            "partition_cache_reuses": cache_reuses,
+            "partition_cache_invalidations": cache_invalidations,
+        })
+    if not smoke and total_cache_reuses == 0:
+        raise AssertionError(
+            "incremental bench: no sweep row recorded a warm "
+            "partition-cache hit"
+        )
+    return {"cells": apps}
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -357,6 +490,29 @@ def run_matrix(args: argparse.Namespace) -> dict:
             + (f", {speedup:.1f}x at 4 workers" if speedup else ""),
             file=sys.stderr,
         )
+    incremental = None
+    if not args.no_incremental_cell:
+        # Full mode defaults this cell to a 512-node graph: big enough
+        # for meaningful fraction-sized batches, small enough that the
+        # per-step cold-recompute oracle stays cheap.
+        incremental_delta = (
+            args.scale_delta if args.scale_delta is not None
+            else (scale_delta if args.smoke else -3)
+        )
+        incremental = bench_incremental(
+            args.workload,
+            incremental_delta,
+            hosts=4 if args.smoke else 8,
+            smoke=args.smoke,
+        )
+        for cell in incremental["cells"]:
+            print(
+                f"  incremental: {cell['app']} {cell['hosts']} hosts, "
+                f"{len(cell['steps'])} batch(es), "
+                f"message cut {cell['message_cut_at_1pct']}x at ~1%, "
+                f"{cell['partition_cache_reuses']} warm cache hit(s)",
+                file=sys.stderr,
+            )
     return {
         "date": date.today().isoformat(),
         "workload": args.workload,
@@ -366,6 +522,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         "service": service,
         "aggregation": aggregation,
         "parallel": parallel,
+        "incremental": incremental,
     }
 
 
@@ -408,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-parallel-cell",
         action="store_true",
         help="skip the process-runtime pagerank wall-clock speedup cell",
+    )
+    parser.add_argument(
+        "--no-incremental-cell",
+        action="store_true",
+        help="skip the streaming incremental-vs-cold recompute cell",
     )
     parser.add_argument(
         "--export-dir",

@@ -196,6 +196,106 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: min(hosts, cpu count))"
         ),
     )
+    run_cmd.add_argument(
+        "--stream",
+        default=None,
+        metavar="FILE",
+        help=(
+            "after converging, apply this JSON mutation-batch stream and "
+            "re-converge incrementally per batch (delta-partitioning + "
+            "affected-frontier resumption; simulated runtime only)"
+        ),
+    )
+
+    mutate_cmd = commands.add_parser(
+        "mutate",
+        help=(
+            "streaming: keep one application converged across a stream "
+            "of graph mutation batches"
+        ),
+    )
+    mutate_cmd.add_argument(
+        "--system", default="d-galois", choices=sorted(ALL_SYSTEMS)
+    )
+    mutate_cmd.add_argument(
+        "--app", required=True, choices=sorted(APP_BY_NAME)
+    )
+    mutate_cmd.add_argument(
+        "--workload", required=True, choices=sorted(WORKLOAD_NAMES)
+    )
+    mutate_cmd.add_argument("--hosts", type=int, default=4)
+    mutate_cmd.add_argument(
+        "--policy", choices=sorted(PARTITIONER_BY_NAME), default=None
+    )
+    mutate_cmd.add_argument("--scale-delta", type=int, default=0)
+    stream_source = mutate_cmd.add_mutually_exclusive_group(required=True)
+    stream_source.add_argument(
+        "--stream",
+        default=None,
+        metavar="FILE",
+        help="JSON mutation-batch stream to replay",
+    )
+    stream_source.add_argument(
+        "--generate",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate N seeded random batches against the live graph",
+    )
+    mutate_cmd.add_argument(
+        "--seed", type=int, default=0, help="RNG seed for --generate"
+    )
+    mutate_cmd.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.005,
+        help="edges deleted per generated batch (default: 0.5%%)",
+    )
+    mutate_cmd.add_argument(
+        "--insert-fraction",
+        type=float,
+        default=0.005,
+        help="edges inserted per generated batch (default: 0.5%%)",
+    )
+    mutate_cmd.add_argument(
+        "--add-nodes",
+        type=int,
+        default=0,
+        help="fresh vertices added per generated batch",
+    )
+    mutate_cmd.add_argument(
+        "--save",
+        default=None,
+        metavar="FILE",
+        help="write the generated stream to FILE (replayable via --stream)",
+    )
+    mutate_cmd.add_argument(
+        "--verify-cold",
+        action="store_true",
+        help=(
+            "recompute the final version cold from scratch and assert the "
+            "streamed results are bitwise identical (exit 1 otherwise)"
+        ),
+    )
+    mutate_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="service cache for warm per-host partition reuse across versions",
+    )
+    mutate_cmd.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export a Chrome trace with the streaming spans",
+    )
+    mutate_cmd.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="dump the metrics registry (incl. streaming_* counters)",
+    )
+    mutate_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-step summaries as JSON on stdout",
+    )
 
     lint_cmd = commands.add_parser(
         "lint",
@@ -296,6 +396,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit results + service stats as JSON on stdout",
     )
+    serve_cmd.add_argument(
+        "--stream",
+        default=None,
+        metavar="FILE",
+        help=(
+            "live-graph serving: keep every job in the batch converged "
+            "across this mutation-batch stream (requires --backend serial; "
+            "per-host partitions are reused warm through the cache)"
+        ),
+    )
 
     submit_cmd = commands.add_parser(
         "submit",
@@ -362,6 +472,11 @@ def _validate_args(
             parser.error(
                 f"--max-pending must be at least 1, got {args.max_pending}"
             )
+        if args.stream is not None and args.backend != "serial":
+            parser.error(
+                "--stream keeps live executors between versions; "
+                "it requires --backend serial"
+            )
         return
     if args.command == "submit":
         if args.hosts < 1:
@@ -369,8 +484,36 @@ def _validate_args(
         if args.retries < 0:
             parser.error(f"--retries must be >= 0, got {args.retries}")
         return
+    if args.command == "mutate":
+        if args.hosts < 1:
+            parser.error(f"--hosts must be at least 1, got {args.hosts}")
+        if args.generate is not None and args.generate < 1:
+            parser.error(
+                f"--generate must be at least 1 batch, got {args.generate}"
+            )
+        for name in ("delete_fraction", "insert_fraction"):
+            if not 0.0 <= getattr(args, name) <= 1.0:
+                parser.error(
+                    f"--{name.replace('_', '-')} must be in [0, 1], "
+                    f"got {getattr(args, name)}"
+                )
+        if args.add_nodes < 0:
+            parser.error(f"--add-nodes must be >= 0, got {args.add_nodes}")
+        if args.save is not None and args.generate is None:
+            parser.error("--save only applies to --generate")
+        return
     if args.command != "run":
         return
+    if args.stream is not None:
+        for flag, given in (
+            ("--runtime process", args.runtime == "process"),
+            ("--inject-fault", args.inject_fault is not None),
+            ("--checkpoint-every", args.checkpoint_every is not None),
+            ("--checkpoint-dir", args.checkpoint_dir is not None),
+            ("--sanitize", args.sanitize),
+        ):
+            if given:
+                parser.error(f"--stream is incompatible with {flag}")
     if args.hosts < 1:
         parser.error(
             f"--hosts must be at least 1, got {args.hosts}"
@@ -422,6 +565,8 @@ def _resilience_config(
 
 
 def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.stream is not None:
+        return _command_run_stream(args, parser)
     edges = load_workload(args.workload, args.scale_delta)
     level = OptimizationLevel.from_name(args.level) if args.level else None
     network = None
@@ -504,6 +649,216 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     if args.sanitize and not sanitizer_failed:
         print("sanitizer          : clean (no contract violations)")
     return 1 if sanitizer_failed else 0
+
+
+def _stream_step_row(step) -> Dict:
+    """One mutation step as a summary-table row."""
+    hosts = step.hosts_reused + step.hosts_rebuilt
+    return {
+        "version": step.version,
+        "strategy": step.strategy,
+        "affected": step.affected_count,
+        "frontier": step.frontier_count,
+        "reused": f"{step.hosts_reused}/{hosts}",
+        "rounds": step.result.num_rounds,
+        "comm KB": f"{step.result.communication_volume / 1e3:.1f}",
+        "constr KB": f"{step.result.construction_bytes / 1e3:.1f}",
+    }
+
+
+def _print_stream_summary(session, steps, verify=None) -> None:
+    """Shared text epilogue of the streaming commands."""
+    print(format_table(
+        [_stream_step_row(step) for step in steps], title="mutation stream"
+    ))
+    reused = sum(step.hosts_reused for step in steps)
+    rebuilt = sum(step.hosts_rebuilt for step in steps)
+    print(f"final version      : {session.version.version} "
+          f"({session.version.content_hash[:16]}…)")
+    print(f"host partitions    : {reused} reused warm, {rebuilt} rebuilt")
+    if session.cache is not None:
+        cache_reuses = sum(step.cache_reuses for step in steps)
+        cache_invalidations = sum(step.cache_invalidations for step in steps)
+        print(f"partition cache    : {cache_reuses} reuse(s), "
+              f"{cache_invalidations} invalidation(s)")
+    if verify is not None:
+        streamed = sum(step.result.num_rounds for step in steps)
+        print(f"cold recompute     : {verify['cold_rounds']} rounds/version "
+              f"vs {streamed / max(len(steps), 1):.1f} streamed "
+              "rounds/version")
+        verdict = "identical" if verify["identical"] else "MISMATCH"
+        print(f"bitwise vs cold    : {verdict}")
+
+
+def _verify_cold(session) -> Dict:
+    """Cold-recompute the current version and diff it bitwise."""
+    import numpy as np
+
+    cold = session.cold_run()
+    cold_values = session.cold_values(cold)
+    warm_values = session.values()
+    identical = set(cold_values) == set(warm_values) and all(
+        np.array_equal(cold_values[key], warm_values[key])
+        for key in cold_values
+    )
+    return {
+        "identical": bool(identical),
+        "cold_rounds": cold.num_rounds,
+        "cold_comm_bytes": cold.communication_volume,
+        "cold_comm_messages": cold.communication_messages,
+        "cold_construction_bytes": cold.construction_bytes,
+    }
+
+
+def _command_run_stream(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """The ``run --stream`` path: converge, then replay mutations."""
+    from repro.errors import ReproError
+    from repro.streaming import StreamingSession, load_batches
+
+    edges = load_workload(args.workload, args.scale_delta)
+    level = OptimizationLevel.from_name(args.level) if args.level else None
+    network = None
+    if args.scaled_fabric:
+        network = experiments.bench_network(args.system, args.hosts)
+    observability = None
+    if args.trace is not None or args.metrics is not None:
+        from repro.observability import Observability
+
+        observability = Observability()
+    cache = None
+    if args.cache_dir is not None:
+        from repro.observability.metrics import MetricsRegistry
+        from repro.service import ServiceCache
+
+        cache = ServiceCache(
+            directory=args.cache_dir,
+            metrics=(
+                observability.metrics
+                if observability is not None
+                else MetricsRegistry()
+            ),
+        )
+    try:
+        batches = load_batches(args.stream)
+        session = StreamingSession(
+            args.system,
+            args.app,
+            edges,
+            args.hosts,
+            policy=args.policy,
+            level=level,
+            network=network,
+            aggregate_comm=not args.no_aggregation,
+            observability=observability,
+            cache=cache,
+        )
+        base = session.run()
+        steps = session.replay(batches)
+    except (ReproError, OSError) as exc:
+        parser.error(str(exc))
+    if observability is not None:
+        _export_observability(args, base, observability)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            {
+                "base": base.summary(),
+                "steps": [step.to_dict() for step in steps],
+            },
+            indent=2,
+        ))
+        return 0
+    print(format_table([base.summary()], title="base run (version 0)"))
+    _print_stream_summary(session, steps)
+    return 0
+
+
+def _command_mutate(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.errors import ReproError
+    from repro.streaming import (
+        StreamingSession,
+        load_batches,
+        random_mutation_batch,
+        save_batches,
+    )
+    from repro.utils.rng import make_rng
+
+    observability = None
+    if args.trace is not None or args.metrics is not None:
+        from repro.observability import Observability
+
+        observability = Observability()
+    cache = None
+    if args.cache_dir is not None:
+        from repro.observability.metrics import MetricsRegistry
+        from repro.service import ServiceCache
+
+        cache = ServiceCache(
+            directory=args.cache_dir,
+            metrics=(
+                observability.metrics
+                if observability is not None
+                else MetricsRegistry()
+            ),
+        )
+    edges = load_workload(args.workload, args.scale_delta)
+    generated = []
+    try:
+        session = StreamingSession(
+            args.system,
+            args.app,
+            edges,
+            args.hosts,
+            policy=args.policy,
+            observability=observability,
+            cache=cache,
+        )
+        base = session.run()
+        if args.stream is not None:
+            steps = session.replay(load_batches(args.stream))
+        else:
+            rng = make_rng(args.seed)
+            steps = []
+            for _ in range(args.generate):
+                batch = random_mutation_batch(
+                    session.version.edges,
+                    rng,
+                    delete_fraction=args.delete_fraction,
+                    insert_fraction=args.insert_fraction,
+                    add_nodes=args.add_nodes,
+                )
+                generated.append(batch)
+                steps.append(session.apply_batch(batch))
+    except (ReproError, OSError) as exc:
+        parser.error(str(exc))
+    if args.save is not None:
+        save_batches(generated, args.save)
+        print(f"stream written to {args.save}", file=sys.stderr)
+    verify = _verify_cold(session) if args.verify_cold else None
+    if observability is not None:
+        _export_observability(args, base, observability)
+    failed = verify is not None and not verify["identical"]
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            {
+                "base": base.summary(),
+                "steps": [step.to_dict() for step in steps],
+                "verify": verify,
+                "cache": None if cache is None else cache.stats(),
+            },
+            indent=2,
+        ))
+        return 1 if failed else 0
+    print(format_table([base.summary()], title="base run (version 0)"))
+    _print_stream_summary(session, steps, verify=verify)
+    return 1 if failed else 0
 
 
 def _export_observability(args, result, observability) -> None:
@@ -642,6 +997,8 @@ def _command_serve(
     from repro.errors import ServiceError
     from repro.service import ServiceConfig, load_batch, serve_batch
 
+    if args.stream is not None:
+        return _command_serve_stream(args, parser)
     try:
         specs = load_batch(args.batch)
         config = ServiceConfig(
@@ -688,6 +1045,98 @@ def _command_serve(
         f"workers={args.workers})"
     )
     return 0 if all(r.status == "ok" for r in results) else 1
+
+
+def _command_serve_stream(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Live-graph serving: every batch job stays converged across a stream.
+
+    One streaming session per job spec, all sharing one service cache, so
+    per-host partitions of untouched hosts are reused warm across graph
+    versions and across jobs with identical inputs.
+    """
+    import json as _json
+
+    from repro.errors import ReproError, ServiceError
+    from repro.service import ServiceCache, load_batch
+    from repro.streaming import StreamingSession, load_batches
+
+    try:
+        specs = load_batch(args.batch)
+        batches = load_batches(args.stream)
+    except (ServiceError, ReproError, OSError) as exc:
+        parser.error(str(exc))
+    from repro.observability.metrics import MetricsRegistry
+
+    cache = ServiceCache(directory=args.cache_dir, metrics=MetricsRegistry())
+    rows = []
+    docs = []
+    failures = 0
+    for spec in specs:
+        try:
+            edges = load_workload(spec.workload, spec.scale_delta)
+            session = StreamingSession(
+                spec.system,
+                spec.app,
+                edges,
+                spec.hosts,
+                policy=spec.policy,
+                level=spec.optimization_level(),
+                source=spec.source,
+                weight_seed=spec.weight_seed,
+                tolerance=spec.tolerance,
+                max_iterations=spec.max_iterations,
+                k=spec.k,
+                max_rounds=spec.max_rounds,
+                cache=cache,
+            )
+            base = session.run()
+            steps = session.replay(batches)
+        except (ReproError, ValueError) as exc:
+            failures += 1
+            rows.append({
+                "job": spec.job_id,
+                "app": spec.app,
+                "workload": spec.workload,
+                "status": "failed",
+                "versions": 0,
+            })
+            docs.append({
+                "job": spec.job_id,
+                "status": "failed",
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+            continue
+        rows.append({
+            "job": spec.job_id,
+            "app": spec.app,
+            "workload": spec.workload,
+            "status": "ok",
+            "versions": 1 + len(steps),
+            "rounds": base.num_rounds
+            + sum(step.result.num_rounds for step in steps),
+            "reused": sum(step.hosts_reused for step in steps),
+            "rebuilt": sum(step.hosts_rebuilt for step in steps),
+        })
+        docs.append({
+            "job": spec.job_id,
+            "status": "ok",
+            "base": base.summary(),
+            "steps": [step.to_dict() for step in steps],
+        })
+    if args.json:
+        print(_json.dumps(
+            {"jobs": docs, "stats": cache.stats()}, indent=2
+        ))
+        return 1 if failures else 0
+    print(format_table(rows, title="live-graph serve summary"))
+    partition_stats = cache.stats()["partition"]
+    print(
+        f"partition cache    : {partition_stats['reuses']} warm host "
+        f"reuse(s), {partition_stats['invalidations']} invalidation(s)"
+    )
+    return 1 if failures else 0
 
 
 def _command_submit(
@@ -745,6 +1194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _validate_args(parser, args)
     handlers = {
         "run": lambda a: _command_run(a, parser),
+        "mutate": lambda a: _command_mutate(a, parser),
         "lint": lambda a: _command_lint(a, parser),
         "experiment": _command_experiment,
         "inputs": _command_inputs,

@@ -26,7 +26,13 @@ from repro.graph.io import (
     write_edgelist,
 )
 from repro.graph.properties import GraphProperties, compute_properties
-from repro.graph.validation import validate_graph
+from repro.graph.validation import (
+    find_dangling_vertices,
+    find_duplicate_edges,
+    find_isolated_vertices,
+    validate_edge_list,
+    validate_graph,
+)
 
 __all__ = [
     "CSRGraph",
@@ -48,4 +54,8 @@ __all__ = [
     "GraphProperties",
     "compute_properties",
     "validate_graph",
+    "validate_edge_list",
+    "find_duplicate_edges",
+    "find_isolated_vertices",
+    "find_dangling_vertices",
 ]

@@ -1,7 +1,10 @@
-"""Structural validation of CSR graphs.
+"""Structural validation of CSR graphs and edge lists.
 
-Used by tests and by the partitioners' self-checks: a freshly built local
-graph must be internally consistent before Gluon memoization runs over it.
+Used by tests, by the partitioners' self-checks, and by the streaming
+mutation validator: a freshly built local graph must be internally
+consistent before Gluon memoization runs over it, and a mutated edge list
+must be free of duplicate edges (which would corrupt weighted min-plus
+semantics) before it is delta-partitioned.
 """
 
 from __future__ import annotations
@@ -10,6 +13,93 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+
+def find_duplicate_edges(edges: EdgeList) -> np.ndarray:
+    """Indices of edges that repeat an earlier ``(src, dst)`` pair.
+
+    The first occurrence of each pair is *not* reported; every later
+    repeat is.  Returned indices are ascending.  Deletion-heavy mutation
+    streams cannot create duplicates, but insert batches can — the
+    streaming batch validator rejects a batch whose application would
+    make this non-empty.
+    """
+    if edges.num_edges == 0:
+        return np.empty(0, dtype=np.int64)
+    key = edges.src.astype(np.uint64) * np.uint64(
+        max(edges.num_nodes, 1)
+    ) + edges.dst
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    repeat = np.zeros(len(order), dtype=bool)
+    repeat[1:] = sorted_key[1:] == sorted_key[:-1]
+    return np.sort(order[repeat])
+
+
+def find_isolated_vertices(edges: EdgeList) -> np.ndarray:
+    """Global IDs of vertices with neither in- nor out-edges.
+
+    Vertex deletion (and edge deletion) in the streaming subsystem keeps
+    the ID space intact — a deleted vertex becomes isolated rather than
+    renumbering every label-valued app state — so isolation is expected
+    after deletions and this is a *report*, not an error, unless the
+    caller opts in via :func:`validate_edge_list`.
+    """
+    degree = np.zeros(edges.num_nodes, dtype=np.int64)
+    if edges.num_edges:
+        degree += np.bincount(edges.src, minlength=edges.num_nodes)
+        degree += np.bincount(edges.dst, minlength=edges.num_nodes)
+    return np.flatnonzero(degree == 0).astype(np.uint32)
+
+
+def find_dangling_vertices(edges: EdgeList) -> np.ndarray:
+    """Global IDs of sink vertices: in-edges but no out-edges.
+
+    Dangling sinks are the classic pagerank hazard; deletions routinely
+    produce them by removing a vertex's last out-edge.
+    """
+    in_degree = np.zeros(edges.num_nodes, dtype=np.int64)
+    out_degree = np.zeros(edges.num_nodes, dtype=np.int64)
+    if edges.num_edges:
+        in_degree += np.bincount(edges.dst, minlength=edges.num_nodes)
+        out_degree += np.bincount(edges.src, minlength=edges.num_nodes)
+    return np.flatnonzero((in_degree > 0) & (out_degree == 0)).astype(
+        np.uint32
+    )
+
+
+def validate_edge_list(
+    edges: EdgeList,
+    *,
+    allow_duplicates: bool = False,
+    allow_isolated: bool = True,
+) -> None:
+    """Raise :class:`GraphError` if ``edges`` violates list-level invariants.
+
+    Always checks for duplicate ``(src, dst)`` pairs unless
+    ``allow_duplicates``; optionally rejects isolated vertices (off by
+    default: streaming deletions legitimately isolate vertices).  Endpoint
+    range and array alignment are already enforced by the ``EdgeList``
+    constructor.  This is the reusable check the streaming
+    ``MutationBatch`` validator calls on every mutated graph version.
+    """
+    if not allow_duplicates:
+        duplicates = find_duplicate_edges(edges)
+        if len(duplicates):
+            index = int(duplicates[0])
+            raise GraphError(
+                f"{len(duplicates)} duplicate edge(s); first repeat at "
+                f"index {index}: "
+                f"({int(edges.src[index])}, {int(edges.dst[index])})"
+            )
+    if not allow_isolated:
+        isolated = find_isolated_vertices(edges)
+        if len(isolated):
+            raise GraphError(
+                f"{len(isolated)} isolated vertex(es); first: "
+                f"{int(isolated[0])}"
+            )
 
 
 def validate_graph(graph: CSRGraph) -> None:

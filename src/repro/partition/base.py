@@ -248,6 +248,61 @@ def _chunk_boundaries(weights: np.ndarray, num_chunks: int) -> np.ndarray:
     return np.maximum.accumulate(boundaries)
 
 
+def build_local_partition(
+    edges: EdgeList,
+    assignment: EdgeAssignment,
+    host: int,
+    gid_to_lid: Optional[np.ndarray] = None,
+) -> LocalPartition:
+    """Materialize one host's local graph from an edge assignment.
+
+    Gather the host's edges, create proxies for their endpoints plus any
+    master-owned isolated nodes, order local IDs masters-first, and build
+    the local CSR.  ``gid_to_lid`` is an optional reusable scratch array
+    (all -1, length ``edges.num_nodes``); it is restored to -1 on return.
+
+    This is the single code path for host construction: the full builder
+    loops over it, and the streaming delta-partitioner rebuilds only
+    changed hosts through it, which is what makes delta results bitwise
+    identical to a from-scratch rebuild.
+    """
+    if gid_to_lid is None:
+        gid_to_lid = np.full(edges.num_nodes, -1, dtype=np.int64)
+    edge_mask = assignment.edge_host == host
+    src = edges.src[edge_mask]
+    dst = edges.dst[edge_mask]
+    weight = edges.weight[edge_mask] if edges.weight is not None else None
+    if assignment.extra_proxies is not None:
+        extra = np.ascontiguousarray(
+            assignment.extra_proxies[host], dtype=np.uint32
+        )
+        incident = np.unique(np.concatenate([src, dst, extra]))
+    else:
+        incident = np.unique(np.concatenate([src, dst]))
+    owned = np.flatnonzero(assignment.master_host == host).astype(np.uint32)
+    # Masters: every node owned by this host (incident or isolated).
+    # Mirrors: incident nodes owned elsewhere.
+    incident_owner = assignment.master_host[incident]
+    mirrors = incident[incident_owner != host].astype(np.uint32)
+    local_to_global = np.concatenate([owned, mirrors])
+    num_masters = len(owned)
+    gid_to_lid[local_to_global] = np.arange(len(local_to_global))
+    local_src = gid_to_lid[src].astype(np.uint32)
+    local_dst = gid_to_lid[dst].astype(np.uint32)
+    graph = CSRGraph.from_edges(
+        len(local_to_global), local_src, local_dst, weight
+    )
+    mirror_master_host = assignment.master_host[mirrors]
+    gid_to_lid[local_to_global] = -1  # reset scratch
+    return LocalPartition(
+        host=host,
+        graph=graph,
+        local_to_global=local_to_global,
+        num_masters=num_masters,
+        mirror_master_host=mirror_master_host,
+    )
+
+
 def build_partitioned_graph(
     edges: EdgeList,
     assignment: EdgeAssignment,
@@ -256,9 +311,7 @@ def build_partitioned_graph(
 ) -> PartitionedGraph:
     """Materialize per-host local graphs from an edge assignment.
 
-    For each host: gather its edges, create proxies for their endpoints plus
-    any master-owned isolated nodes, order local IDs masters-first, and
-    build the local CSR.
+    Loops :func:`build_local_partition` over every host.
     """
     if len(assignment.master_host) != edges.num_nodes:
         raise PartitionError(
@@ -282,41 +335,9 @@ def build_partitioned_graph(
     # Scratch gid -> lid lookup reused across hosts.
     gid_to_lid = np.full(edges.num_nodes, -1, dtype=np.int64)
     for host in range(num_hosts):
-        edge_mask = assignment.edge_host == host
-        src = edges.src[edge_mask]
-        dst = edges.dst[edge_mask]
-        weight = edges.weight[edge_mask] if edges.weight is not None else None
-        if assignment.extra_proxies is not None:
-            extra = np.ascontiguousarray(
-                assignment.extra_proxies[host], dtype=np.uint32
-            )
-            incident = np.unique(np.concatenate([src, dst, extra]))
-        else:
-            incident = np.unique(np.concatenate([src, dst]))
-        owned = np.flatnonzero(assignment.master_host == host).astype(np.uint32)
-        # Masters: every node owned by this host (incident or isolated).
-        # Mirrors: incident nodes owned elsewhere.
-        incident_owner = assignment.master_host[incident]
-        mirrors = incident[incident_owner != host].astype(np.uint32)
-        local_to_global = np.concatenate([owned, mirrors])
-        num_masters = len(owned)
-        gid_to_lid[local_to_global] = np.arange(len(local_to_global))
-        local_src = gid_to_lid[src].astype(np.uint32)
-        local_dst = gid_to_lid[dst].astype(np.uint32)
-        graph = CSRGraph.from_edges(
-            len(local_to_global), local_src, local_dst, weight
-        )
-        mirror_master_host = assignment.master_host[mirrors]
         partitioned.partitions.append(
-            LocalPartition(
-                host=host,
-                graph=graph,
-                local_to_global=local_to_global,
-                num_masters=num_masters,
-                mirror_master_host=mirror_master_host,
-            )
+            build_local_partition(edges, assignment, host, gid_to_lid)
         )
-        gid_to_lid[local_to_global] = -1  # reset scratch
     return partitioned
 
 

@@ -163,6 +163,9 @@ class DistributedExecutor:
         self.fields: List[List[FieldSpec]] = []
         self._result: Optional[RunResult] = None
         self._frontiers: List[np.ndarray] = []
+        #: Graph-version counter: 0 for the construction-time graph,
+        #: +1 per :meth:`apply_mutations` (the streaming resume seam).
+        self.version = 0
         # Substrate stats carried over from before a repartition.
         self._carried_translations = 0
         self._carried_mode_counts: Dict = {}
@@ -320,8 +323,9 @@ class DistributedExecutor:
             raise ExecutionError(
                 "this executor's run already converged; "
                 "DistributedExecutor is single-use per completed run — "
-                "construct a new executor (per job) instead of reusing "
-                "this one"
+                "construct a new executor (per job), or use "
+                "apply_mutations() for versioned resumption over a "
+                "mutated graph"
             )
         if self._result is None:
             self._result = RunResult(
@@ -640,6 +644,201 @@ class DistributedExecutor:
         if self.checkpoints is not None:
             self.checkpoints.clear()
             self._maybe_checkpoint(self._result.num_rounds, force=True)
+
+    # -- streaming (mutation batches + versioned resumption) -----------------------
+
+    def apply_mutations(
+        self,
+        new_partitioned: PartitionedGraph,
+        new_ctx,
+        *,
+        affected: Optional[np.ndarray] = None,
+        frontier: Optional[np.ndarray] = None,
+        exchange=None,
+    ) -> None:
+        """Adopt a delta-partitioned graph and arm a versioned resumption.
+
+        This is the streaming seam that relaxes the single-use run
+        guard: it may only be called on a *converged* executor, swaps in
+        ``new_partitioned`` (typically from
+        :func:`repro.streaming.delta.delta_partition`), migrates
+        canonical state to the new layout, resets the ``affected``
+        vertices to their fresh-init values, seeds the ``frontier``, and
+        opens a fresh :class:`RunResult` for the next :meth:`run` call —
+        one result per graph version.
+
+        ``exchange`` is a callable ``(transport) -> address books`` that
+        runs the memoization *patch* exchange on the executor's new
+        transport (so its — much smaller — traffic is the construction
+        communication this version pays); ``None`` falls back to a full
+        exchange.  ``affected=None`` requests a full restart: fresh
+        state and initial frontier over the new partition (how
+        trajectory-dependent apps like pagerank stay bitwise-faithful).
+        """
+        if self._result is None:
+            raise ExecutionError(
+                "apply_mutations requires a completed run to resume from"
+            )
+        if not self._result.converged:
+            raise ExecutionError(
+                "apply_mutations requires a converged run (use "
+                "repartition() to change layout mid-run)"
+            )
+        if self.runtime == "process":
+            raise ExecutionError(
+                "apply_mutations requires --runtime simulated "
+                "(the workers' shared graph store is immutable)"
+            )
+        if new_partitioned.num_hosts != self.partitioned.num_hosts:
+            raise ExecutionError(
+                "mutating to a different host count is not supported"
+            )
+        if (affected is None) != (frontier is None):
+            raise ExecutionError(
+                "affected and frontier must be given together"
+            )
+        check_strategy_legal(
+            new_partitioned.strategy,
+            self.app.operator_class,
+            self.app.is_reduction,
+        )
+        from repro.runtime.migration import gather_global, migratable_keys
+
+        started = time.perf_counter()
+        old_partitioned = self.partitioned
+        old_states = self.states
+        incremental = affected is not None
+        if incremental:
+            affected = np.ascontiguousarray(affected, dtype=bool)
+            frontier = np.ascontiguousarray(frontier, dtype=bool)
+            for name, mask in (("affected", affected), ("frontier", frontier)):
+                if len(mask) != new_partitioned.num_global_nodes:
+                    raise ExecutionError(
+                        f"{name} mask has {len(mask)} entries for "
+                        f"{new_partitioned.num_global_nodes} global nodes"
+                    )
+            if not getattr(self.app, "supports_migration", True):
+                raise ExecutionError(
+                    f"{self.app.name} carries per-proxy state that cannot "
+                    "be migrated; use a full-restart plan"
+                )
+        # Fresh per-version result: construction costs of the delta land
+        # here, rounds accumulate on it from the next run() call.
+        result = RunResult(
+            system=self.system_name,
+            app=self.app.name,
+            policy=new_partitioned.policy_name,
+            num_hosts=new_partitioned.num_hosts,
+            runtime=self.runtime,
+        )
+        # Old substrates retire with the already-finalized previous
+        # result; the new version accounts only its own work.
+        self._carried_translations = 0
+        self._carried_mode_counts = {}
+        self.partitioned = new_partitioned
+        self.ctx = new_ctx
+        self.transport = self._make_transport(new_partitioned.num_hosts)
+        memoization_bytes = 0
+        if self.enable_sync:
+            if exchange is not None:
+                books = exchange(self.transport)
+                self.substrates = setup_substrates_from_books(
+                    new_partitioned,
+                    self.transport,
+                    self.level,
+                    PreparedSync(books=books, memoization_bytes=0),
+                    self.metrics,
+                    aggregate=self.aggregate_comm,
+                )
+            else:
+                self.substrates = setup_substrates(
+                    new_partitioned,
+                    self.transport,
+                    self.level,
+                    self.metrics,
+                    aggregate=self.aggregate_comm,
+                )
+            memoization_bytes = self.transport.stats.total_bytes
+            result.construction_bytes += memoization_bytes
+            self.transport.end_round()
+        self._memoization_bytes = memoization_bytes
+        # Fresh-init state over the new partition; incremental plans then
+        # overwrite unaffected vertices with their migrated converged
+        # values (affected vertices keep the fresh init — the reset).
+        new_states = [
+            self.app.make_state(part, new_ctx)
+            for part in new_partitioned.partitions
+        ]
+        if incremental:
+            keys = migratable_keys(
+                self.app,
+                old_states[0],
+                old_partitioned.partitions[0].num_nodes,
+            )
+            init_global = {
+                key: gather_global(new_partitioned, new_states, key)
+                for key in keys
+            }
+            for key in keys:
+                old_global = gather_global(old_partitioned, old_states, key)
+                combined = init_global[key]
+                carry = ~affected[: len(old_global)]
+                combined[: len(old_global)][carry] = old_global[carry]
+                for part, state in zip(
+                    new_partitioned.partitions, new_states
+                ):
+                    state[key][...] = combined[part.local_to_global]
+        self.states = new_states
+        self.fields = [
+            self.app.make_fields(part, state)
+            for part, state in zip(new_partitioned.partitions, new_states)
+        ]
+        if incremental:
+            # Accumulator fields: masters hold the canonical totals;
+            # mirror copies revert to the reduction identity.
+            for part, fields in zip(new_partitioned.partitions, self.fields):
+                for field in fields:
+                    if not field.reduce_op.idempotent:
+                        mirrors = part.mirror_locals()
+                        field.values[mirrors] = field.reduce_op.identity(
+                            field.dtype
+                        )
+            self._frontiers = [
+                frontier[part.local_to_global]
+                for part in new_partitioned.partitions
+            ]
+        else:
+            self._frontiers = [
+                self.app.initial_frontier(part, state, new_ctx)
+                for part, state in zip(new_partitioned.partitions, new_states)
+            ]
+        elapsed = time.perf_counter() - started
+        result.construction_time += elapsed
+        result.replication_factor = new_partitioned.replication_factor()
+        self.version += 1
+        self._result = result
+        if self.tracer.enabled:
+            self.tracer.record(
+                "apply-mutations",
+                cat="streaming",
+                begin_s=self._trace_clock,
+                duration_s=elapsed,
+                version=self.version,
+                policy=new_partitioned.policy_name,
+                bytes=memoization_bytes,
+                affected=int(affected.sum()) if incremental else -1,
+                frontier=int(frontier.sum()) if incremental else -1,
+            )
+            self._trace_clock += elapsed
+        if self.metrics.enabled:
+            self.metrics.counter("streaming_resumes_total").inc()
+            self.metrics.counter("construction_bytes_total").inc(
+                memoization_bytes
+            )
+        # Checkpoints describe the old version; restart the baseline.
+        if self.checkpoints is not None:
+            self.checkpoints.clear()
+            self._maybe_checkpoint(0, force=True)
 
     def _gather_frontier_global(self) -> np.ndarray:
         """Union the per-host frontiers into a global boolean mask."""

@@ -1,0 +1,533 @@
+"""Streaming sessions: mutate, patch, and resume instead of recompute.
+
+A :class:`StreamingSession` holds one application on one evolving graph
+and ties the streaming pieces together: the :class:`GraphVersion` chain
+(provenance hashes), :func:`delta_partition` (patched proxy tables),
+:func:`patch_address_books` (patched §4.1 memoization), the incremental
+planners (:func:`plan_incremental`), the executor's
+``apply_mutations`` resume seam, and the service cache's per-host
+partition entries (warm across versions for untouched hosts).
+
+Lifecycle::
+
+    session = StreamingSession("d-galois", "bfs", edges, num_hosts=4)
+    session.run()                     # cold converge on version 0
+    step = session.apply_batch(batch) # validate, patch, resume, converge
+
+Each :meth:`apply_batch` produces a :class:`StreamStepResult`: the new
+version's content address, the incremental plan that ran, how many hosts
+were patched versus rebuilt, the cache turnover, and the per-version
+:class:`~repro.runtime.stats.RunResult` whose rounds cover only the
+resumed work.  :meth:`cold_run` recomputes the current version from
+scratch — the oracle every streaming result is asserted bitwise
+identical to.
+
+The session canonicalizes its base graph once at start (``deduplicate``,
+plus the app's symmetrize/weight requirements) and pins the bfs/sssp
+source, so every later version is a pure function of the batch sequence.
+For symmetrized apps each batch is mirrored (both edge directions) before
+it applies, keeping the evolving graph inside the app's input contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.apps.base import AppContext
+from repro.errors import ExecutionError
+from repro.graph.edgelist import EdgeList
+from repro.observability.metrics import NULL_METRICS
+from repro.observability.tracer import NULL_TRACER
+from repro.partition.build import build_partition
+from repro.runtime.executor import DistributedExecutor
+from repro.runtime.migration import migratable_keys
+from repro.runtime.stats import RunResult
+from repro.streaming.batch import MutationBatch
+from repro.streaming.delta import (
+    delta_partition,
+    patch_address_books,
+    signature_of_host,
+)
+from repro.streaming.incremental import IncrementalPlan, plan_incremental
+from repro.streaming.version import GraphVersion
+from repro.systems import _resolve_system, prepare_input
+
+
+def mirror_batch(batch: MutationBatch) -> MutationBatch:
+    """Close a batch under edge reversal (for symmetrized-input apps).
+
+    Every inserted and deleted ``(s, d)`` with ``s != d`` gains its
+    ``(d, s)`` twin (weights mirrored), deduplicated so a batch that
+    already names both directions round-trips unchanged.  Applying the
+    mirrored batch to a symmetric graph yields a symmetric graph.
+    """
+
+    def closed(src, dst, weight):
+        if len(src) == 0:
+            return src, dst, weight
+        off_diag = src != dst
+        all_src = np.concatenate([src, dst[off_diag]])
+        all_dst = np.concatenate([dst, src[off_diag]])
+        all_w = (
+            np.concatenate([weight, weight[off_diag]])
+            if weight is not None
+            else None
+        )
+        key = all_src.astype(np.uint64) << np.uint64(32) | all_dst
+        _, first = np.unique(key, return_index=True)
+        first.sort()
+        return (
+            all_src[first],
+            all_dst[first],
+            all_w[first] if all_w is not None else None,
+        )
+
+    ins_src, ins_dst, ins_w = closed(
+        batch.insert_src, batch.insert_dst, batch.insert_weight
+    )
+    del_src, del_dst, _ = closed(batch.delete_src, batch.delete_dst, None)
+    return MutationBatch(
+        add_nodes=batch.add_nodes,
+        insert_src=ins_src,
+        insert_dst=ins_dst,
+        insert_weight=ins_w,
+        delete_src=del_src,
+        delete_dst=del_dst,
+        delete_nodes=batch.delete_nodes,
+    )
+
+
+@dataclass
+class StreamStepResult:
+    """One applied batch: what changed, what was saved, what it cost."""
+
+    version: int
+    content_hash: str
+    batch_hash: str
+    strategy: str
+    affected_count: int
+    frontier_count: int
+    affected_fraction: float
+    deleted_edges: int
+    inserted_edges: int
+    hosts_reused: int
+    hosts_rebuilt: int
+    cache_reuses: int
+    cache_invalidations: int
+    result: RunResult
+
+    def to_dict(self) -> dict:
+        """Summary row for the CLI / bench exports."""
+        return {
+            "version": self.version,
+            "content_hash": self.content_hash,
+            "strategy": self.strategy,
+            "affected": self.affected_count,
+            "frontier": self.frontier_count,
+            "affected_fraction": self.affected_fraction,
+            "deleted_edges": self.deleted_edges,
+            "inserted_edges": self.inserted_edges,
+            "hosts_reused": self.hosts_reused,
+            "hosts_rebuilt": self.hosts_rebuilt,
+            "cache_reuses": self.cache_reuses,
+            "cache_invalidations": self.cache_invalidations,
+            "rounds": self.result.num_rounds,
+            "comm_bytes": self.result.communication_volume,
+            "comm_messages": self.result.communication_messages,
+            "construction_bytes": self.result.construction_bytes,
+        }
+
+
+class StreamingSession:
+    """One application serving one evolving graph across mutation batches.
+
+    Args:
+        system: System name (``d-galois``, ``d-ligra``, ...); resolved
+            exactly as ``repro run`` resolves it.
+        app_name: Application to keep converged across versions.
+        edges: Base graph; deduplicated (and symmetrized/weighted per the
+            app's input contract) once, then owned by the session.
+        num_hosts: Host count — fixed for the session's lifetime.
+        policy: Partition policy (any of the six; delta-partitioning is
+            policy-agnostic).
+        cache: Optional :class:`~repro.service.cache.ServiceCache`; the
+            session stores per-host partitions under content signatures
+            so untouched hosts are reused warm across versions.
+        observability: Optional Observability bundle; the session records
+            ``delta-partition`` / ``affected-frontier`` spans and
+            ``streaming_*`` counters into it.
+        Remaining keywords mirror :func:`repro.systems.run_app`.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        app_name: str,
+        edges: EdgeList,
+        num_hosts: int,
+        *,
+        policy: Optional[str] = None,
+        level=None,
+        network=None,
+        source: Optional[int] = None,
+        weight_seed: int = 42,
+        partition_seed: int = 0,
+        tolerance: float = 1e-6,
+        max_iterations: int = 100,
+        k: int = 2,
+        max_rounds: int = 100_000,
+        aggregate_comm: bool = True,
+        observability=None,
+        cache=None,
+    ) -> None:
+        self.app = make_app(app_name)
+        if getattr(self.app, "multi_phase", False):
+            raise ExecutionError(
+                f"{app_name} is multi-phase; streaming sessions drive a "
+                "single executor"
+            )
+        self.system = system.lower()
+        self.num_hosts = num_hosts
+        self.max_rounds = max_rounds
+        self.aggregate_comm = aggregate_comm
+        self.cache = cache
+        self.tracer = (
+            observability.tracer if observability is not None else NULL_TRACER
+        )
+        self.metrics = (
+            observability.metrics if observability is not None else NULL_METRICS
+        )
+        self._observability = observability
+        self._tolerance = tolerance
+        self._max_iterations = max_iterations
+        self._k = k
+        # Canonical base: streaming validation demands a duplicate-free
+        # list, and the version chain must be a pure function of the
+        # batch sequence — so normalize exactly once, up front.
+        prepared = prepare_input(
+            app_name,
+            edges.deduplicate(),
+            source=source,
+            weight_seed=weight_seed,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            k=k,
+        )
+        self.source = prepared.ctx.source
+        self.ctx = prepared.ctx
+        (
+            self.engine,
+            self.partitioner,
+            self.level,
+            self.network,
+            self.sync,
+        ) = _resolve_system(
+            self.system,
+            self.app.operator_class,
+            policy,
+            num_hosts,
+            level,
+            network,
+            partition_seed,
+        )
+        if not hasattr(self.partitioner, "assign"):
+            raise ExecutionError(
+                f"{self.partitioner.name} does not expose an edge "
+                "assignment; delta-partitioning needs one"
+            )
+        self.version = GraphVersion.initial(prepared.edges)
+        outcome = build_partition(
+            prepared.edges, self.partitioner, num_hosts, cache=cache
+        )
+        self.partitioned = outcome.partitioned
+        self._partition_wall = outcome.wall_s
+        self._partition_key = outcome.key
+        self._partition_from_cache = outcome.from_cache
+        if self.tracer.enabled:
+            self.tracer.record_sequential(
+                "partition",
+                outcome.wall_s,
+                cat="construction",
+                app=self.app.name,
+                policy=self.partitioned.policy_name,
+                hosts=num_hosts,
+            )
+        self.executor = DistributedExecutor(
+            self.partitioned,
+            self.engine,
+            self.app,
+            self.ctx,
+            level=self.level,
+            network=self.network,
+            enable_sync=self.sync,
+            system_name=self.system,
+            observability=observability,
+            prepared_sync=outcome.prepared_sync,
+            aggregate_comm=aggregate_comm,
+        )
+        self._signatures = self._signatures_of(prepared.edges)
+        self._store_host_partitions(range(num_hosts), self._signatures)
+        self._books = None
+        self.results: List[RunResult] = []
+        self.steps: List[StreamStepResult] = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _ctx_for(self, edges: EdgeList) -> AppContext:
+        """Fresh AppContext for a new version (pinned source)."""
+        ctx = AppContext(
+            num_global_nodes=edges.num_nodes,
+            source=self.source,
+            tolerance=self._tolerance,
+            max_iterations=self._max_iterations,
+            k=self._k,
+        )
+        if self.app.needs_global_degrees:
+            ctx.global_out_degree = np.bincount(
+                edges.src, minlength=edges.num_nodes
+            )
+        return ctx
+
+    def _signatures_of(self, edges: EdgeList, assignment=None) -> List[str]:
+        if assignment is None:
+            assignment = self.partitioner.assign(edges, self.num_hosts)
+        return [
+            signature_of_host(
+                edges, assignment, host, self.partitioned.policy_name
+            )
+            for host in range(self.num_hosts)
+        ]
+
+    def _store_host_partitions(self, hosts, signatures: List[str]) -> None:
+        if self.cache is None:
+            return
+        for host in hosts:
+            self.cache.put_host_partition(
+                signatures[host], self.partitioned.partitions[host]
+            )
+
+    def _gather_values(self) -> Dict[str, np.ndarray]:
+        keys = migratable_keys(
+            self.app,
+            self.executor.states[0],
+            self.partitioned.partitions[0].num_nodes,
+        )
+        return {key: self.executor.gather_result(key) for key in keys}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Cold converge version 0; must precede :meth:`apply_batch`."""
+        if self.results:
+            raise ExecutionError(
+                "the session already ran; apply_batch() advances it"
+            )
+        result = self.executor.run(max_rounds=self.max_rounds)
+        result.construction_time += self._partition_wall
+        result.partition_cache_hit = self._partition_from_cache  # type: ignore[attr-defined]
+        self._books = self.executor.harvest_prepared_sync()
+        if (
+            self.cache is not None
+            and self._partition_key is not None
+            and not self._partition_from_cache
+        ):
+            self.cache.put_partition(
+                self._partition_key, self.partitioned, self._books
+            )
+        self.results.append(result)
+        return result
+
+    def apply_batch(self, batch: MutationBatch) -> StreamStepResult:
+        """Apply one mutation batch and re-converge incrementally.
+
+        Validates the batch against the current version, advances the
+        hash chain, delta-patches the partition and address books, plans
+        the affected frontier, resumes the executor, and runs it to
+        convergence.  Returns the step summary; the session then *is*
+        the new version.
+        """
+        if not self.results:
+            raise ExecutionError("run() the base version before mutating it")
+        if self.app.symmetrize_input:
+            batch = mirror_batch(batch)
+        old_edges = self.version.edges
+        old_partitioned = self.partitioned
+
+        plan_started = time.perf_counter()
+        new_version, effect = self.version.apply(batch)
+        new_edges = new_version.edges
+        new_ctx = self._ctx_for(new_edges)
+        plan = plan_incremental(
+            self.app.name,
+            old_edges,
+            new_edges,
+            effect,
+            self._gather_values(),
+            new_ctx,
+        )
+        if not plan.full_restart and not getattr(
+            self.app, "supports_migration", True
+        ):
+            plan = IncrementalPlan(
+                app_name=self.app.name, strategy="replay", full_restart=True
+            )
+        plan_elapsed = time.perf_counter() - plan_started
+
+        delta_started = time.perf_counter()
+        delta = delta_partition(
+            old_edges, old_partitioned, new_edges, self.partitioner
+        )
+        delta_elapsed = time.perf_counter() - delta_started
+
+        if self.tracer.enabled:
+            self.tracer.record_sequential(
+                "delta-partition",
+                delta_elapsed,
+                cat="streaming",
+                version=new_version.version,
+                policy=old_partitioned.policy_name,
+                reused=delta.num_reused,
+                rebuilt=delta.num_rebuilt,
+            )
+            self.tracer.record_sequential(
+                "affected-frontier",
+                plan_elapsed,
+                cat="streaming",
+                version=new_version.version,
+                strategy=plan.strategy,
+                affected=plan.affected_count,
+                frontier=plan.frontier_count,
+            )
+
+        # Service-cache turnover: untouched hosts read back warm under
+        # their unchanged signature; touched hosts retire the old entry
+        # and store the rebuilt one.  Per batch, reuses + invalidations
+        # reconcile with the host count (absent evictions).
+        new_signatures = self._signatures_of(new_edges, delta.assignment)
+        cache_reuses = 0
+        cache_invalidations = 0
+        if self.cache is not None:
+            for host in delta.reused_hosts:
+                if self.cache.reuse_host_partition(new_signatures[host]) is not None:
+                    cache_reuses += 1
+                else:  # evicted meanwhile: restore the entry
+                    self.cache.put_host_partition(
+                        new_signatures[host], delta.partitioned.partitions[host]
+                    )
+            for host in delta.rebuilt_hosts:
+                if self.cache.invalidate_host_partition(self._signatures[host]):
+                    cache_invalidations += 1
+                self.cache.put_host_partition(
+                    new_signatures[host], delta.partitioned.partitions[host]
+                )
+
+        exchange = None
+        if self.sync and self._books is not None:
+            old_books = self._books.books
+
+            def exchange(transport):
+                return patch_address_books(
+                    old_books,
+                    old_partitioned,
+                    delta.partitioned,
+                    delta.rebuilt_hosts,
+                    transport,
+                )
+        self.executor.apply_mutations(
+            delta.partitioned,
+            new_ctx,
+            affected=None if plan.full_restart else plan.affected,
+            frontier=None if plan.full_restart else plan.frontier,
+            exchange=exchange,
+        )
+        if self.metrics.enabled:
+            self.metrics.counter("streaming_mutations_total").inc()
+            self.metrics.counter("streaming_partitions_reused_total").inc(
+                delta.num_reused
+            )
+            self.metrics.counter("streaming_partitions_rebuilt_total").inc(
+                delta.num_rebuilt
+            )
+            self.metrics.counter("streaming_affected_vertices_total").inc(
+                plan.affected_count
+                if not plan.full_restart
+                else new_edges.num_nodes
+            )
+
+        result = self.executor.run(max_rounds=self.max_rounds)
+        self._books = self.executor.harvest_prepared_sync()
+        self.version = new_version
+        self.partitioned = delta.partitioned
+        self.ctx = new_ctx
+        self._signatures = new_signatures
+        self.results.append(result)
+        step = StreamStepResult(
+            version=new_version.version,
+            content_hash=new_version.content_hash,
+            batch_hash=new_version.batch_hash,
+            strategy=plan.strategy,
+            affected_count=plan.affected_count,
+            frontier_count=plan.frontier_count,
+            affected_fraction=plan.affected_fraction(new_edges.num_nodes),
+            deleted_edges=effect.deleted_count,
+            inserted_edges=effect.inserted_count,
+            hosts_reused=delta.num_reused,
+            hosts_rebuilt=delta.num_rebuilt,
+            cache_reuses=cache_reuses,
+            cache_invalidations=cache_invalidations,
+            result=result,
+        )
+        self.steps.append(step)
+        return step
+
+    def replay(self, batches: List[MutationBatch]) -> List[StreamStepResult]:
+        """Apply a batch stream in order (the ``--stream`` entry point)."""
+        return [self.apply_batch(batch) for batch in batches]
+
+    # -- verification ------------------------------------------------------
+
+    def values(self) -> Dict[str, np.ndarray]:
+        """Converged global arrays of the current version (master values)."""
+        return self._gather_values()
+
+    def cold_run(self) -> RunResult:
+        """Recompute the current version from scratch (the oracle).
+
+        Builds a fresh partition of the current edge list and runs a
+        fresh executor to convergence — no delta, no warm state, no
+        memoization reuse.  Streaming correctness means
+        ``cold_values(cold_run())`` equals :meth:`values` bitwise.
+        """
+        outcome = build_partition(
+            self.version.edges, self.partitioner, self.num_hosts
+        )
+        executor = DistributedExecutor(
+            outcome.partitioned,
+            self.engine,
+            self.app,
+            self._ctx_for(self.version.edges),
+            level=self.level,
+            network=self.network,
+            enable_sync=self.sync,
+            system_name=self.system,
+            aggregate_comm=self.aggregate_comm,
+        )
+        result = executor.run(max_rounds=self.max_rounds)
+        result.construction_time += outcome.wall_s
+        result.executor = executor  # type: ignore[attr-defined]
+        return result
+
+    def cold_values(self, cold_result: RunResult) -> Dict[str, np.ndarray]:
+        """Global arrays of a :meth:`cold_run` result, keyed like values()."""
+        executor = cold_result.executor  # type: ignore[attr-defined]
+        keys = migratable_keys(
+            self.app,
+            executor.states[0],
+            executor.partitioned.partitions[0].num_nodes,
+        )
+        return {key: executor.gather_result(key) for key in keys}

@@ -1,0 +1,111 @@
+"""Tests for edge-list/CSR structural validation (streaming satellite)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    EdgeList,
+    find_dangling_vertices,
+    find_duplicate_edges,
+    find_isolated_vertices,
+    validate_edge_list,
+    validate_graph,
+)
+
+
+def make(num_nodes, pairs, weight=None):
+    src = np.array([p[0] for p in pairs], dtype=np.uint32)
+    dst = np.array([p[1] for p in pairs], dtype=np.uint32)
+    return EdgeList(num_nodes, src, dst, weight)
+
+
+class TestDuplicateEdges:
+    def test_clean_list_has_none(self):
+        edges = make(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(find_duplicate_edges(edges)) == 0
+
+    def test_reports_repeats_not_first_occurrence(self):
+        edges = make(4, [(0, 1), (1, 2), (0, 1), (0, 1)])
+        assert find_duplicate_edges(edges).tolist() == [2, 3]
+
+    def test_reverse_direction_is_not_a_duplicate(self):
+        edges = make(3, [(0, 1), (1, 0)])
+        assert len(find_duplicate_edges(edges)) == 0
+
+    def test_empty_list(self):
+        assert len(find_duplicate_edges(make(3, []))) == 0
+
+    def test_no_aliasing_across_distinct_pairs(self):
+        # (0, n-1) and (1, 0) must not collide under the packed key.
+        n = 5
+        edges = make(n, [(0, n - 1), (1, 0)])
+        assert len(find_duplicate_edges(edges)) == 0
+
+
+class TestIsolatedVertices:
+    def test_reports_degree_zero_only(self):
+        edges = make(5, [(0, 1), (1, 2)])
+        assert find_isolated_vertices(edges).tolist() == [3, 4]
+
+    def test_edgeless_graph_all_isolated(self):
+        assert find_isolated_vertices(make(3, [])).tolist() == [0, 1, 2]
+
+    def test_in_edge_suffices(self):
+        edges = make(3, [(0, 2)])
+        assert find_isolated_vertices(edges).tolist() == [1]
+
+
+class TestDanglingVertices:
+    def test_sink_with_in_edges_reported(self):
+        edges = make(4, [(0, 1), (1, 2)])
+        assert find_dangling_vertices(edges).tolist() == [2]
+
+    def test_isolated_is_not_dangling(self):
+        edges = make(4, [(0, 1), (1, 0)])
+        assert len(find_dangling_vertices(edges)) == 0
+
+    def test_self_loop_is_not_dangling(self):
+        edges = make(2, [(0, 0)])
+        assert len(find_dangling_vertices(edges)) == 0
+
+
+class TestValidateEdgeList:
+    def test_duplicates_rejected_by_default(self):
+        edges = make(3, [(0, 1), (0, 1)])
+        with pytest.raises(GraphError, match="duplicate"):
+            validate_edge_list(edges)
+
+    def test_duplicates_allowed_when_opted_in(self):
+        edges = make(3, [(0, 1), (0, 1)])
+        validate_edge_list(edges, allow_duplicates=True)
+
+    def test_isolated_allowed_by_default(self):
+        validate_edge_list(make(5, [(0, 1)]))
+
+    def test_isolated_rejected_when_opted_out(self):
+        with pytest.raises(GraphError, match="isolated"):
+            validate_edge_list(make(5, [(0, 1)]), allow_isolated=False)
+
+    def test_clean_list_passes_strict(self):
+        edges = make(3, [(0, 1), (1, 2), (2, 0)])
+        validate_edge_list(edges, allow_isolated=False)
+
+
+class TestValidateGraph:
+    def test_valid_csr_passes(self):
+        edges = make(4, [(0, 1), (1, 2), (2, 3)])
+        validate_graph(CSRGraph.from_edgelist(edges))
+
+    def test_corrupted_indptr_rejected(self):
+        graph = CSRGraph.from_edgelist(make(4, [(0, 1), (1, 2)]))
+        graph.indptr[0] = 1
+        with pytest.raises(GraphError, match="indptr"):
+            validate_graph(graph)
+
+    def test_out_of_range_destination_rejected(self):
+        graph = CSRGraph.from_edgelist(make(3, [(0, 1)]))
+        graph.indices[0] = 99
+        with pytest.raises(GraphError, match="out of range"):
+            validate_graph(graph)

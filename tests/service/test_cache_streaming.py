@@ -1,0 +1,132 @@
+"""Streaming-facing service-cache behavior: reuse/invalidate turnover and
+the level-1b per-host partition entries (ISSUE satellite: the new
+counters must reconcile exactly)."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.service.cache import CacheLevel, ServiceCache
+
+
+class TestInvalidate:
+    def test_present_entry_dropped_and_counted(self):
+        level = CacheLevel("partition", metrics=MetricsRegistry())
+        level.put("k", {"v": 1})
+        assert level.invalidate("k") is True
+        assert "k" not in level
+        assert level.stats()["invalidations"] == 1
+
+    def test_absent_entry_not_counted(self):
+        level = CacheLevel("partition", metrics=MetricsRegistry())
+        assert level.invalidate("missing") is False
+        assert level.stats()["invalidations"] == 0
+
+    def test_double_invalidate_counts_once(self):
+        level = CacheLevel("partition", metrics=MetricsRegistry())
+        level.put("k", 1)
+        assert level.invalidate("k") is True
+        assert level.invalidate("k") is False
+        assert level.stats()["invalidations"] == 1
+
+    def test_disk_backed_invalidate_removes_file(self, tmp_path):
+        level = CacheLevel(
+            "partition", directory=tmp_path, metrics=MetricsRegistry()
+        )
+        level.put("k", [1, 2, 3])
+        assert (tmp_path / "partition" / "k.blob").exists()
+        assert level.invalidate("k") is True
+        assert not (tmp_path / "partition" / "k.blob").exists()
+
+
+class TestReuse:
+    def test_hit_counts_reuse_and_hit(self):
+        level = CacheLevel("partition", metrics=MetricsRegistry())
+        level.put("k", 42)
+        assert level.reuse("k") == 42
+        stats = level.stats()
+        assert stats["reuses"] == 1
+        assert stats["hits"] == 1
+
+    def test_miss_counts_no_reuse(self):
+        level = CacheLevel("partition", metrics=MetricsRegistry())
+        assert level.reuse("missing") is None
+        stats = level.stats()
+        assert stats["reuses"] == 0
+        assert stats["misses"] == 1
+
+    def test_reconciliation_invariant(self):
+        """Across a simulated mutation over N entries: every live entry is
+        either reused or invalidated — the sum is exactly N."""
+        num_hosts = 8
+        level = CacheLevel(
+            "partition", metrics=MetricsRegistry(), max_entries=64
+        )
+        for host in range(num_hosts):
+            level.put(f"sig-{host}", host)
+        changed = {2, 5}
+        for host in range(num_hosts):
+            if host in changed:
+                assert level.invalidate(f"sig-{host}")
+                level.put(f"sig-{host}-v2", host)
+            else:
+                assert level.reuse(f"sig-{host}") == host
+        stats = level.stats()
+        assert stats["reuses"] + stats["invalidations"] == num_hosts
+        assert stats["reuses"] == num_hosts - len(changed)
+        assert stats["invalidations"] == len(changed)
+
+
+class TestHostPartitionApi:
+    def test_round_trip(self):
+        cache = ServiceCache(metrics=MetricsRegistry())
+        cache.put_host_partition("abc", {"host": 0})
+        assert cache.get_host_partition("abc") == {"host": 0}
+        assert cache.reuse_host_partition("abc") == {"host": 0}
+        assert cache.invalidate_host_partition("abc") is True
+        assert cache.get_host_partition("abc") is None
+
+    def test_keys_disjoint_from_whole_partition_keys(self):
+        cache = ServiceCache(metrics=MetricsRegistry())
+        cache.put_host_partition("abc", {"host": 0})
+        # A whole-partition lookup under the raw signature misses.
+        assert cache.get_partition("abc") is None
+        assert ServiceCache.host_partition_key("abc") == "host-abc"
+
+    def test_shares_partition_level_lru(self):
+        cache = ServiceCache(max_partitions=2, metrics=MetricsRegistry())
+        cache.put_host_partition("a", 1)
+        cache.put_host_partition("b", 2)
+        cache.put_host_partition("c", 3)
+        assert len(cache.partitions) == 2
+        assert cache.get_host_partition("a") is None  # evicted (LRU)
+        assert cache.stats()["partition"]["evictions"] == 1
+
+    def test_stats_expose_turnover_counters(self):
+        cache = ServiceCache(metrics=MetricsRegistry())
+        stats = cache.stats()["partition"]
+        assert "reuses" in stats
+        assert "invalidations" in stats
+
+
+class TestNullMetricsDefault:
+    def test_default_cache_still_functions(self):
+        # Without a registry the counters are no-ops but behavior holds.
+        cache = ServiceCache()
+        cache.put_host_partition("x", 9)
+        assert cache.reuse_host_partition("x") == 9
+        assert cache.invalidate_host_partition("x") is True
+        assert cache.stats()["partition"]["reuses"] == 0
+
+
+@pytest.mark.parametrize("directory", [None, "disk"])
+def test_levels_count_independently(tmp_path, directory):
+    metrics = MetricsRegistry()
+    kwargs = {"metrics": metrics}
+    if directory:
+        kwargs["directory"] = tmp_path
+    cache = ServiceCache(**kwargs)
+    cache.put_host_partition("sig", 1)
+    cache.reuse_host_partition("sig")
+    stats = cache.stats()
+    assert stats["partition"]["reuses"] == 1
+    assert stats["result"]["reuses"] == 0

@@ -1,0 +1,223 @@
+"""Property tests: delta-partitioning is bitwise identical to a rebuild.
+
+The load-bearing streaming property (ISSUE satellite): for arbitrary
+graphs, mutation batches, host counts, and *every* partition policy, the
+patched partition must equal a from-scratch partition of the mutated
+list — CSR arrays, proxy tables, and local-to-global maps — and the
+patched address books must equal a from-scratch memoization exchange
+array-for-array.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memoization import exchange_address_books
+from repro.errors import PartitionError
+from repro.graph.edgelist import EdgeList
+from repro.network.transport import InProcessTransport
+from repro.partition import PARTITIONER_BY_NAME, make_partitioner
+from repro.streaming.batch import random_mutation_batch
+from repro.streaming.delta import (
+    delta_partition,
+    patch_address_books,
+    signature_of_host,
+)
+
+ALL_POLICIES = sorted(PARTITIONER_BY_NAME)
+
+
+@st.composite
+def graph_and_batch(draw, weighted=None):
+    num_nodes = draw(st.integers(min_value=2, max_value=50))
+    num_edges = draw(st.integers(min_value=1, max_value=180))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    if weighted is None:
+        weighted = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.uint32)
+    weight = (
+        rng.integers(1, 20, size=num_edges, dtype=np.uint32)
+        if weighted
+        else None
+    )
+    edges = EdgeList(num_nodes, src, dst, weight).deduplicate()
+    batch = random_mutation_batch(
+        edges,
+        rng,
+        delete_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        insert_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        add_nodes=draw(st.integers(min_value=0, max_value=3)),
+        delete_node_count=draw(st.integers(min_value=0, max_value=2)),
+    )
+    return edges, batch
+
+
+def assert_partitions_identical(actual, expected):
+    assert actual.num_hosts == expected.num_hosts
+    assert actual.num_global_nodes == expected.num_global_nodes
+    assert actual.num_global_edges == expected.num_global_edges
+    assert np.array_equal(actual.master_host, expected.master_host)
+    for mine, theirs in zip(actual.partitions, expected.partitions):
+        assert mine.host == theirs.host
+        assert mine.num_masters == theirs.num_masters
+        assert np.array_equal(mine.local_to_global, theirs.local_to_global)
+        assert np.array_equal(
+            mine.mirror_master_host, theirs.mirror_master_host
+        )
+        assert np.array_equal(mine.graph.indptr, theirs.graph.indptr)
+        assert np.array_equal(mine.graph.indices, theirs.graph.indices)
+        if theirs.graph.weights is None:
+            assert mine.graph.weights is None
+        else:
+            assert np.array_equal(mine.graph.weights, theirs.graph.weights)
+
+
+def assert_books_identical(actual, expected):
+    assert len(actual) == len(expected)
+    attrs = (
+        "mirrors_all", "mirrors_reduce", "mirrors_broadcast", "mirrors_any",
+        "masters_all", "masters_reduce", "masters_broadcast", "masters_any",
+    )
+    for mine, theirs in zip(actual, expected):
+        assert mine.host == theirs.host
+        assert mine.peer_order == theirs.peer_order
+        for attr in attrs:
+            mine_map = getattr(mine, attr)
+            theirs_map = getattr(theirs, attr)
+            for peer in range(theirs.num_hosts):
+                if peer == theirs.host:
+                    continue
+                empty = np.empty(0, dtype=np.uint32)
+                assert np.array_equal(
+                    mine_map.get(peer, empty), theirs_map.get(peer, empty)
+                ), f"host {mine.host} {attr}[{peer}] diverged"
+
+
+@given(
+    data=graph_and_batch(),
+    num_hosts=st.integers(min_value=1, max_value=6),
+    policy=st.sampled_from(ALL_POLICIES),
+)
+@settings(max_examples=60, deadline=None)
+def test_delta_partition_equals_full_rebuild(data, num_hosts, policy):
+    edges, batch = data
+    partitioner = make_partitioner(policy)
+    old_partitioned = partitioner.partition(edges, num_hosts)
+    new_edges, _ = batch.apply(edges)
+    delta = delta_partition(edges, old_partitioned, new_edges, partitioner)
+    expected = partitioner.partition(new_edges, num_hosts)
+    assert_partitions_identical(delta.partitioned, expected)
+    assert sorted(delta.reused_hosts + delta.rebuilt_hosts) == list(
+        range(num_hosts)
+    )
+
+
+@given(
+    data=graph_and_batch(),
+    num_hosts=st.integers(min_value=2, max_value=5),
+    policy=st.sampled_from(ALL_POLICIES),
+)
+@settings(max_examples=40, deadline=None)
+def test_patched_books_equal_full_exchange(data, num_hosts, policy):
+    edges, batch = data
+    partitioner = make_partitioner(policy)
+    old_partitioned = partitioner.partition(edges, num_hosts)
+    old_books = exchange_address_books(
+        old_partitioned, InProcessTransport(num_hosts)
+    )
+    new_edges, _ = batch.apply(edges)
+    delta = delta_partition(edges, old_partitioned, new_edges, partitioner)
+    patched = patch_address_books(
+        old_books,
+        old_partitioned,
+        delta.partitioned,
+        delta.rebuilt_hosts,
+        InProcessTransport(num_hosts),
+    )
+    expected = exchange_address_books(
+        delta.partitioned, InProcessTransport(num_hosts)
+    )
+    assert_books_identical(patched, expected)
+
+
+@given(
+    data=graph_and_batch(),
+    num_hosts=st.integers(min_value=1, max_value=6),
+    policy=st.sampled_from(ALL_POLICIES),
+)
+@settings(max_examples=40, deadline=None)
+def test_host_signature_tracks_reuse(data, num_hosts, policy):
+    """Signatures change exactly when the host rebuilds (modulo collisions:
+    a rebuilt host may coincidentally keep equal inputs — never the
+    reverse)."""
+    edges, batch = data
+    partitioner = make_partitioner(policy)
+    old_partitioned = partitioner.partition(edges, num_hosts)
+    new_edges, _ = batch.apply(edges)
+    old_assignment = partitioner.assign(edges, num_hosts)
+    delta = delta_partition(edges, old_partitioned, new_edges, partitioner)
+    for host in range(num_hosts):
+        old_sig = signature_of_host(edges, old_assignment, host, policy)
+        new_sig = signature_of_host(
+            new_edges, delta.assignment, host, policy
+        )
+        if host in delta.reused_hosts:
+            assert old_sig == new_sig
+        # Signatures are per-host unique: host index is digested.
+        other = (host + 1) % num_hosts
+        if other != host:
+            assert new_sig != signature_of_host(
+                new_edges, delta.assignment, other, policy
+            )
+
+
+def test_policy_mismatch_rejected():
+    rng = np.random.default_rng(0)
+    edges = EdgeList(
+        10,
+        rng.integers(0, 10, size=30, dtype=np.uint32),
+        rng.integers(0, 10, size=30, dtype=np.uint32),
+    ).deduplicate()
+    old = make_partitioner("oec").partition(edges, 2)
+    with pytest.raises(PartitionError, match="policy"):
+        delta_partition(edges, old, edges, make_partitioner("cvc"))
+
+
+def test_stale_old_partition_rejected():
+    rng = np.random.default_rng(1)
+    edges = EdgeList(
+        10,
+        rng.integers(0, 10, size=30, dtype=np.uint32),
+        rng.integers(0, 10, size=30, dtype=np.uint32),
+    ).deduplicate()
+    bigger = EdgeList(11, edges.src, edges.dst)
+    old = make_partitioner("oec").partition(edges, 2)
+    with pytest.raises(PartitionError, match="old edge list"):
+        delta_partition(bigger, old, bigger, make_partitioner("oec"))
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_untouched_hosts_reused_under_single_edge_insert(policy):
+    """Edge cuts keep most hosts warm under a tiny batch; vertex cuts may
+    legitimately rebuild everything (chunk boundaries shift), but must
+    still account for every host."""
+    rng = np.random.default_rng(11)
+    n = 40
+    edges = EdgeList(
+        n,
+        rng.integers(0, n, size=200, dtype=np.uint32),
+        rng.integers(0, n, size=200, dtype=np.uint32),
+    ).deduplicate()
+    partitioner = make_partitioner(policy)
+    old = partitioner.partition(edges, 4)
+    batch = random_mutation_batch(
+        edges, rng, delete_fraction=0.0, insert_fraction=0.005
+    )
+    new_edges, _ = batch.apply(edges)
+    delta = delta_partition(edges, old, new_edges, partitioner)
+    assert delta.num_reused + delta.num_rebuilt == 4
+    for host in delta.reused_hosts:
+        assert delta.partitioned.partitions[host] is old.partitions[host]

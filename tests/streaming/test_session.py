@@ -1,0 +1,207 @@
+"""StreamingSession lifecycle, mirroring, cache turnover, observability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.graph.edgelist import EdgeList
+from repro.observability import Observability
+from repro.observability.metrics import MetricsRegistry
+from repro.service.cache import ServiceCache
+from repro.streaming.batch import MutationBatch, random_mutation_batch
+from repro.streaming.session import StreamingSession, mirror_batch
+
+
+def small_graph(seed=2, n=40, m=180):
+    rng = np.random.default_rng(seed)
+    return EdgeList(
+        n,
+        rng.integers(0, n, size=m, dtype=np.uint32),
+        rng.integers(0, n, size=m, dtype=np.uint32),
+    )
+
+
+def one_edge_delete(session):
+    edges = session.version.edges
+    return MutationBatch(
+        delete_src=edges.src[:1], delete_dst=edges.dst[:1]
+    )
+
+
+class TestMirrorBatch:
+    def test_adds_reverse_twins(self):
+        batch = MutationBatch(
+            insert_src=[1], insert_dst=[2],
+            delete_src=[3], delete_dst=[4],
+        )
+        mirrored = mirror_batch(batch)
+        inserted = set(
+            zip(mirrored.insert_src.tolist(), mirrored.insert_dst.tolist())
+        )
+        deleted = set(
+            zip(mirrored.delete_src.tolist(), mirrored.delete_dst.tolist())
+        )
+        assert inserted == {(1, 2), (2, 1)}
+        assert deleted == {(3, 4), (4, 3)}
+
+    def test_idempotent(self):
+        batch = MutationBatch(
+            insert_src=[1, 2], insert_dst=[2, 1],
+            delete_src=[3], delete_dst=[4],
+        )
+        once = mirror_batch(batch)
+        twice = mirror_batch(once)
+        assert once.batch_hash() == twice.batch_hash()
+
+    def test_self_loops_not_duplicated(self):
+        mirrored = mirror_batch(
+            MutationBatch(insert_src=[5], insert_dst=[5])
+        )
+        assert mirrored.num_inserts == 1
+
+    def test_weights_mirror_with_edges(self):
+        mirrored = mirror_batch(
+            MutationBatch(
+                insert_src=[1], insert_dst=[2], insert_weight=[7]
+            )
+        )
+        assert mirrored.insert_weight.tolist() == [7, 7]
+
+
+class TestLifecycle:
+    def test_apply_before_run_rejected(self):
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=2
+        )
+        with pytest.raises(ExecutionError, match="run\\(\\) the base"):
+            session.apply_batch(MutationBatch())
+
+    def test_run_twice_rejected(self):
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=2
+        )
+        session.run()
+        with pytest.raises(ExecutionError, match="already ran"):
+            session.run()
+
+    def test_multi_phase_app_rejected(self):
+        with pytest.raises(ExecutionError, match="multi-phase"):
+            StreamingSession("d-galois", "bc", small_graph(), num_hosts=2)
+
+    def test_symmetrized_app_mirrors_batches(self):
+        session = StreamingSession(
+            "d-galois", "cc", small_graph(), num_hosts=2
+        )
+        session.run()
+        n = session.version.edges.num_nodes
+        # A one-direction insert between two brand-new vertices...
+        batch = MutationBatch(add_nodes=2, insert_src=[n], insert_dst=[n + 1])
+        step = session.apply_batch(batch)
+        # ...lands as both directions in the symmetric graph.
+        assert step.inserted_edges == 2
+        pairs = set(
+            zip(
+                session.version.edges.src.tolist(),
+                session.version.edges.dst.tolist(),
+            )
+        )
+        assert (n, n + 1) in pairs
+        assert (n + 1, n) in pairs
+
+    def test_replay_applies_in_order(self):
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=2
+        )
+        session.run()
+        rng = np.random.default_rng(4)
+        batches = [
+            random_mutation_batch(
+                session.version.edges, rng,
+                delete_fraction=0.02, insert_fraction=0.0,
+            )
+        ]
+        # The second batch must validate against version 1's edges, so
+        # build it after peeking at the first application.
+        steps = session.replay(batches)
+        assert [s.version for s in steps] == [1]
+        assert session.version.version == 1
+        assert len(session.results) == 2  # cold run + one step
+
+    def test_step_hash_chain_matches_version(self):
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=2
+        )
+        session.run()
+        step = session.apply_batch(one_edge_delete(session))
+        assert step.content_hash == session.version.content_hash
+        assert step.version == 1
+        assert step.to_dict()["rounds"] == step.result.num_rounds
+
+
+class TestCacheTurnover:
+    def test_reuses_plus_invalidations_reconcile_with_hosts(self):
+        cache = ServiceCache(metrics=MetricsRegistry())
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=4,
+            policy="oec", cache=cache,
+        )
+        session.run()
+        step = session.apply_batch(one_edge_delete(session))
+        assert step.cache_reuses == step.hosts_reused
+        assert step.cache_invalidations == step.hosts_rebuilt
+        assert step.cache_reuses + step.cache_invalidations == 4
+        stats = cache.stats()["partition"]
+        assert stats["reuses"] == step.cache_reuses
+        assert stats["invalidations"] == step.cache_invalidations
+
+    def test_new_signatures_are_cached_after_batch(self):
+        cache = ServiceCache(metrics=MetricsRegistry())
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=3,
+            policy="iec", cache=cache,
+        )
+        session.run()
+        session.apply_batch(one_edge_delete(session))
+        for signature in session._signatures:
+            assert cache.get_host_partition(signature) is not None
+
+    def test_cacheless_session_reports_zero_turnover(self):
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=2
+        )
+        session.run()
+        step = session.apply_batch(one_edge_delete(session))
+        assert step.cache_reuses == 0
+        assert step.cache_invalidations == 0
+
+
+class TestObservability:
+    def test_streaming_spans_and_counters_recorded(self):
+        obs = Observability()
+        session = StreamingSession(
+            "d-galois", "bfs", small_graph(), num_hosts=4,
+            policy="oec", observability=obs,
+        )
+        session.run()
+        step = session.apply_batch(one_edge_delete(session))
+        assert obs.tracer.spans_named("delta-partition")
+        assert obs.tracer.spans_named("affected-frontier")
+        assert obs.tracer.spans_named("apply-mutations")
+        delta_span = obs.tracer.spans_named("delta-partition")[0]
+        assert delta_span.cat == "streaming"
+        assert delta_span.tags["reused"] == step.hosts_reused
+        assert delta_span.tags["rebuilt"] == step.hosts_rebuilt
+        assert obs.metrics.counter_total("streaming_mutations_total") == 1
+        assert obs.metrics.counter_total("streaming_resumes_total") == 1
+        assert (
+            obs.metrics.counter_total("streaming_partitions_reused_total")
+            == step.hosts_reused
+        )
+        assert (
+            obs.metrics.counter_total("streaming_partitions_rebuilt_total")
+            == step.hosts_rebuilt
+        )
+        assert (
+            obs.metrics.counter_total("streaming_affected_vertices_total")
+            == step.affected_count
+        )

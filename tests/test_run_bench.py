@@ -82,6 +82,26 @@ class TestSmokeMatrix:
             cell["sim_comm_s_aggregated"] < cell["sim_comm_s_per_field"]
         )
 
+    def test_incremental_cell_sweeps_affected_fractions(self, payload):
+        doc, _ = payload
+        cells = doc["incremental"]["cells"]
+        assert cells, "smoke run must include the streaming cell"
+        for cell in cells:
+            assert cell["app"] in {"bfs", "sssp", "cc"}
+            assert cell["partition_cache_reuses"] >= 0
+            fractions = [r["mutated_fraction"] for r in cell["steps"]]
+            assert fractions == sorted(fractions)  # a sweep, not a pile
+            for row in cell["steps"]:
+                # Every row is checked bitwise against a cold recompute.
+                assert row["bitwise_identical"] is True
+                assert row["streamed_messages"] <= row["cold_messages"]
+                assert row["hosts_reused"] + row["hosts_rebuilt"] == (
+                    cell["hosts"]
+                )
+                assert row["strategy"] in {"min-plus", "component", "replay"}
+            # The ~1% bar row is present and recorded, even in smoke.
+            assert cell["message_cut_at_1pct"] is not None
+
 
 class TestNoService:
     def test_flag_skips_the_service_cell(self, tmp_path):
@@ -91,6 +111,7 @@ class TestNoService:
                 "--smoke",
                 "--no-service",
                 "--no-aggregation-cell",
+                "--no-incremental-cell",
                 "--output", str(output),
                 "--export-dir", str(tmp_path / "exports"),
             ]
@@ -99,3 +120,4 @@ class TestNoService:
         doc = json.loads(output.read_text())
         assert doc["service"] is None
         assert doc["aggregation"] is None
+        assert doc["incremental"] is None
