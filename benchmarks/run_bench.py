@@ -409,6 +409,95 @@ def bench_incremental(
     return {"cells": apps}
 
 
+def bench_features(
+    workload: str,
+    scale_delta: int,
+    hosts: int = 4,
+    policy: str = "cvc",
+    dims: tuple = (8, 32, 128),
+    feature_rounds: int = 4,
+) -> dict:
+    """Wide-payload cell: labelprop bytes/round across compression modes.
+
+    Label propagation is the bandwidth-bound, slowly-changing feature
+    workload: its wide field is the one-hot label matrix, so a settled
+    row never ships and a flipped label changes exactly two of ``d``
+    columns — the shape delta encoding exists for.  For each feature
+    width the cell sweeps the compression modes, asserts every mode
+    returns bitwise-identical labels (one-hot rows and small vote counts
+    are exact even in float16), reconciles the published byte counters
+    against the transport's accounting, and enforces the acceptance
+    bar: delta must cut bytes/round by >= 2x at d=128.
+    """
+    import numpy as np
+
+    edges = load_workload(workload, scale_delta)
+    sweeps: List[dict] = []
+    bar_cut = None
+    for dim in dims:
+        rows: List[dict] = []
+        labels = {}
+        for compression in ("none", "delta", "fp16"):
+            obs = Observability()
+            result = run_app(
+                "d-galois", "labelprop", edges, num_hosts=hosts,
+                policy=policy, compression=compression, feature_dim=dim,
+                feature_rounds=feature_rounds, observability=obs,
+            )
+            stats = result.executor.transport.stats
+            metered = obs.metrics.counter_total("bytes_sent_total")
+            if metered != stats.total_bytes:
+                raise AssertionError(
+                    f"features bench: d={dim} {compression}: metrics "
+                    f"bytes {metered} != CommStats bytes "
+                    f"{stats.total_bytes}"
+                )
+            labels[compression] = result.executor.gather_result("label")
+            rows.append({
+                "compression": compression,
+                "total_bytes": result.communication_volume,
+                "rounds": result.num_rounds,
+                "bytes_per_round": round(
+                    result.communication_volume / max(result.num_rounds, 1),
+                    1,
+                ),
+                "reconciled": True,
+            })
+        if not all(
+            np.array_equal(labels[mode], labels["none"]) for mode in labels
+        ):
+            raise AssertionError(
+                f"features bench: labelprop labels diverged across "
+                f"compression modes at d={dim}"
+            )
+        none_bpr = rows[0]["bytes_per_round"]
+        delta_bpr = rows[1]["bytes_per_round"]
+        cut = none_bpr / delta_bpr if delta_bpr else float("inf")
+        sweeps.append({
+            "feature_dim": dim,
+            "modes": rows,
+            "delta_byte_cut": round(cut, 2),
+            "bitwise_identical": True,
+        })
+        if dim == 128:
+            bar_cut = cut
+            if cut < 2.0:
+                raise AssertionError(
+                    f"features bench: delta cut bytes/round only "
+                    f"{cut:.2f}x at d=128 (bar: >= 2x)"
+                )
+    return {
+        "app": "labelprop",
+        "policy": policy,
+        "hosts": hosts,
+        "feature_rounds": feature_rounds,
+        "dims": sweeps,
+        "delta_byte_cut_at_128": (
+            round(bar_cut, 2) if bar_cut is not None else None
+        ),
+    }
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -490,6 +579,24 @@ def run_matrix(args: argparse.Namespace) -> dict:
             + (f", {speedup:.1f}x at 4 workers" if speedup else ""),
             file=sys.stderr,
         )
+    features = None
+    if not args.no_features_cell:
+        features = bench_features(
+            args.workload,
+            scale_delta,
+            hosts=4 if args.smoke else 8,
+            dims=(8, 128) if args.smoke else (8, 32, 128),
+        )
+        for sweep in features["dims"]:
+            print(
+                f"  features: labelprop d={sweep['feature_dim']}, "
+                + ", ".join(
+                    f"{m['compression']} {m['bytes_per_round']:.0f} B/round"
+                    for m in sweep["modes"]
+                )
+                + f" (delta cut {sweep['delta_byte_cut']:.1f}x)",
+                file=sys.stderr,
+            )
     incremental = None
     if not args.no_incremental_cell:
         # Full mode defaults this cell to a 512-node graph: big enough
@@ -522,6 +629,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         "service": service,
         "aggregation": aggregation,
         "parallel": parallel,
+        "features": features,
         "incremental": incremental,
     }
 
@@ -565,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-parallel-cell",
         action="store_true",
         help="skip the process-runtime pagerank wall-clock speedup cell",
+    )
+    parser.add_argument(
+        "--no-features-cell",
+        action="store_true",
+        help="skip the wide-payload labelprop compression-sweep cell",
     )
     parser.add_argument(
         "--no-incremental-cell",

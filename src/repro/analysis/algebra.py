@@ -161,6 +161,49 @@ def _check_identity(
     return findings
 
 
+def rowwise_well_defined(
+    op: ReductionOp, dtypes: Sequence = (np.float64, np.int64)
+) -> bool:
+    """Whether ``combine`` on an (n, d) matrix acts column-independently.
+
+    Wide fields synchronize whole rows, so the substrate's per-row
+    reduce is only equivalent to d per-column reduces when the operator
+    never mixes columns: ``combine(A, B)`` must equal stacking
+    ``combine(A[:, j], B[:, j])`` over j.  Measured over deterministic
+    sample matrices, like the 1-D law checks; an operator that raises or
+    reshapes on 2-D input fails the probe outright.
+    """
+    base = np.array(
+        [[0, 1, 2, 3], [5, -2, 7, 1], [3, 3, -9, 6]], dtype=np.float64
+    )
+    other = np.array(
+        [[4, 0, -1, 8], [1, 6, 2, -3], [2, 9, 9, 4]], dtype=np.float64
+    )
+    for dtype in dtypes:
+        dtype = np.dtype(dtype)
+        a = base.astype(dtype)
+        b = other.astype(dtype)
+        try:
+            op.combine(a[:1, 0].copy(), b[:1, 0])
+        except TypeError:
+            continue  # partial over this dtype, like check_reduction
+        try:
+            with np.errstate(over="ignore"):
+                whole = np.asarray(op.combine(a.copy(), b.copy()))
+                columns = np.stack(
+                    [
+                        np.asarray(op.combine(a[:, j].copy(), b[:, j].copy()))
+                        for j in range(a.shape[1])
+                    ],
+                    axis=1,
+                )
+        except Exception:
+            return False
+        if whole.shape != a.shape or not _equal(whole, columns):
+            return False
+    return True
+
+
 def check_reductions(
     ops: Optional[Iterable[ReductionOp]] = None,
     dtypes: Sequence = CHECKED_DTYPES,

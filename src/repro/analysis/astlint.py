@@ -37,6 +37,7 @@ import textwrap
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.algebra import rowwise_well_defined
 from repro.analysis.findings import Finding
 from repro.core.sync_structures import LOCATIONS, REDUCTIONS, ReductionOp
 from repro.errors import LintError
@@ -45,11 +46,14 @@ from repro.errors import LintError
 DEFAULT_WRITES = frozenset({"destination"})
 DEFAULT_READS = frozenset({"source"})
 
-#: Methods that are not part of the per-round compute phase.
+#: Methods that are not part of the per-round compute phase.  The
+#: ``_base_state`` helper is the feature apps' shared ``make_state``
+#: body; it is scanned with the make-state scanner instead.
 NON_COMPUTE_METHODS = frozenset(
     {
         "__init__",
         "make_state",
+        "_base_state",
         "make_fields",
         "initial_frontier",
         "local_residual",
@@ -59,6 +63,15 @@ NON_COMPUTE_METHODS = frozenset(
         "run_phases",
     }
 )
+
+#: Functions whose return value is a wide (n, d) row matrix — the
+#: :mod:`repro.features.kernels` initializers.
+WIDE_PRODUCERS = frozenset(
+    {"feature_rows", "init_features", "one_hot_rows", "sage_weights"}
+)
+
+#: numpy allocators whose first argument is the shape.
+_SHAPE_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full"})
 
 
 @dataclass
@@ -102,6 +115,8 @@ class ProgramReport:
     events: List[AccessEvent] = field(default_factory=list)
     #: Provenance tags of make_state entries ("source"/"destination").
     state_tags: Dict[str, str] = field(default_factory=dict)
+    #: State keys holding wide (n, d) row matrices (2-D allocations).
+    wide_keys: Set[str] = field(default_factory=set)
     has_pull_path: bool = False
     compares_pull: bool = False
     gathers_forward: bool = False
@@ -398,6 +413,30 @@ class _MethodScanner:
                 "write",
                 call.lineno,
             )
+            return
+        func_name = None
+        if isinstance(func, ast.Name):
+            func_name = func.id
+        elif isinstance(func, ast.Attribute):
+            func_name = func.attr
+        if func_name == "aggregate_neighbor_rows" and len(call.args) >= 4:
+            # The shared feature kernel
+            # ``aggregate_neighbor_rows(acc, features, edge_src, edge_dst)``
+            # is ``np.add.at(acc, edge_dst, features[edge_src])`` — a
+            # write of acc at the destination endpoint and a read of
+            # features at the source endpoint.
+            self._record(
+                self._key(call.args[0]),
+                self._tag(call.args[3]),
+                "write",
+                call.lineno,
+            )
+            self._record(
+                self._key(call.args[1]),
+                self._tag(call.args[2]),
+                "read",
+                call.lineno,
+            )
 
     def _scan_compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]
@@ -407,7 +446,16 @@ class _MethodScanner:
 
 
 class _MakeStateScanner(_MethodScanner):
-    """``make_state`` scan: which state keys hold endpoint arrays."""
+    """``make_state`` scan: which state keys hold endpoint arrays.
+
+    Also recovers which keys hold *wide* (n, d) row matrices — 2-D
+    allocations and :mod:`repro.features.kernels` initializers — so the
+    reporter can check their reductions row-wise (GL011).
+    """
+
+    def __init__(self, report: ProgramReport, method: ast.FunctionDef):
+        super().__init__(report, method)
+        self.wide_locals: Set[str] = set()
 
     def scan(self) -> None:
         for stmt in ast.walk(self.method):
@@ -416,11 +464,19 @@ class _MakeStateScanner(_MethodScanner):
                 if isinstance(stmt.value, ast.Dict):
                     self._scan_dict(stmt.value)
                 for target in stmt.targets:
-                    if isinstance(target, ast.Subscript):
+                    if isinstance(target, ast.Name) and self._is_wide(
+                        stmt.value
+                    ):
+                        self.wide_locals.add(target.id)
+                    elif isinstance(target, ast.Subscript):
                         key = _const_str(target.slice)
+                        if key is None:
+                            continue
                         tag = self._tag(stmt.value)
-                        if key is not None and tag is not None:
+                        if tag is not None:
                             self.report.state_tags[key] = tag
+                        if self._is_wide(stmt.value):
+                            self.report.wide_keys.add(key)
             elif isinstance(stmt, ast.Return) and isinstance(
                 stmt.value, ast.Dict
             ):
@@ -429,9 +485,40 @@ class _MakeStateScanner(_MethodScanner):
     def _scan_dict(self, node: ast.Dict) -> None:
         for key_node, value_node in zip(node.keys, node.values):
             key = _const_str(key_node) if key_node is not None else None
+            if key is None:
+                continue
             tag = self._tag(value_node)
-            if key is not None and tag is not None:
+            if tag is not None:
                 self.report.state_tags[key] = tag
+            if self._is_wide(value_node):
+                self.report.wide_keys.add(key)
+
+    def _is_wide(self, node: ast.AST) -> bool:
+        """Whether an expression produces a wide (n, d) row matrix."""
+        if isinstance(node, ast.Name):
+            return node.id in self.wide_locals
+        if not isinstance(node, ast.Call):
+            return False
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        if func_name in WIDE_PRODUCERS:
+            return True
+        if func_name in _SHAPE_ALLOCATORS:
+            return bool(
+                node.args
+                and isinstance(node.args[0], ast.Tuple)
+                and len(node.args[0].elts) >= 2
+            )
+        if func_name in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            return bool(node.args) and self._is_wide(node.args[0])
+        if func_name in ("astype", "copy") and isinstance(
+            node.func, ast.Attribute
+        ):
+            return self._is_wide(node.func.value)
+        return False
 
 
 def _scan_make_fields(
@@ -493,24 +580,58 @@ def _scan_make_fields(
         )
 
 
-def analyze_program(cls: type) -> ProgramReport:
-    """Run the full AST pass over one concrete vertex program class."""
-    class_node, filename = _class_ast(cls)
+def _mro_methods(cls: type) -> Tuple[Dict[str, Tuple[ast.FunctionDef, Dict]],
+                                     Optional[str], int]:
+    """Methods of ``cls`` with inherited bodies, most-derived wins.
+
+    Programs may share their compute skeleton through a base class (the
+    feature apps inherit ``step``/``make_fields``); the pass must see
+    the *effective* method set, each paired with the globals of its
+    defining module (reduction-op and location names resolve there).
+    Returns (methods, file of the concrete class, its line number).
+    """
     import sys
 
-    module_globals = vars(sys.modules.get(cls.__module__, object())) or {}
+    methods: Dict[str, Tuple[ast.FunctionDef, Dict]] = {}
+    filename: Optional[str] = None
+    class_lineno = 0
+    from repro.apps.base import VertexProgram
+
+    for ancestor in reversed(cls.__mro__):
+        if ancestor in (object, VertexProgram) or not issubclass(
+            ancestor, VertexProgram
+        ):
+            continue
+        try:
+            class_node, ancestor_file = _class_ast(ancestor)
+        except LintError:
+            if ancestor is cls:
+                raise
+            continue
+        module_globals = (
+            vars(sys.modules.get(ancestor.__module__, object())) or {}
+        )
+        for node in class_node.body:
+            if isinstance(node, ast.FunctionDef):
+                methods[node.name] = (node, module_globals)
+        if ancestor is cls:
+            filename = ancestor_file
+            class_lineno = class_node.lineno
+    return methods, filename, class_lineno
+
+
+def analyze_program(cls: type) -> ProgramReport:
+    """Run the full AST pass over one concrete vertex program class."""
+    methods, filename, class_lineno = _mro_methods(cls)
     report = ProgramReport(cls=cls, file=_relpath(filename))
-    report.class_lineno = class_node.lineno
-    methods = {
-        node.name: node
-        for node in class_node.body
-        if isinstance(node, ast.FunctionDef)
-    }
-    if "make_state" in methods:
-        _MakeStateScanner(report, methods["make_state"]).scan()
+    report.class_lineno = class_lineno
+    for name in ("make_state", "_base_state"):
+        if name in methods:
+            _MakeStateScanner(report, methods[name][0]).scan()
     if "make_fields" in methods:
-        _scan_make_fields(report, methods["make_fields"], module_globals)
-    for name, node in methods.items():
+        node, module_globals = methods["make_fields"]
+        _scan_make_fields(report, node, module_globals)
+    for name, (node, _) in methods.items():
         if name in NON_COMPUTE_METHODS:
             continue
         # State entries holding endpoint arrays seed the provenance:
@@ -628,8 +749,22 @@ def report_findings(report: ProgramReport) -> List[Finding]:
                         field_name=decl.name,
                         endpoint=endpoint,
                     )
-        # -- reduction-declaration checks (GL007/GL008/GL009) ---------------
+        # -- reduction-declaration checks (GL007/GL008/GL009/GL011) ---------
         if decl.reduce_op is not None:
+            if (
+                decl.values_key in report.wide_keys
+                and not rowwise_well_defined(decl.reduce_op)
+            ):
+                finding(
+                    "GL011",
+                    f"wide field over state[{decl.values_key!r}] reduced "
+                    f"with {decl.reduce_op.name!r}, whose combine is not "
+                    "row-wise well-defined — combining (n, d) rows mixes "
+                    "columns, so wide sync diverges from d per-column "
+                    "syncs",
+                    lineno=decl.lineno,
+                    field_name=decl.name,
+                )
             if cls.iterate_locally and not decl.reduce_op.idempotent:
                 finding(
                     "GL007",

@@ -103,6 +103,14 @@ RULES: Dict[str, Rule] = {
             "mis-steers the strategy checks.",
         ),
         Rule(
+            "GL011", "error", "non-rowwise-reduction",
+            "Wide fields: a 2-D (n, d) field is reduced row by row, so "
+            "its operator must act independently per column — "
+            "combine on a matrix must equal the column-stacked combines. "
+            "A row-mixing operator gives different answers for wide and "
+            "per-column sync.",
+        ),
+        Rule(
             "GL101", "error", "identity-violation",
             "§3.3: the substrate seeds fresh proxies with the declared "
             "identity; if combine(identity, x) != x the first reduce "

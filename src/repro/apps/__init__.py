@@ -9,6 +9,12 @@ from repro.apps.base import AppContext, StepOutcome, VertexProgram
 from repro.apps.bc import BetweennessCentrality
 from repro.apps.bfs import BFS
 from repro.apps.cc import ConnectedComponents
+from repro.apps.features import (
+    FeaturePropagation,
+    FeaturePropagationMean,
+    GraphSage,
+    LabelPropagation,
+)
 from repro.apps.kcore import KCore
 from repro.apps.pagerank import PageRank
 from repro.apps.pagerank_push import PageRankPush
@@ -23,6 +29,10 @@ APP_BY_NAME = {
     "pr-push": PageRankPush,
     "kcore": KCore,
     "bc": BetweennessCentrality,
+    "featprop": FeaturePropagation,
+    "featprop-mean": FeaturePropagationMean,
+    "labelprop": LabelPropagation,
+    "sage": GraphSage,
 }
 
 
@@ -47,6 +57,10 @@ __all__ = [
     "PageRankPush",
     "KCore",
     "BetweennessCentrality",
+    "FeaturePropagation",
+    "FeaturePropagationMean",
+    "LabelPropagation",
+    "GraphSage",
     "make_app",
     "APP_BY_NAME",
 ]

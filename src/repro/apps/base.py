@@ -34,6 +34,13 @@ class AppContext:
         tolerance: Pagerank convergence tolerance (mean |delta| per node).
         max_iterations: Pagerank iteration cap (the paper uses 100).
         k: Core number for k-core decomposition.
+        global_in_degree: In-degree of every global node (the mean-style
+            feature apps normalize by it).
+        feature_dim: Columns d of matrix-valued vertex features (also the
+            class count for label propagation).
+        feature_rounds: Aggregation rounds the feature apps run.
+        compression: Payload compression mode the feature apps declare on
+            their wide fields (``none``/``delta``/``fp16``).
     """
 
     num_global_nodes: int
@@ -43,6 +50,10 @@ class AppContext:
     tolerance: float = 1e-6
     max_iterations: int = 100
     k: int = 2
+    global_in_degree: Optional[np.ndarray] = None
+    feature_dim: int = 8
+    feature_rounds: int = 3
+    compression: str = "none"
 
 
 @dataclass
@@ -72,6 +83,9 @@ class VertexProgram:
     #: variants and k-core need global degrees, which real systems gather
     #: while loading the graph).
     needs_global_degrees: bool = False
+    #: Whether ``ctx.global_in_degree`` must be populated (mean-style
+    #: feature aggregation normalizes by in-degree).
+    needs_global_in_degrees: bool = False
     #: Whether per-node state can move across a mid-run repartitioning
     #: (§4.1 footnote).  Apps with per-*proxy* semantics (one-shot push
     #: flags) must opt out.
@@ -144,7 +158,8 @@ class VertexProgram:
                     num_global, int(part.local_to_global.max()) + 1
                 )
         sample = states[0][key]
-        result = np.zeros(num_global, dtype=sample.dtype)
+        # Wide (n, d) state gathers into a (num_global, d) result.
+        result = np.zeros((num_global,) + sample.shape[1:], dtype=sample.dtype)
         for part, state in zip(parts, states):
             master_gids = part.local_to_global[: part.num_masters]
             result[master_gids] = state[key][: part.num_masters]

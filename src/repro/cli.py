@@ -23,6 +23,7 @@ from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.apps import APP_BY_NAME
 from repro.core.optimization import OptimizationLevel
+from repro.core.sync_structures import COMPRESSION_MODES
 from repro.errors import FaultPlanError
 from repro.partition import PARTITIONER_BY_NAME
 from repro.resilience import RECOVERY_MODES, FaultPlan, ResilienceConfig
@@ -97,6 +98,52 @@ def build_parser() -> argparse.ArgumentParser:
             "ablation: disable per-peer cross-field message aggregation "
             "(one transport message per field, peer, and phase — the "
             "pre-channel wire shape; results are bitwise identical)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--feature-dim",
+        type=int,
+        default=8,
+        metavar="D",
+        help=(
+            "feature apps: columns per vertex row — the feature width, "
+            "or the class count for labelprop (default: 8)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--feature-rounds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="feature apps: aggregation rounds to run (default: 3)",
+    )
+    run_cmd.add_argument(
+        "--compression",
+        choices=sorted(COMPRESSION_MODES),
+        default="none",
+        help=(
+            "wide-payload wire compression for feature apps: 'none', "
+            "'delta' (ship only changed row columns vs the last "
+            "broadcast), or 'fp16' (lossy float16 quantization with a "
+            "documented error bound)"
+        ),
+    )
+    run_cmd.add_argument(
+        "--no-compression",
+        action="store_true",
+        help=(
+            "ablation: force compression off even if --compression set "
+            "one (mirrors --no-aggregation; results are bitwise "
+            "identical for 'delta', bounded-error for 'fp16')"
+        ),
+    )
+    run_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "check the answer against the app's single-machine oracle "
+            "(bitwise for exact runs, within the documented tolerance "
+            "for fp16 compression); mismatch flips the exit status"
         ),
     )
     run_cmd.add_argument(
@@ -598,6 +645,11 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         sanitize=args.sanitize,
         runtime=args.runtime,
         workers=args.workers,
+        feature_dim=args.feature_dim,
+        feature_rounds=args.feature_rounds,
+        compression=(
+            "none" if args.no_compression else args.compression
+        ),
     )
     if observability is not None:
         _export_observability(args, result, observability)
@@ -609,10 +661,28 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
                 f"{doc['message']}",
                 file=sys.stderr,
             )
+    verification = None
+    if args.verify:
+        from repro.verify import VerificationError, verify_run
+
+        try:
+            verification = verify_run(result, edges, raise_on_mismatch=False)
+        except VerificationError as exc:
+            parser.error(str(exc))
+    failed = sanitizer_failed or (
+        verification is not None and not verification.matched
+    )
     if args.json:
         # Machine-readable mode: the JSON document is the entire stdout.
         print(result.to_json())
-        return 1 if sanitizer_failed else 0
+        if verification is not None and not verification.matched:
+            detail = verification.detail or "values differ"
+            print(
+                f"verification MISMATCH: {detail} "
+                f"(max |err| {verification.max_abs_error:.3g})",
+                file=sys.stderr,
+            )
+        return 1 if failed else 0
     print(format_table([result.summary()], title="run summary"))
     if partition_cache is not None:
         status = "hit" if result.partition_cache_hit else "miss"
@@ -648,7 +718,16 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         print(round_table(result), end="")
     if args.sanitize and not sanitizer_failed:
         print("sanitizer          : clean (no contract violations)")
-    return 1 if sanitizer_failed else 0
+    if verification is not None:
+        verdict = "matched" if verification.matched else "MISMATCH"
+        line = (
+            f"oracle verification: {verdict} "
+            f"(max |err| {verification.max_abs_error:.3g})"
+        )
+        if verification.detail:
+            line += f" — {verification.detail}"
+        print(line)
+    return 1 if failed else 0
 
 
 def _stream_step_row(step) -> Dict:

@@ -11,12 +11,27 @@ The functions are side-effect free: they never touch transports, stats,
 or metrics.  Instead each result carries the bookkeeping the substrate
 needs (metadata mode, translation counts) so the caller can attribute
 costs without the codec knowing about observability.
+
+Wide (matrix-valued) fields reuse every metadata mode unchanged — counts
+and selections are per *row* — and add two per-field payload
+compressions (see :data:`~repro.core.sync_structures.COMPRESSION_MODES`):
+
+* ``fp16`` downcasts float rows to half precision on encode; the decode
+  side hands the half-precision values to ``FieldSpec.reduce``/``set``,
+  which widen back to the field dtype.
+* ``delta`` ships, per row, a packed column bit-mask plus only the
+  changed columns.  Broadcast rows are masked against the sender's
+  last-committed broadcast (``FieldSpec.delta_state``); rows never
+  committed ship whole, so correctness never depends on receivers
+  sharing the sender's initial values.  Reduce rows are masked against
+  the reduction identity — stateless and lossless for any operator,
+  and it collapses the near-identity rows sparse aggregations produce.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +67,28 @@ class DecodedField:
     translations: int = 0
 
 
+def _wire_rows(
+    field: FieldSpec, lids: np.ndarray, values: np.ndarray, broadcast: bool
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Apply the field's payload compression to extracted rows.
+
+    Returns ``(wire_values, delta_mask)`` ready for
+    :func:`~repro.core.serialization.encode_message`.
+    """
+    if field.compression == "fp16":
+        return values.astype(np.float16), None
+    if field.compression == "delta":
+        if broadcast:
+            cached, sent = field.delta_state(lids)
+            mask = values != cached
+            mask[~sent] = True  # never-committed rows ship whole
+        else:
+            identity = field.reduce_op.identity(field.dtype)
+            mask = values != identity
+        return values, mask
+    return values, None
+
+
 def encode_memoized_field(
     field: FieldSpec,
     agreed: np.ndarray,
@@ -70,15 +107,28 @@ def encode_memoized_field(
     extract = field.extract_broadcast if broadcast else field.extract
     num_updates = int(updated_mask.sum())
     mode = select_mode(len(agreed), num_updates, field.value_size)
+    width = field.width
     if mode is MetadataMode.EMPTY:
-        payload = encode_message(mode, np.empty(0, dtype=field.dtype))
+        shape = (0,) if field.values.ndim == 1 else (0, width)
+        payload = encode_message(mode, np.empty(shape, dtype=field.wire_dtype))
         return EncodedField(mode, payload)
     if mode is MetadataMode.FULL:
-        return EncodedField(mode, encode_message(mode, extract(agreed)))
+        lids = agreed
+        values, delta_mask = _wire_rows(field, lids, extract(lids), broadcast)
+        payload = encode_message(
+            mode, values, width=width, delta_mask=delta_mask
+        )
+        return EncodedField(mode, payload)
     positions = np.flatnonzero(updated_mask).astype(np.uint32)
-    values = extract(agreed[positions])
+    lids = agreed[positions]
+    values, delta_mask = _wire_rows(field, lids, extract(lids), broadcast)
     payload = encode_message(
-        mode, values, num_agreed=len(agreed), selection=positions
+        mode,
+        values,
+        num_agreed=len(agreed),
+        selection=positions,
+        width=width,
+        delta_mask=delta_mask,
     )
     return EncodedField(mode, payload)
 
@@ -100,10 +150,38 @@ def encode_global_ids_field(
         return None
     extract = field.extract_broadcast if broadcast else field.extract
     gids = local_to_global[sub]
+    values, delta_mask = _wire_rows(field, sub, extract(sub), broadcast)
     payload = encode_message(
-        MetadataMode.GLOBAL_IDS, extract(sub), selection=gids
+        MetadataMode.GLOBAL_IDS,
+        values,
+        selection=gids,
+        width=field.width,
+        delta_mask=delta_mask,
     )
     return EncodedField(MetadataMode.GLOBAL_IDS, payload, translations=len(sub))
+
+
+def _reconstruct_delta(
+    field: FieldSpec,
+    lids: np.ndarray,
+    message,
+    broadcast: bool,
+) -> np.ndarray:
+    """Rebuild full rows from a delta-compressed value section.
+
+    Broadcast messages fill unshipped columns from the receiver's own
+    copy of the broadcast array (equal to the sender's committed cache
+    by the delta contract); reduce messages fill them with the
+    reduction identity, making the reduce lossless for any operator.
+    """
+    mask = message.delta_mask
+    if broadcast:
+        base = np.asarray(field.broadcast_values[lids])
+    else:
+        identity = field.reduce_op.identity(field.dtype)
+        base = np.full(mask.shape, identity, dtype=field.dtype)
+    base[mask] = message.values.astype(field.dtype)
+    return base
 
 
 def decode_field_payload(
@@ -111,6 +189,8 @@ def decode_field_payload(
     recv_arrays: Dict[int, np.ndarray],
     sender: int,
     partition: LocalPartition,
+    field: Optional[FieldSpec] = None,
+    broadcast: bool = False,
 ) -> Optional[DecodedField]:
     """Decode one sub-message into (local IDs, values).
 
@@ -118,31 +198,58 @@ def decode_field_payload(
     GLOBAL_IDS path translates in bulk through
     :meth:`~repro.partition.base.LocalPartition.to_local_array` and
     reports the translation count for the caller's accounting.
+
+    Args:
+        payload: the wire bytes.
+        recv_arrays: memoized receive arrays keyed by sender host.
+        sender: sending host ID.
+        partition: the receiving host's partition (GLOBAL_IDS translation).
+        field: the receiving side's field — required to reconstruct
+            delta-compressed rows.
+        broadcast: whether this payload belongs to the broadcast phase
+            (selects the delta reconstruction baseline).
     """
     host = partition.host
     message = decode_message(payload)
     if message.mode is MetadataMode.EMPTY:
         return None
+    num_rows = message.num_rows
     if message.mode is MetadataMode.GLOBAL_IDS:
         lids = partition.to_local_array(message.selection)
-        return DecodedField(lids, message.values, translations=len(lids))
+        values = message.values
+        if message.delta_mask is not None:
+            if field is None:
+                raise SyncError(
+                    f"host {host}: delta payload from {sender} without a field"
+                )
+            values = _reconstruct_delta(field, lids, message, broadcast)
+        return DecodedField(lids, values, translations=len(lids))
     agreed = recv_arrays.get(sender)
     if agreed is None:
         raise SyncError(
             f"host {host}: unexpected memoized message from host {sender}"
         )
     if message.mode is MetadataMode.FULL:
-        if len(message.values) != len(agreed):
+        if num_rows != len(agreed):
             raise SyncError(
                 f"host {host}: FULL message from {sender} has "
-                f"{len(message.values)} values for {len(agreed)} proxies"
+                f"{num_rows} values for {len(agreed)} proxies"
             )
-        return DecodedField(agreed, message.values)
-    # BITVEC / INDICES: selection holds positions in the agreed array.
-    positions = message.selection
-    if len(positions) and positions.max() >= len(agreed):
-        raise SyncError(
-            f"host {host}: position {positions.max()} out of range "
-            f"for agreed array of {len(agreed)} from host {sender}"
-        )
-    return DecodedField(agreed[positions], message.values)
+        lids = agreed
+    else:
+        # BITVEC / INDICES: selection holds positions in the agreed array.
+        positions = message.selection
+        if len(positions) and positions.max() >= len(agreed):
+            raise SyncError(
+                f"host {host}: position {positions.max()} out of range "
+                f"for agreed array of {len(agreed)} from host {sender}"
+            )
+        lids = agreed[positions]
+    values = message.values
+    if message.delta_mask is not None:
+        if field is None:
+            raise SyncError(
+                f"host {host}: delta payload from {sender} without a field"
+            )
+        values = _reconstruct_delta(field, lids, message, broadcast)
+    return DecodedField(lids, values)

@@ -19,6 +19,21 @@ Bodies:
 * ``INDICES`` — u32 count, ``count`` u32 positions, then ``count`` values.
 * ``GLOBAL_IDS`` — u32 count, ``count`` u32 global IDs, then values.
 
+Wide (matrix-valued) payloads reuse the same bodies with two flag bits in
+the mode byte (the low 6 bits remain the mode tag):
+
+* ``0x80`` (*WIDE*) — a u16 row width ``d`` follows the two header bytes
+  and every "value" in the body is a row of ``d`` dtype items.  Counts
+  still count rows, so mode selection and metadata sizes are unchanged.
+* ``0x40`` (*DELTA*, requires WIDE) — the value section is compressed:
+  per shipped row a packed column bit-mask (``ceil(d / 8)`` bytes), then
+  only the masked column values, row-major.  The receiver reconstructs
+  unmasked columns from its own copy (broadcast) or the reduction
+  identity (reduce); see :mod:`repro.comm.codec`.
+
+Scalar (1-D) messages never set either flag, so their wire bytes are
+unchanged from earlier revisions.
+
 The resilience subsystem additionally wraps each message in an integrity
 *frame* (see :func:`frame_payload`): a u64 sequence number plus a CRC-32
 of sequence number and body.  The frame lets the fault-injecting
@@ -49,8 +64,14 @@ _DTYPE_CODES = {
     np.dtype(np.uint64): 4,
     np.dtype(np.int64): 5,
     np.dtype(np.uint8): 6,
+    np.dtype(np.float16): 7,
 }
 _DTYPE_BY_CODE = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+#: Mode-byte layout: low 6 bits = metadata mode tag, high 2 bits = flags.
+_MODE_MASK = 0x3F
+_FLAG_WIDE = 0x80
+_FLAG_DELTA = 0x40
 
 
 def dtype_code(dtype: np.dtype) -> int:
@@ -70,14 +91,48 @@ class SyncMessage:
 
     Attributes:
         mode: The metadata encoding used.
-        values: The transported values (empty for EMPTY mode).
+        values: The transported values (empty for EMPTY mode).  Wide
+            messages carry an (rows, width) array; delta messages carry
+            the masked column values flat (see ``delta_mask``).
         selection: Positions into the memoized array (BITVEC/INDICES), the
             raw global IDs (GLOBAL_IDS), or ``None`` (FULL/EMPTY).
+        width: Row width of a wide message; 0 for scalar messages.
+        delta_mask: (rows, width) bool array of shipped columns for a
+            delta-compressed message, else ``None``.
     """
 
     mode: MetadataMode
     values: np.ndarray
     selection: Optional[np.ndarray]
+    width: int = 0
+    delta_mask: Optional[np.ndarray] = None
+
+    @property
+    def num_rows(self) -> int:
+        """Rows (nodes) the message carries values for."""
+        if self.delta_mask is not None:
+            return int(self.delta_mask.shape[0])
+        return len(self.values)
+
+
+def _mask_bytes_per_row(width: int) -> int:
+    """Packed column-mask bytes per delta row."""
+    return (width + 7) // 8
+
+
+def _encode_value_block(
+    values: np.ndarray, delta_mask: Optional[np.ndarray]
+) -> bytes:
+    """The value section of a message body, delta-compressed if asked."""
+    if delta_mask is None:
+        return values.tobytes()
+    if delta_mask.shape != values.shape:
+        raise SerializationError(
+            f"delta mask shape {delta_mask.shape} does not match values "
+            f"shape {values.shape}"
+        )
+    packed = np.packbits(delta_mask, axis=1)
+    return packed.tobytes() + np.ascontiguousarray(values[delta_mask]).tobytes()
 
 
 def encode_message(
@@ -86,25 +141,51 @@ def encode_message(
     *,
     num_agreed: int = 0,
     selection: Optional[np.ndarray] = None,
+    width: int = 0,
+    delta_mask: Optional[np.ndarray] = None,
 ) -> bytes:
     """Encode one synchronization message.
 
     Args:
         mode: encoding to use.
-        values: values to ship (ignored for EMPTY).
+        values: values to ship (ignored for EMPTY).  Scalar messages pass
+            a 1-D array; wide messages pass (rows, width).
         num_agreed: memoized array length (BITVEC only; sized bit-vector).
         selection: positions (BITVEC/INDICES) or global IDs (GLOBAL_IDS).
+        width: row width of a wide message (0 or 1 means scalar).
+        delta_mask: (rows, width) bool mask of columns to ship; the
+            unmasked columns are omitted from the wire (wide only).
     """
     values = np.ascontiguousarray(values)
-    header = struct.pack("<BB", int(mode), dtype_code(values.dtype))
+    wide = width > 1
+    tag = int(mode)
+    if wide and mode is not MetadataMode.EMPTY:
+        if width >= 1 << 16:
+            raise SerializationError(f"row width {width} out of u16 range")
+        if values.ndim != 2 or values.shape[1] != width:
+            raise SerializationError(
+                f"wide message: values shape {values.shape} does not match "
+                f"width {width}"
+            )
+        tag |= _FLAG_WIDE
+        if delta_mask is not None:
+            tag |= _FLAG_DELTA
+    elif delta_mask is not None:
+        raise SerializationError("delta compression requires a wide message")
+    header = struct.pack("<BB", tag, dtype_code(values.dtype))
     if mode is MetadataMode.EMPTY:
         return header
+    if wide:
+        header += struct.pack("<H", width)
     if mode is MetadataMode.FULL:
-        return header + struct.pack("<I", len(values)) + values.tobytes()
+        return (
+            header
+            + struct.pack("<I", len(values))
+            + _encode_value_block(values, delta_mask)
+        )
     if mode is MetadataMode.BITVEC:
         if selection is None:
             raise SerializationError("BITVEC mode requires selection positions")
-        bitvec = BitVector(num_agreed)
         mask = np.zeros(num_agreed, dtype=bool)
         mask[selection] = True
         bitvec = BitVector.from_bool_array(mask)
@@ -116,7 +197,7 @@ def encode_message(
             header
             + struct.pack("<I", num_agreed)
             + bitvec.to_bytes()
-            + values.tobytes()
+            + _encode_value_block(values, delta_mask)
         )
     if mode in (MetadataMode.INDICES, MetadataMode.GLOBAL_IDS):
         if selection is None:
@@ -130,64 +211,112 @@ def encode_message(
             header
             + struct.pack("<I", len(values))
             + selection.tobytes()
-            + values.tobytes()
+            + _encode_value_block(values, delta_mask)
         )
     raise SerializationError(f"unknown mode {mode!r}")
+
+
+def _decode_value_block(
+    body: bytes, rows: int, width: int, dtype: np.dtype, delta: bool
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Decode the value section for ``rows`` shipped rows.
+
+    Returns ``(values, delta_mask)``.  Scalar messages (``width == 0``)
+    return a flat copy; wide messages an (rows, width) array; delta
+    messages the flat masked values plus the unpacked column mask.
+    """
+    if width == 0:
+        expected = rows * dtype.itemsize
+        if len(body) != expected:
+            raise SerializationError(
+                f"value section: expected {expected} bytes, got {len(body)}"
+            )
+        return np.frombuffer(body, dtype=dtype).copy(), None
+    if not delta:
+        expected = rows * width * dtype.itemsize
+        if len(body) != expected:
+            raise SerializationError(
+                f"wide value section: expected {expected} bytes, "
+                f"got {len(body)}"
+            )
+        values = np.frombuffer(body, dtype=dtype).copy()
+        return values.reshape(rows, width), None
+    mask_bytes = rows * _mask_bytes_per_row(width)
+    if len(body) < mask_bytes:
+        raise SerializationError("delta value section truncated in masks")
+    packed = np.frombuffer(body[:mask_bytes], dtype=np.uint8)
+    packed = packed.reshape(rows, _mask_bytes_per_row(width))
+    delta_mask = np.unpackbits(packed, axis=1)[:, :width].astype(bool)
+    value_body = body[mask_bytes:]
+    expected = int(delta_mask.sum()) * dtype.itemsize
+    if len(value_body) != expected:
+        raise SerializationError(
+            f"delta values: expected {expected} bytes, got {len(value_body)}"
+        )
+    return np.frombuffer(value_body, dtype=dtype).copy(), delta_mask
 
 
 def decode_message(payload: bytes) -> SyncMessage:
     """Decode one synchronization message produced by :func:`encode_message`."""
     if len(payload) < 2:
         raise SerializationError(f"message too short: {len(payload)} bytes")
-    mode_tag, code = struct.unpack_from("<BB", payload, 0)
+    tag, code = struct.unpack_from("<BB", payload, 0)
+    wide = bool(tag & _FLAG_WIDE)
+    delta = bool(tag & _FLAG_DELTA)
+    if delta and not wide:
+        raise SerializationError(f"delta flag without wide flag in tag {tag:#x}")
     try:
-        mode = MetadataMode(mode_tag)
+        mode = MetadataMode(tag & _MODE_MASK)
     except ValueError:
-        raise SerializationError(f"unknown mode tag {mode_tag}") from None
+        raise SerializationError(f"unknown mode tag {tag & _MODE_MASK}") from None
     try:
         dtype = _DTYPE_BY_CODE[code]
     except KeyError:
         raise SerializationError(f"unknown dtype code {code}") from None
     body = payload[2:]
+    width = 0
+    if wide:
+        if len(body) < 2:
+            raise SerializationError("wide message truncated before width")
+        (width,) = struct.unpack_from("<H", body, 0)
+        if width < 2:
+            raise SerializationError(f"wide message with width {width}")
+        body = body[2:]
     if mode is MetadataMode.EMPTY:
         if body:
             raise SerializationError("EMPTY message with a non-empty body")
-        return SyncMessage(mode, np.empty(0, dtype=dtype), None)
+        shape = (0, width) if wide else (0,)
+        return SyncMessage(mode, np.empty(shape, dtype=dtype), None, width=width)
     if len(body) < 4:
         raise SerializationError("message truncated before count field")
     (count,) = struct.unpack_from("<I", body, 0)
     body = body[4:]
     if mode is MetadataMode.FULL:
-        expected = count * dtype.itemsize
-        if len(body) != expected:
-            raise SerializationError(
-                f"FULL body: expected {expected} bytes, got {len(body)}"
-            )
-        return SyncMessage(mode, np.frombuffer(body, dtype=dtype).copy(), None)
+        values, delta_mask = _decode_value_block(body, count, width, dtype, delta)
+        return SyncMessage(mode, values, None, width=width, delta_mask=delta_mask)
     if mode is MetadataMode.BITVEC:
         bitvec_bytes = BitVector.wire_size(count)
         if len(body) < bitvec_bytes:
             raise SerializationError("BITVEC body truncated in bit-vector")
         bitvec = BitVector.from_bytes(body[:bitvec_bytes], count)
         positions = bitvec.set_indices()
-        value_body = body[bitvec_bytes:]
-        expected = len(positions) * dtype.itemsize
-        if len(value_body) != expected:
-            raise SerializationError(
-                f"BITVEC values: expected {expected} bytes, got {len(value_body)}"
-            )
-        values = np.frombuffer(value_body, dtype=dtype).copy()
-        return SyncMessage(mode, values, positions)
+        values, delta_mask = _decode_value_block(
+            body[bitvec_bytes:], len(positions), width, dtype, delta
+        )
+        return SyncMessage(
+            mode, values, positions, width=width, delta_mask=delta_mask
+        )
     if mode in (MetadataMode.INDICES, MetadataMode.GLOBAL_IDS):
         ids_bytes = count * 4
-        expected = ids_bytes + count * dtype.itemsize
-        if len(body) != expected:
-            raise SerializationError(
-                f"{mode.name} body: expected {expected} bytes, got {len(body)}"
-            )
+        if len(body) < ids_bytes:
+            raise SerializationError(f"{mode.name} body truncated in ids")
         selection = np.frombuffer(body[:ids_bytes], dtype=np.uint32).copy()
-        values = np.frombuffer(body[ids_bytes:], dtype=dtype).copy()
-        return SyncMessage(mode, values, selection)
+        values, delta_mask = _decode_value_block(
+            body[ids_bytes:], count, width, dtype, delta
+        )
+        return SyncMessage(
+            mode, values, selection, width=width, delta_mask=delta_mask
+        )
     raise SerializationError(f"unhandled mode {mode!r}")
 
 

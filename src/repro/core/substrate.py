@@ -257,10 +257,17 @@ class GluonSubstrate:
         payload: bytes,
         recv_arrays: Dict[int, np.ndarray],
         sender: int,
+        field: Optional[FieldSpec] = None,
+        broadcast: bool = False,
     ) -> Optional[DecodedField]:
         """Decode one sub-message via the field codec, counting costs."""
         decoded = decode_field_payload(
-            payload, recv_arrays, sender, self.partition
+            payload,
+            recv_arrays,
+            sender,
+            self.partition,
+            field=field,
+            broadcast=broadcast,
         )
         if decoded is None:
             return None
@@ -320,6 +327,11 @@ class GluonSubstrate:
                 continue
             self.plane.stage(peer, field_index, encoded.payload)
             staged.append((peer, len(encoded.payload)))
+        # Delta senders commit the dirty rows only after every peer's
+        # payload is encoded: all sharing peers received exactly these
+        # rows this phase, so the cache matches every receiver's copy.
+        if field.compression == "delta":
+            field.commit_broadcast(np.flatnonzero(dirty))
         return staged
 
     def flush_phase(self, num_fields: int) -> List[Tuple[int, int]]:
@@ -346,7 +358,9 @@ class GluonSubstrate:
             for index, payload in enumerate(subs):
                 if payload is None:
                     continue
-                decoded = self._decode(payload, recv_arrays[index], sender)
+                decoded = self._decode(
+                    payload, recv_arrays[index], sender, field=fields[index]
+                )
                 if decoded is None:
                     continue
                 changed_here = fields[index].reduce(
@@ -372,7 +386,13 @@ class GluonSubstrate:
             for index, payload in enumerate(subs):
                 if payload is None:
                     continue
-                decoded = self._decode(payload, recv_arrays[index], sender)
+                decoded = self._decode(
+                    payload,
+                    recv_arrays[index],
+                    sender,
+                    field=fields[index],
+                    broadcast=True,
+                )
                 if decoded is None:
                     continue
                 changed_here = fields[index].set(decoded.lids, decoded.values)
@@ -430,7 +450,7 @@ class GluonSubstrate:
         changed = np.zeros(self.num_local_nodes, dtype=bool)
         recv_arrays = self._reduce_recv_arrays(field)
         for sender, payload in self.transport.receive_all(self.host):
-            decoded = self._decode(payload, recv_arrays, sender)
+            decoded = self._decode(payload, recv_arrays, sender, field=field)
             if decoded is None:
                 continue
             changed_here = field.reduce(decoded.lids, decoded.values)
@@ -457,6 +477,8 @@ class GluonSubstrate:
             if encoded is None:
                 continue
             self.transport.send(self.host, peer, encoded.payload)
+        if field.compression == "delta":
+            field.commit_broadcast(np.flatnonzero(dirty))
 
     def receive_broadcast(self, field: FieldSpec) -> np.ndarray:
         """Install canonical master values at mirrors.
@@ -467,7 +489,9 @@ class GluonSubstrate:
         changed = np.zeros(self.num_local_nodes, dtype=bool)
         recv_arrays = self._broadcast_recv_arrays(field)
         for sender, payload in self.transport.receive_all(self.host):
-            decoded = self._decode(payload, recv_arrays, sender)
+            decoded = self._decode(
+                payload, recv_arrays, sender, field=field, broadcast=True
+            )
             if decoded is None:
                 continue
             changed_here = field.set(decoded.lids, decoded.values)

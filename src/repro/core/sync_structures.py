@@ -18,12 +18,23 @@ all accessors are vectorized numpy operations over index arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SyncError
+
+#: Per-field payload compression modes understood by the comm codec.
+#:
+#: * ``none`` — values ship verbatim (the only mode for 1-D fields).
+#: * ``delta`` — broadcast rows ship as (column mask, changed columns)
+#:   against the sender's last-committed broadcast of that row; reduce
+#:   rows ship against the reduction identity.  Lossless.
+#: * ``fp16`` — float rows are quantized to IEEE half precision on the
+#:   wire and widened back on receipt.  Lossy; see DESIGN §14 for the
+#:   documented tolerance.
+COMPRESSION_MODES = ("none", "delta", "fp16")
 
 
 @dataclass(frozen=True)
@@ -148,6 +159,12 @@ class FieldSpec:
             be read receive the broadcast.  BC's backward pass writes at
             the source and reads at the destination; the default is the
             push/pull source->destination flow of §3.2.
+        compression: Payload compression mode for the wire bytes —
+            one of :data:`COMPRESSION_MODES`.  ``delta`` and ``fp16``
+            require a 2-D (n, d) field; ``delta`` additionally requires
+            that mirror copies of the broadcast array are only written by
+            the sync itself (the same contract GL201 checks), because the
+            receiver reconstructs unsent columns from its own copy.
     """
 
     name: str
@@ -159,10 +176,30 @@ class FieldSpec:
     ] = None
     writes: frozenset = frozenset({"destination"})
     reads: frozenset = frozenset({"source"})
+    compression: str = "none"
+    #: Sender-side delta state: last-committed broadcast rows and the mask
+    #: of rows ever committed.  Lazily allocated on first commit; rebuilt
+    #: fields (repartition, process workers) start with an empty cache.
+    _delta_cache: Optional[np.ndarray] = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+    _delta_sent: Optional[np.ndarray] = dataclass_field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
-        if not isinstance(self.values, np.ndarray) or self.values.ndim != 1:
-            raise SyncError(f"field {self.name!r}: values must be a 1-D array")
+        if not isinstance(self.values, np.ndarray) or self.values.ndim not in (
+            1,
+            2,
+        ):
+            raise SyncError(
+                f"field {self.name!r}: values must be a 1-D or 2-D array"
+            )
+        if self.values.ndim == 2 and self.values.shape[1] < 2:
+            raise SyncError(
+                f"field {self.name!r}: a (n, {self.values.shape[1]}) field "
+                "has no row structure — declare it 1-D instead"
+            )
         if self.broadcast_values is None:
             self.broadcast_values = self.values
         elif (
@@ -171,6 +208,29 @@ class FieldSpec:
         ):
             raise SyncError(
                 f"field {self.name!r}: broadcast_values must match values' shape"
+            )
+        elif self.broadcast_values.dtype != self.values.dtype:
+            raise SyncError(
+                f"field {self.name!r}: broadcast_values dtype "
+                f"{self.broadcast_values.dtype} does not match values dtype "
+                f"{self.values.dtype}"
+            )
+        if self.compression not in COMPRESSION_MODES:
+            raise SyncError(
+                f"field {self.name!r}: unknown compression "
+                f"{self.compression!r} (expected one of {COMPRESSION_MODES})"
+            )
+        if self.compression != "none" and self.values.ndim != 2:
+            raise SyncError(
+                f"field {self.name!r}: compression {self.compression!r} "
+                "requires a 2-D (n, d) field"
+            )
+        if self.compression == "fp16" and not np.issubdtype(
+            self.values.dtype, np.floating
+        ):
+            raise SyncError(
+                f"field {self.name!r}: fp16 compression requires a float "
+                f"dtype, not {self.values.dtype}"
             )
         self.writes = frozenset(self.writes)
         self.reads = frozenset(self.reads)
@@ -187,9 +247,54 @@ class FieldSpec:
         return self.values.dtype
 
     @property
+    def width(self) -> int:
+        """Columns per node: 1 for scalar fields, d for (n, d) fields."""
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    @property
+    def wire_dtype(self) -> np.dtype:
+        """dtype values carry on the wire (half precision under fp16)."""
+        if self.compression == "fp16":
+            return np.dtype(np.float16)
+        return self.values.dtype
+
+    @property
     def value_size(self) -> int:
-        """Bytes per value on the wire."""
-        return int(self.values.dtype.itemsize)
+        """Bytes one node's value occupies on the wire (whole row if 2-D)."""
+        return int(self.wire_dtype.itemsize) * self.width
+
+    # -- delta-compression sender state ---------------------------------------
+
+    def delta_state(self, local_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Last-committed broadcast rows and committed mask for ``local_ids``.
+
+        Rows never committed come back zero-filled with ``sent`` False —
+        the encoder ships them whole, so correctness never depends on the
+        placeholder contents.
+        """
+        if self._delta_cache is None:
+            rows = np.zeros(
+                (len(local_ids),) + self.values.shape[1:], dtype=self.dtype
+            )
+            return rows, np.zeros(len(local_ids), dtype=bool)
+        return self._delta_cache[local_ids], self._delta_sent[local_ids]
+
+    def commit_broadcast(self, local_ids: np.ndarray) -> None:
+        """Record ``broadcast_values[local_ids]`` as shipped to all peers.
+
+        Called by the substrate once per broadcast phase with exactly the
+        rows every sharing peer received (the dirty rows); peers served a
+        FULL payload also get non-dirty rows, but those are *not* committed
+        here — other peers' BITVEC/INDICES payloads skipped them, and the
+        cache must stay consistent with what every receiver holds.
+        """
+        if self.compression != "delta" or len(local_ids) == 0:
+            return
+        if self._delta_cache is None:
+            self._delta_cache = np.zeros_like(self.broadcast_values)
+            self._delta_sent = np.zeros(len(self.broadcast_values), dtype=bool)
+        self._delta_cache[local_ids] = self.broadcast_values[local_ids]
+        self._delta_sent[local_ids] = True
 
     # -- the paper's five accessor functions, in bulk form --------------------
 
@@ -216,6 +321,8 @@ class FieldSpec:
         current = self.values[local_ids]
         reduced = self.reduce_op.combine(current, incoming.astype(self.dtype))
         changed = reduced != current
+        if changed.ndim == 2:  # wide field: a row changed if any column did
+            changed = changed.any(axis=1)
         self.values[local_ids] = reduced
         return changed
 
@@ -233,6 +340,8 @@ class FieldSpec:
         incoming = incoming.astype(self.broadcast_values.dtype)
         current = self.broadcast_values[local_ids]
         changed = current != incoming
+        if changed.ndim == 2:  # wide field: a row changed if any column did
+            changed = changed.any(axis=1)
         # With a derived broadcast the reduce-side array is not touched at
         # mirrors; only the broadcast array is cached there.  Same-field
         # sync writes the shared array either way.

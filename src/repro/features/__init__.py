@@ -1,0 +1,44 @@
+"""Feature workloads: matrix-valued vertex fields and SpMM-style kernels.
+
+This package is the numeric core of the GNN-shaped workload class
+(ROADMAP: wide-payload feature aggregation).  It holds
+
+* :mod:`repro.features.kernels` — deterministic feature/weight
+  initializers and the shared scatter-add row-aggregation kernel every
+  feature app builds on, all chosen so distributed sums are *exact* in
+  binary floating point (integer-valued features, power-of-two
+  normalizers), making results bitwise partition-invariant;
+* :mod:`repro.features.oracles` — single-machine reference
+  implementations of the three feature apps for ``repro verify``.
+
+The apps themselves live in :mod:`repro.apps` (``featprop``,
+``featprop-mean``, ``labelprop``, ``sage``); the wide-payload wire
+encodings they exercise live in :mod:`repro.core.serialization` and
+:mod:`repro.comm.codec`.
+"""
+
+from repro.features.kernels import (
+    FP16_RELATIVE_ERROR,
+    aggregate_neighbor_rows,
+    feature_rows,
+    fp16_tolerance,
+    init_features,
+    initial_labels,
+    label_rows,
+    one_hot_rows,
+    pow2_normalizer,
+    sage_weights,
+)
+
+__all__ = [
+    "FP16_RELATIVE_ERROR",
+    "aggregate_neighbor_rows",
+    "feature_rows",
+    "fp16_tolerance",
+    "init_features",
+    "initial_labels",
+    "label_rows",
+    "one_hot_rows",
+    "pow2_normalizer",
+    "sage_weights",
+]

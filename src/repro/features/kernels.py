@@ -1,0 +1,120 @@
+"""Deterministic feature kernels shared by all feature apps.
+
+Everything here is designed around one constraint: distributed feature
+aggregation must be **bitwise partition-invariant** so the acceptance
+bar "identical results across 1/2/4/8 hosts × all partition policies"
+holds without tolerances.  Floating-point addition is not associative,
+so instead of fighting summation order the kernels keep every
+intermediate value *exactly representable*:
+
+* features are small integers stored in float64 (sums of integers are
+  associative in float64 below 2**53);
+* mean-style normalization divides by the next power of two of the
+  degree — a dyadic-rational scale that is exact in binary floating
+  point, so normalized features stay exactly representable;
+* GraphSAGE weights are small fixed integer matrices, keeping every
+  matmul partial product exact.
+
+The fp16 wire compression is the one deliberately lossy path; its
+documented error model lives in :func:`fp16_tolerance`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Worst-case relative rounding error of one float -> float16 -> float
+#: round trip within the normal range (11-bit significand: 2**-11).
+FP16_RELATIVE_ERROR = 2.0 ** -11
+
+
+def feature_rows(node_ids: np.ndarray, dim: int) -> np.ndarray:
+    """Deterministic integer-valued (len(node_ids), dim) float64 features.
+
+    ``feat[g, j] = ((31 g + 7 j) mod 13) - 6`` — pseudo-random-looking
+    small integers in [-6, 6], a pure function of the *global* node ID so
+    every host initializes identical rows regardless of partitioning.
+    """
+    g = np.asarray(node_ids, dtype=np.int64)[:, None]
+    j = np.arange(dim, dtype=np.int64)[None, :]
+    return ((g * 31 + j * 7) % 13 - 6).astype(np.float64)
+
+
+def init_features(num_nodes: int, dim: int) -> np.ndarray:
+    """:func:`feature_rows` for every global node."""
+    return feature_rows(np.arange(num_nodes, dtype=np.int64), dim)
+
+
+def label_rows(node_ids: np.ndarray, num_classes: int) -> np.ndarray:
+    """Deterministic starting labels: a Knuth multiplicative hash mod k."""
+    ids = np.asarray(node_ids, dtype=np.int64)
+    return ids * 2654435761 % num_classes
+
+
+def initial_labels(num_nodes: int, num_classes: int) -> np.ndarray:
+    """:func:`label_rows` for every global node."""
+    return label_rows(np.arange(num_nodes, dtype=np.int64), num_classes)
+
+
+def one_hot_rows(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into (len(labels), num_classes)."""
+    out = np.zeros((len(labels), num_classes), dtype=np.float64)
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+def pow2_normalizer(degree: np.ndarray) -> np.ndarray:
+    """Smallest power of two >= max(degree, 1), as float64.
+
+    Dividing by a power of two only shifts the exponent, so the
+    "mean-style" normalization ``sum / pow2(degree)`` keeps features
+    exactly representable and therefore partition-invariant — the reason
+    the mean app normalizes by this instead of the raw degree.
+    """
+    degree = np.maximum(np.asarray(degree, dtype=np.int64), 1)
+    exponent = np.ceil(np.log2(degree.astype(np.float64)))
+    return np.power(2.0, exponent)
+
+
+def sage_weights(dim_in: int, dim_out: int, salt: int = 0) -> np.ndarray:
+    """Fixed small-integer (dim_in, dim_out) weight matrix.
+
+    ``W[i, j] = ((5 i + 3 j + 11 salt) mod 7) - 3`` — integers in
+    [-3, 3]; distinct ``salt`` values give the self and neighbor weights
+    of the GraphSAGE layer.
+    """
+    i = np.arange(dim_in, dtype=np.int64)[:, None]
+    j = np.arange(dim_out, dtype=np.int64)[None, :]
+    return ((i * 5 + j * 3 + 11 * salt) % 7 - 3).astype(np.float64)
+
+
+def aggregate_neighbor_rows(
+    acc: np.ndarray,
+    features: np.ndarray,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+) -> None:
+    """The shared SpMM-style kernel: ``acc[dst] += features[src]`` per edge.
+
+    One scatter-add over whole rows — the distributed form of
+    ``A^T · X`` restricted to a host's local edges.  All three feature
+    apps drive their ``step`` through this.
+    """
+    if len(edge_dst):
+        np.add.at(acc, edge_dst, features[edge_src])
+
+
+def fp16_tolerance(expected: np.ndarray, rounds: int) -> float:
+    """Documented error bound for fp16-compressed feature runs.
+
+    Each sync quantizes shipped rows once (relative error at most
+    :data:`FP16_RELATIVE_ERROR`); over ``rounds`` aggregation rounds the
+    first-order relative errors add, and aggregation scales them with
+    the values themselves.  The bound below is that linear model with a
+    4x engineering margin, floored at one ULP-scale absolute term so
+    near-zero expectations do not demand impossible precision:
+
+    ``tol = (rounds + 1) * 4 * 2**-11 * max(1, max|expected|)``
+    """
+    magnitude = float(np.abs(expected).max()) if np.size(expected) else 0.0
+    return (rounds + 1) * 4.0 * FP16_RELATIVE_ERROR * max(1.0, magnitude)

@@ -1,0 +1,76 @@
+"""Single-machine reference implementations of the feature apps.
+
+Each oracle mirrors its distributed app exactly — same initializers,
+same kernels, same round structure — so ``repro verify`` can demand
+bitwise equality for lossless runs and a bounded error for fp16 runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.kernels import (
+    aggregate_neighbor_rows,
+    init_features,
+    initial_labels,
+    one_hot_rows,
+    pow2_normalizer,
+    sage_weights,
+)
+from repro.graph.edgelist import EdgeList
+
+
+def featprop_features(
+    edges: EdgeList, dim: int, rounds: int, mean: bool = False
+) -> np.ndarray:
+    """``rounds`` iterations of ``X <- A^T X`` (optionally pow2-normalized)."""
+    n = edges.num_nodes
+    feat = init_features(n, dim)
+    inv_norm = None
+    if mean:
+        in_degree = np.bincount(edges.dst, minlength=n)
+        inv_norm = (1.0 / pow2_normalizer(in_degree))[:, None]
+    for _ in range(rounds):
+        acc = np.zeros_like(feat)
+        aggregate_neighbor_rows(acc, feat, edges.src, edges.dst)
+        feat = acc * inv_norm if mean else acc
+    return feat
+
+
+def labelprop_labels(edges: EdgeList, num_classes: int, rounds: int) -> np.ndarray:
+    """Iterated majority-vote label propagation over in-neighbors.
+
+    Nodes with no in-edges keep their label; ties break toward the
+    lowest class index (``argmax`` on the count matrix).  Runs at most
+    ``rounds`` rounds, stopping early at a fixpoint — the same stopping
+    rule the distributed app applies via its residual.
+    """
+    n = edges.num_nodes
+    label = initial_labels(n, num_classes)
+    for _ in range(rounds):
+        counts = np.zeros((n, num_classes), dtype=np.float64)
+        aggregate_neighbor_rows(
+            counts, one_hot_rows(label, num_classes), edges.src, edges.dst
+        )
+        has_votes = counts.sum(axis=1) > 0
+        new_label = np.where(has_votes, counts.argmax(axis=1), label)
+        if np.array_equal(new_label, label):
+            break
+        label = new_label
+    return label
+
+
+def sage_hidden(edges: EdgeList, dim: int) -> np.ndarray:
+    """One GraphSAGE forward layer with the fixed integer weights.
+
+    ``H = relu(X W_self + (A^T X) W_neigh)`` — one neighbor-sum
+    aggregation round, then a per-node dense transform.
+    """
+    n = edges.num_nodes
+    feat = init_features(n, dim)
+    agg = np.zeros_like(feat)
+    aggregate_neighbor_rows(agg, feat, edges.src, edges.dst)
+    hidden = feat @ sage_weights(dim, dim, salt=1) + agg @ sage_weights(
+        dim, dim, salt=2
+    )
+    return np.maximum(hidden, 0.0)

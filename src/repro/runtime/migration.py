@@ -30,8 +30,9 @@ def migratable_keys(
     """Which state keys move across a repartitioning.
 
     Uses the app's ``migratable_node_arrays`` attribute when present;
-    otherwise every 1-D numpy array of exactly ``num_nodes`` entries
-    migrates (scalars, edge caches, and other sizes are rebuilt).
+    otherwise every 1-D or wide (n, d) numpy array with exactly
+    ``num_nodes`` rows migrates (scalars, edge caches, and other sizes
+    are rebuilt).
     """
     declared = getattr(app, "migratable_node_arrays", None)
     if declared is not None:
@@ -40,7 +41,7 @@ def migratable_keys(
     for key, value in state.items():
         if (
             isinstance(value, np.ndarray)
-            and value.ndim == 1
+            and value.ndim in (1, 2)
             and len(value) == num_nodes
         ):
             keys.append(key)
@@ -52,7 +53,10 @@ def gather_global(
 ) -> np.ndarray:
     """Assemble the canonical global array for ``key`` from master values."""
     sample = states[0][key]
-    result = np.zeros(partitioned.num_global_nodes, dtype=sample.dtype)
+    # Wide (n, d) state gathers into a (num_global, d) canonical array.
+    result = np.zeros(
+        (partitioned.num_global_nodes,) + sample.shape[1:], dtype=sample.dtype
+    )
     for part, state in zip(partitioned.partitions, states):
         master_gids = part.local_to_global[: part.num_masters]
         result[master_gids] = state[key][: part.num_masters]

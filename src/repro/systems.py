@@ -83,6 +83,9 @@ def prepare_input(
     tolerance: float = 1e-6,
     max_iterations: int = 100,
     k: int = 2,
+    feature_dim: int = 8,
+    feature_rounds: int = 3,
+    compression: str = "none",
 ) -> PreparedInput:
     """Apply the app's input requirements (weights, symmetry) and build ctx."""
     app = make_app(app_name)
@@ -96,10 +99,17 @@ def prepare_input(
         tolerance=tolerance,
         max_iterations=max_iterations,
         k=k,
+        feature_dim=feature_dim,
+        feature_rounds=feature_rounds,
+        compression=compression,
     )
     if app.needs_global_degrees:
         ctx.global_out_degree = np.bincount(
             edges.src, minlength=edges.num_nodes
+        )
+    if app.needs_global_in_degrees:
+        ctx.global_in_degree = np.bincount(
+            edges.dst, minlength=edges.num_nodes
         )
     return PreparedInput(edges=edges, ctx=ctx)
 
@@ -198,6 +208,9 @@ def run_app(
     tolerance: float = 1e-6,
     max_iterations: int = 100,
     k: int = 2,
+    feature_dim: int = 8,
+    feature_rounds: int = 3,
+    compression: str = "none",
     resilience=None,
     observability=None,
     partition_cache=None,
@@ -259,6 +272,9 @@ def run_app(
         tolerance=tolerance,
         max_iterations=max_iterations,
         k=k,
+        feature_dim=feature_dim,
+        feature_rounds=feature_rounds,
+        compression=compression,
     )
     app = make_app(app_name)
     engine, partitioner, resolved_level, resolved_network, sync = (

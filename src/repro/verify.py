@@ -15,6 +15,12 @@ import numpy as np
 
 from repro import oracles
 from repro.errors import ReproError
+from repro.features import fp16_tolerance
+from repro.features.oracles import (
+    featprop_features,
+    labelprop_labels,
+    sage_hidden,
+)
 from repro.graph.edgelist import EdgeList
 from repro.runtime.stats import RunResult
 from repro.systems import prepare_input
@@ -34,7 +40,21 @@ class Verification:
     detail: str = ""
 
 
-#: Per-app: (state key, oracle runner, float tolerance or None for exact).
+def _feature_tolerance(rounds):
+    """fp16 runs get the documented bound; lossless runs stay exact."""
+
+    def tolerance(ctx, expected) -> Optional[float]:
+        if ctx.compression != "fp16":
+            return None
+        return fp16_tolerance(expected, rounds(ctx))
+
+    return tolerance
+
+
+#: Per-app: (state key, oracle runner, tolerance).  Tolerance is a float,
+#: ``None`` for exact comparison, or a callable ``(ctx, expected)`` that
+#: picks one at verification time (the feature apps: exact unless the run
+#: used the lossy fp16 wire compression).
 _CHECKS = {
     "bfs": ("dist", lambda e, ctx: oracles.bfs_distances(e, ctx.source), None),
     "sssp": (
@@ -66,6 +86,34 @@ _CHECKS = {
         "delta",
         lambda e, ctx: oracles.bc_dependencies(e, ctx.source),
         1e-6,
+    ),
+    "featprop": (
+        "feat",
+        lambda e, ctx: featprop_features(
+            e, ctx.feature_dim, ctx.feature_rounds
+        ),
+        _feature_tolerance(lambda ctx: ctx.feature_rounds),
+    ),
+    "featprop-mean": (
+        "feat",
+        lambda e, ctx: featprop_features(
+            e, ctx.feature_dim, ctx.feature_rounds, mean=True
+        ),
+        _feature_tolerance(lambda ctx: ctx.feature_rounds),
+    ),
+    # One-hot rows and small vote counts are exactly representable in
+    # float16, so labelprop stays exact under every compression mode.
+    "labelprop": (
+        "label",
+        lambda e, ctx: labelprop_labels(
+            e, ctx.feature_dim, ctx.feature_rounds
+        ),
+        None,
+    ),
+    "sage": (
+        "hidden",
+        lambda e, ctx: sage_hidden(e, ctx.feature_dim),
+        _feature_tolerance(lambda ctx: 1),
     ),
 }
 
@@ -111,6 +159,9 @@ def verify_run(
         tolerance=executor.ctx.tolerance,
         max_iterations=executor.ctx.max_iterations,
         k=executor.ctx.k,
+        feature_dim=getattr(executor.ctx, "feature_dim", 8),
+        feature_rounds=getattr(executor.ctx, "feature_rounds", 3),
+        compression=getattr(executor.ctx, "compression", "none"),
     )
     # Re-preparation must agree with the run's context (same seeds).
     if prepared.ctx.source != executor.ctx.source:
@@ -122,23 +173,32 @@ def verify_run(
     got = executor.app.gather_master_values(
         executor.partitioned.partitions, executor.states, key
     )
-    if len(got) != len(expected):
+    if callable(tolerance):
+        tolerance = tolerance(executor.ctx, expected)
+    if np.shape(got) != np.shape(expected):
         outcome = Verification(
             app=result.app,
             matched=False,
             max_abs_error=float("inf"),
-            detail=f"size mismatch: {len(got)} vs {len(expected)}",
+            detail=f"shape mismatch: {np.shape(got)} vs {np.shape(expected)}",
         )
     elif tolerance is None:
-        matched = bool(
-            np.array_equal(got.astype(np.uint64), expected.astype(np.uint64))
-        )
+        if got.ndim == 1 and np.issubdtype(got.dtype, np.integer):
+            # Unsigned saturation values (bfs/sssp "infinity") compare
+            # correctly only as uint64.
+            matched = bool(
+                np.array_equal(
+                    got.astype(np.uint64), expected.astype(np.uint64)
+                )
+            )
+        else:
+            matched = bool(np.array_equal(got, expected))
         max_err = (
             0.0
             if matched
             else float(
                 np.abs(
-                    got.astype(np.int64) - expected.astype(np.int64)
+                    got.astype(np.float64) - expected.astype(np.float64)
                 ).max()
             )
         )

@@ -27,12 +27,34 @@ from repro.apps.base import (
     gather_frontier_edges,
 )
 from repro.apps.sssp import INFINITY
-from repro.core.sync_structures import ADD, ASSIGN, MIN, FieldSpec
+from repro.core.sync_structures import (
+    ADD,
+    ASSIGN,
+    MIN,
+    FieldSpec,
+    ReductionOp,
+)
 from repro.partition.base import LocalPartition
 from repro.partition.strategy import OperatorClass
 from repro.runtime.timing import WorkStats
 
 BOTH_ENDS = frozenset({"source", "destination"})
+
+#: A reduction that is a plain max on 1-D input (so it passes every
+#: GL10x law, which are measured over vectors) but rotates columns on
+#: 2-D input — the row-mixing defect GL011 exists to catch.
+ROWMIX = ReductionOp(
+    name="rowmix",
+    combine=lambda a, b: np.maximum(
+        a, np.roll(b, 1, axis=-1) if b.ndim > 1 else b
+    ),
+    identity_for=lambda dtype: (
+        np.iinfo(dtype).min
+        if np.issubdtype(dtype, np.integer)
+        else dtype.type(-np.inf)
+    ),
+    idempotent=True,
+)
 
 
 class _BrokenBFSBase(VertexProgram):
@@ -328,6 +350,30 @@ class MislabeledPull(_BrokenBFSBase):
         return StepOutcome(updated=updated, work=work)
 
 
+class RowMixingWideReduce(_BrokenBFSBase):
+    """GL011: a wide (n, d) field reduced with a row-mixing combine.
+
+    ``ROWMIX`` measures clean under every 1-D reduction law, so only the
+    row-wise probe over matrix samples can reject it.
+    """
+
+    name = "rowmix-wide-reduce"
+
+    def make_state(self, part, ctx) -> Dict:
+        state = super().make_state(part, ctx)
+        state["votes"] = np.zeros((part.num_nodes, 4), dtype=np.float64)
+        return state
+
+    def make_fields(self, part, state) -> List[FieldSpec]:
+        return [
+            FieldSpec(name="dist", values=state["dist"], reduce_op=MIN),
+            FieldSpec(name="votes", values=state["votes"], reduce_op=ROWMIX),
+        ]
+
+    def step(self, part, state, frontier, direction="push") -> StepOutcome:
+        return _relax(part, state, frontier)
+
+
 #: Static rule -> the fixture class that must trigger it.
 RULE_FIXTURES = {
     "GL001": WrongWriteEndpoint,
@@ -340,4 +386,5 @@ RULE_FIXTURES = {
     "GL008": SameArrayHook,
     "GL009": NonCommutativeReduce,
     "GL010": MislabeledPull,
+    "GL011": RowMixingWideReduce,
 }

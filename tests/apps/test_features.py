@@ -1,0 +1,157 @@
+"""Feature workloads: partition invariance, compression, and oracles.
+
+The three SpMM-style apps are built on exact (dyadic / integer-valued)
+arithmetic, so their results must be *bitwise* identical across host
+counts, partition policies, runtimes, and the lossless compression
+modes.  fp16 is the one lossy mode; its error must stay within the
+documented :func:`repro.features.fp16_tolerance` bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.engines import make_engine
+from repro.features import fp16_tolerance
+from repro.features.oracles import (
+    featprop_features,
+    labelprop_labels,
+    sage_hidden,
+)
+from repro.graph.generators import rmat
+from repro.partition import make_partitioner
+from repro.runtime.executor import DistributedExecutor
+from repro.systems import prepare_input, run_app
+from repro.verify import verify_run
+
+POLICIES = ["oec", "iec", "cvc", "hvc", "jagged", "random"]
+DIM, ROUNDS = 8, 3
+
+EDGES = rmat(scale=6, edge_factor=4, seed=3)
+
+
+def run(app, *, hosts=4, policy="cvc", compression="none", dim=DIM,
+        rounds=ROUNDS, **kwargs):
+    return run_app(
+        "d-galois", app, EDGES, num_hosts=hosts, policy=policy,
+        feature_dim=dim, feature_rounds=rounds, compression=compression,
+        **kwargs,
+    )
+
+
+def gather(result, key):
+    return result.executor.gather_result(key)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_featprop(self, policy, compression):
+        expected = featprop_features(EDGES, DIM, ROUNDS)
+        result = run("featprop", policy=policy, compression=compression)
+        assert np.array_equal(gather(result, "feat"), expected)
+
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    @pytest.mark.parametrize("policy", ["cvc", "jagged"])
+    def test_featprop_mean(self, policy, compression):
+        expected = featprop_features(EDGES, DIM, ROUNDS, mean=True)
+        result = run("featprop-mean", policy=policy, compression=compression)
+        # pow2 normalization divides by powers of two: dyadic-exact, so
+        # the mean variant is held to bitwise equality too.
+        assert np.array_equal(gather(result, "feat"), expected)
+
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_labelprop(self, policy, compression):
+        expected = labelprop_labels(EDGES, DIM, ROUNDS)
+        result = run("labelprop", policy=policy, compression=compression)
+        assert np.array_equal(gather(result, "label"), expected)
+
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    @pytest.mark.parametrize("policy", ["oec", "hvc"])
+    def test_sage(self, policy, compression):
+        expected = sage_hidden(EDGES, DIM)
+        result = run("sage", policy=policy, compression=compression)
+        assert np.array_equal(gather(result, "hidden"), expected)
+
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    @pytest.mark.parametrize("hosts", [1, 2, 8])
+    def test_host_count_invariance(self, hosts, compression):
+        feat = featprop_features(EDGES, DIM, ROUNDS)
+        labels = labelprop_labels(EDGES, DIM, ROUNDS)
+        fp = run("featprop", hosts=hosts, compression=compression)
+        lp = run("labelprop", hosts=hosts, compression=compression)
+        assert np.array_equal(gather(fp, "feat"), feat)
+        assert np.array_equal(gather(lp, "label"), labels)
+
+
+class TestFp16:
+    @pytest.mark.parametrize(
+        "app", ["featprop", "featprop-mean", "labelprop", "sage"]
+    )
+    def test_verifies_within_tolerance(self, app):
+        result = run(app, compression="fp16")
+        assert verify_run(result, EDGES).matched
+
+    def test_featprop_error_bounded(self):
+        expected = featprop_features(EDGES, DIM, ROUNDS)
+        result = run("featprop", compression="fp16")
+        err = np.abs(gather(result, "feat") - expected).max()
+        assert err <= fp16_tolerance(expected, ROUNDS)
+
+    def test_labelprop_bitwise_exact(self):
+        """One-hot votes and small integer counts are fp16-representable,
+        so even the lossy mode must reproduce the labels exactly."""
+        expected = labelprop_labels(EDGES, DIM, ROUNDS)
+        result = run("labelprop", compression="fp16")
+        assert np.array_equal(gather(result, "label"), expected)
+
+
+class TestDeltaBytes:
+    def test_delta_ships_fewer_bytes(self):
+        """At d=32 the delta encoding must beat the dense payload — the
+        property the bench cell quantifies at full scale."""
+        none = run("labelprop", dim=32, rounds=4)
+        delta = run("labelprop", dim=32, rounds=4, compression="delta")
+        assert np.array_equal(
+            gather(none, "label"), gather(delta, "label")
+        )
+        none_bytes = none.executor.transport.stats.total_bytes
+        delta_bytes = delta.executor.transport.stats.total_bytes
+        assert delta_bytes < none_bytes
+
+
+class TestRuntimesAndRepartition:
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    def test_process_runtime_identical(self, compression):
+        simulated = run("labelprop", compression=compression)
+        process = run(
+            "labelprop", compression=compression,
+            runtime="process", workers=2,
+        )
+        assert np.array_equal(
+            gather(simulated, "label"), gather(process, "label")
+        )
+
+    @pytest.mark.parametrize("compression", ["none", "delta"])
+    def test_repartition_midrun_still_correct(self, compression):
+        """Repartitioning rebuilds the FieldSpecs, which resets the
+        sender-side delta caches — the run must stay exact even though
+        the first post-switch broadcast has no committed baseline."""
+        prep = prepare_input(
+            "labelprop", EDGES, feature_dim=DIM, feature_rounds=ROUNDS,
+            compression=compression,
+        )
+        partitioned = make_partitioner("oec").partition(prep.edges, 4)
+        executor = DistributedExecutor(
+            partitioned, make_engine("galois"), make_app("labelprop"),
+            prep.ctx,
+        )
+        executor.run(max_rounds=1)
+        executor.repartition(
+            make_partitioner("cvc").partition(prep.edges, 4)
+        )
+        result = executor.run()
+        assert result.converged
+        expected = labelprop_labels(EDGES, DIM, ROUNDS)
+        assert np.array_equal(executor.gather_result("label"), expected)

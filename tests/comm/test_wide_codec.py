@@ -1,0 +1,357 @@
+"""Wide-field codec: property tests for (n, d) payloads and compression.
+
+The wide extension must be invisible to scalar fields (1-D payloads keep
+their exact wire bytes), and every (metadata mode x dtype x mask density
+x compression) combination of a matrix-valued field must survive an
+encode/decode round trip: bit for bit under ``none`` and ``delta``, and
+within half-precision relative error under ``fp16``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.codec import (
+    decode_field_payload,
+    encode_global_ids_field,
+    encode_memoized_field,
+)
+from repro.core.metadata import MetadataMode, select_mode
+from repro.core.sync_structures import ADD, MIN, FieldSpec
+from repro.errors import SyncError
+from repro.features import FP16_RELATIVE_ERROR
+
+from tests.comm.test_codec import StubPartition, make_mask
+
+#: dtypes the feature subsystem actually ships wide.
+WIDE_DTYPES = [np.float32, np.float64, np.int32]
+
+DENSITIES = [0.0, 0.02, 0.4, 1.0]
+
+#: Wire-header flag bits (mirrors repro.core.serialization).
+FLAG_WIDE = 0x80
+FLAG_DELTA = 0x40
+
+
+def make_wide_field(
+    rng, dtype, num_locals, width, compression="none", reduce_op=ADD, name="w"
+):
+    if np.issubdtype(dtype, np.floating):
+        values = rng.random((num_locals, width)).astype(dtype)
+    else:
+        values = rng.integers(0, 10_000, size=(num_locals, width)).astype(dtype)
+    return FieldSpec(name, values, reduce_op, compression=compression)
+
+
+class TestWideMemoizedRoundTrip:
+    @pytest.mark.parametrize("dtype", WIDE_DTYPES)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_round_trip(self, dtype, density):
+        rng = np.random.default_rng(
+            WIDE_DTYPES.index(dtype) * 10 + DENSITIES.index(density)
+        )
+        num_locals, width = 300, 16
+        field = make_wide_field(rng, dtype, num_locals, width)
+        agreed = rng.choice(num_locals, size=150, replace=False).astype(
+            np.uint32
+        )
+        mask = make_mask(rng, len(agreed), density)
+
+        encoded = encode_memoized_field(field, agreed, mask)
+        expected_mode = select_mode(
+            len(agreed), int(mask.sum()), field.value_size
+        )
+        assert encoded.mode is expected_mode
+
+        recv_agreed = rng.choice(400, size=len(agreed), replace=False).astype(
+            np.uint32
+        )
+        decoded = decode_field_payload(
+            encoded.payload, {7: recv_agreed}, 7, StubPartition([])
+        )
+        if encoded.mode is MetadataMode.EMPTY:
+            assert decoded is None
+            # An empty payload must not claim row structure it cannot
+            # carry: the WIDE flag stays clear so old decoders still read
+            # zero values.
+            assert encoded.payload[0] & FLAG_WIDE == 0
+            return
+        assert encoded.payload[0] & FLAG_WIDE
+        if encoded.mode is MetadataMode.FULL:
+            assert np.array_equal(decoded.lids, recv_agreed)
+            assert np.array_equal(decoded.values, field.values[agreed])
+        else:
+            positions = np.flatnonzero(mask)
+            assert np.array_equal(decoded.lids, recv_agreed[positions])
+            assert np.array_equal(
+                decoded.values, field.values[agreed[positions]]
+            )
+        assert decoded.values.ndim == 2
+        assert decoded.values.shape[1] == width
+        assert decoded.values.dtype == field.dtype
+
+    def test_scalar_wire_bytes_unchanged(self):
+        """A 1-D field's payload never carries the WIDE flag: old wire
+        bytes stay byte-identical, so mixed-version hosts interoperate."""
+        rng = np.random.default_rng(3)
+        values = rng.random(40)
+        field = FieldSpec("f", values, MIN)
+        agreed = np.arange(20, dtype=np.uint32)
+        for updates in (0, 2, 20):
+            mask = np.zeros(len(agreed), dtype=bool)
+            mask[:updates] = True
+            encoded = encode_memoized_field(field, agreed, mask)
+            assert encoded.payload[0] & FLAG_WIDE == 0
+            assert encoded.payload[0] & FLAG_DELTA == 0
+
+    @given(
+        data=st.data(),
+        width=st.integers(min_value=2, max_value=9),
+        num_agreed=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_geometry_round_trips(self, data, width, num_agreed):
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        rng = np.random.default_rng(seed)
+        num_locals = num_agreed + data.draw(
+            st.integers(min_value=0, max_value=30)
+        )
+        field = make_wide_field(rng, np.float64, num_locals, width)
+        agreed = rng.choice(
+            num_locals, size=num_agreed, replace=False
+        ).astype(np.uint32)
+        mask = rng.random(num_agreed) < data.draw(
+            st.floats(min_value=0.0, max_value=1.0)
+        )
+        encoded = encode_memoized_field(field, agreed, mask)
+        decoded = decode_field_payload(
+            encoded.payload, {1: agreed}, 1, StubPartition([])
+        )
+        if not mask.any():
+            assert decoded is None
+            return
+        lids = agreed if encoded.mode is MetadataMode.FULL else agreed[mask]
+        assert np.array_equal(decoded.lids, lids)
+        assert np.array_equal(decoded.values, field.values[lids])
+
+
+class TestWideGlobalIdsRoundTrip:
+    @pytest.mark.parametrize("dtype", WIDE_DTYPES)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_round_trip(self, dtype, density):
+        rng = np.random.default_rng(
+            500 + WIDE_DTYPES.index(dtype) * 10 + DENSITIES.index(density)
+        )
+        num_locals, width = 80, 8
+        sender_l2g = rng.choice(1000, size=num_locals, replace=False).astype(
+            np.uint32
+        )
+        field = make_wide_field(rng, dtype, num_locals, width)
+        agreed = rng.choice(num_locals, size=40, replace=False).astype(
+            np.uint32
+        )
+        mask = make_mask(rng, len(agreed), density)
+
+        encoded = encode_global_ids_field(field, agreed, mask, sender_l2g)
+        if not mask.any():
+            assert encoded is None
+            return
+        # Receiver maps the same globals to different locals.
+        recv_l2g = np.arange(1000, dtype=np.uint32)[::-1]
+        partition = StubPartition(recv_l2g)
+        decoded = decode_field_payload(
+            encoded.payload, {}, 3, partition
+        )
+        sent_lids = agreed[mask]
+        assert np.array_equal(
+            decoded.lids, partition.to_local_array(sender_l2g[sent_lids])
+        )
+        assert np.array_equal(decoded.values, field.values[sent_lids])
+        assert decoded.translations == len(sent_lids)
+
+
+class TestFp16Compression:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        width=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_within_half_precision_bound(self, seed, width):
+        rng = np.random.default_rng(seed)
+        num_locals = 60
+        values = (rng.random((num_locals, width)) * 8 - 4).astype(np.float64)
+        field = FieldSpec("h", values, ADD, compression="fp16")
+        agreed = np.arange(30, dtype=np.uint32)
+        mask = np.ones(30, dtype=bool)
+        encoded = encode_memoized_field(field, agreed, mask)
+        decoded = decode_field_payload(
+            encoded.payload, {2: agreed}, 2, StubPartition([]), field=field
+        )
+        # The wire carries half precision; FieldSpec.reduce/set widen back.
+        assert decoded.values.dtype == np.float16
+        err = np.abs(decoded.values.astype(np.float64) - values[:30])
+        bound = FP16_RELATIVE_ERROR * np.maximum(np.abs(values[:30]), 1.0)
+        assert (err <= bound).all()
+
+    def test_exact_for_representable_values(self):
+        """Integer-valued features inside fp16's mantissa round-trip
+        bitwise — the basis of the labelprop one-hot exactness claim."""
+        rng = np.random.default_rng(9)
+        values = rng.integers(-512, 512, size=(40, 6)).astype(np.float64)
+        field = FieldSpec("h", values, ADD, compression="fp16")
+        agreed = np.arange(40, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(40, dtype=bool)
+        )
+        decoded = decode_field_payload(
+            encoded.payload, {2: agreed}, 2, StubPartition([]), field=field
+        )
+        assert np.array_equal(decoded.values.astype(np.float64), values)
+
+
+class TestDeltaCompression:
+    def _committed_field(self, rng, num_locals, width, commit):
+        field = make_wide_field(
+            rng, np.float64, num_locals, width, compression="delta"
+        )
+        field.commit_broadcast(np.asarray(commit, dtype=np.int64))
+        return field
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        density=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_broadcast_round_trip(self, seed, density):
+        """Receiver base + shipped columns == sender rows, whatever
+        subset of rows was previously committed."""
+        rng = np.random.default_rng(seed)
+        num_locals, width = 50, 8
+        field = make_wide_field(
+            rng, np.float64, num_locals, width, compression="delta"
+        )
+        committed = np.flatnonzero(rng.random(num_locals) < 0.6)
+        field.commit_broadcast(committed)
+        # Receiver's copy matches the sender's committed cache (the delta
+        # contract); uncommitted rows differ arbitrarily.
+        recv_values = rng.random((num_locals, width))
+        recv_values[committed] = field.broadcast_values[committed]
+        recv_field = FieldSpec(
+            "w", recv_values, ADD, compression="delta"
+        )
+        # Sender mutates a sparse set of columns, then broadcasts.
+        flips = rng.random((num_locals, width)) < density
+        field.broadcast_values[flips] += 1.0
+
+        agreed = np.arange(num_locals, dtype=np.uint32)
+        mask = np.ones(num_locals, dtype=bool)
+        encoded = encode_memoized_field(field, agreed, mask, broadcast=True)
+        assert encoded.payload[0] & FLAG_DELTA
+        decoded = decode_field_payload(
+            encoded.payload,
+            {4: agreed},
+            4,
+            StubPartition([]),
+            field=recv_field,
+            broadcast=True,
+        )
+        assert np.array_equal(decoded.values, field.broadcast_values)
+
+    def test_uncommitted_rows_ship_whole(self):
+        """Rows never committed must not trust the receiver's copy."""
+        rng = np.random.default_rng(21)
+        field = make_wide_field(rng, np.float64, 10, 4, compression="delta")
+        # No commit at all: every row ships every column.
+        agreed = np.arange(10, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(10, dtype=bool), broadcast=True
+        )
+        recv_field = FieldSpec(
+            "w", np.full((10, 4), -99.0), ADD, compression="delta"
+        )
+        decoded = decode_field_payload(
+            encoded.payload,
+            {4: agreed},
+            4,
+            StubPartition([]),
+            field=recv_field,
+            broadcast=True,
+        )
+        assert np.array_equal(decoded.values, field.broadcast_values)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        density=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_round_trip_vs_identity(self, seed, density):
+        """Reduce deltas are stateless: unshipped columns reconstruct to
+        the reduction identity, so the fold is lossless for any op."""
+        rng = np.random.default_rng(seed)
+        num_locals, width = 40, 6
+        values = np.where(
+            rng.random((num_locals, width)) < density,
+            rng.random((num_locals, width)) + 0.5,
+            0.0,
+        )
+        field = FieldSpec("acc", values, ADD, compression="delta")
+        agreed = np.arange(num_locals, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(num_locals, dtype=bool)
+        )
+        decoded = decode_field_payload(
+            encoded.payload, {4: agreed}, 4, StubPartition([]), field=field
+        )
+        if decoded is None:
+            assert not values.any()
+            return
+        assert np.array_equal(decoded.values, values[decoded.lids])
+
+    def test_delta_without_field_rejected(self):
+        rng = np.random.default_rng(5)
+        field = make_wide_field(rng, np.float64, 12, 4, compression="delta")
+        agreed = np.arange(12, dtype=np.uint32)
+        encoded = encode_memoized_field(
+            field, agreed, np.ones(12, dtype=bool)
+        )
+        with pytest.raises(SyncError, match="without a field"):
+            decode_field_payload(
+                encoded.payload, {4: agreed}, 4, StubPartition([])
+            )
+
+    def test_cache_reset_on_rebuild(self):
+        """A rebuilt FieldSpec (repartition, worker restart) starts with
+        an empty delta cache: its first broadcast ships rows whole, so
+        receivers never reconstruct against a stale baseline."""
+        rng = np.random.default_rng(13)
+        values = rng.random((20, 4))
+        field = FieldSpec("w", values.copy(), ADD, compression="delta")
+        lids = np.arange(20)
+        field.commit_broadcast(lids)
+        cached, sent = field.delta_state(lids)
+        assert sent.all()
+        assert np.array_equal(cached, values)
+        # make_fields after a repartition constructs a fresh FieldSpec
+        # over the migrated arrays — the cache does not travel with them.
+        rebuilt = FieldSpec("w", values.copy(), ADD, compression="delta")
+        cached, sent = rebuilt.delta_state(lids)
+        assert not sent.any()
+        encoded = encode_memoized_field(
+            rebuilt,
+            lids.astype(np.uint32),
+            np.ones(20, dtype=bool),
+            broadcast=True,
+        )
+        recv_field = FieldSpec(
+            "w", np.zeros((20, 4)), ADD, compression="delta"
+        )
+        decoded = decode_field_payload(
+            encoded.payload,
+            {4: lids.astype(np.uint32)},
+            4,
+            StubPartition([]),
+            field=recv_field,
+            broadcast=True,
+        )
+        assert np.array_equal(decoded.values, values)

@@ -132,8 +132,10 @@ class TestFieldSpec:
         assert field.broadcast_values is field.values
 
     def test_validation(self):
-        with pytest.raises(SyncError):
-            FieldSpec(name="x", values=np.zeros((2, 2)), reduce_op=MIN)
+        with pytest.raises(SyncError):  # 3-D never allowed
+            FieldSpec(name="x", values=np.zeros((2, 2, 2)), reduce_op=MIN)
+        with pytest.raises(SyncError):  # degenerate (n, 1): declare it 1-D
+            FieldSpec(name="x", values=np.zeros((3, 1)), reduce_op=MIN)
         with pytest.raises(SyncError):
             FieldSpec(
                 name="x",
@@ -141,3 +143,42 @@ class TestFieldSpec:
                 reduce_op=MIN,
                 broadcast_values=np.zeros(4),
             )
+
+    def test_wide_field_allowed(self):
+        field = FieldSpec(name="feat", values=np.zeros((3, 4)), reduce_op=ADD)
+        assert field.width == 4
+        assert field.value_size == 4 * 8  # four float64 columns per row
+
+    def test_broadcast_dtype_mismatch_rejected(self):
+        with pytest.raises(SyncError, match="dtype"):
+            FieldSpec(
+                name="x",
+                values=np.zeros(3, dtype=np.float64),
+                reduce_op=ADD,
+                broadcast_values=np.zeros(3, dtype=np.float32),
+            )
+
+    def test_compression_validation(self):
+        with pytest.raises(SyncError, match="compression"):
+            FieldSpec(
+                name="x", values=np.zeros(3), reduce_op=ADD, compression="zip"
+            )
+        with pytest.raises(SyncError, match="2-D"):
+            FieldSpec(
+                name="x", values=np.zeros(3), reduce_op=ADD, compression="delta"
+            )
+        with pytest.raises(SyncError, match="float"):
+            FieldSpec(
+                name="x",
+                values=np.zeros((3, 4), dtype=np.int32),
+                reduce_op=ADD,
+                compression="fp16",
+            )
+        fp16 = FieldSpec(
+            name="x",
+            values=np.zeros((3, 4), dtype=np.float32),
+            reduce_op=ADD,
+            compression="fp16",
+        )
+        assert fp16.wire_dtype == np.float16
+        assert fp16.value_size == 4 * 2  # half precision on the wire

@@ -45,6 +45,10 @@ def test_all_distributed_systems_agree(app):
         "pr-push": "rank",
         "kcore": "alive",
         "bc": "delta",
+        "featprop": "feat",
+        "featprop-mean": "feat",
+        "labelprop": "label",
+        "sage": "hidden",
     }[app]
     systems = ["d-galois", "d-ligra", "d-irgl", "d-hybrid", "gemini"]
     baseline = None

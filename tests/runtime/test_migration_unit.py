@@ -17,9 +17,10 @@ class TestMigratableKeys:
             "dist": np.zeros(10, dtype=np.uint32),
             "edge_cache": np.zeros(37, dtype=np.int64),  # edge-sized
             "scalar": 3.0,
-            "matrix": np.zeros((10, 2)),
+            "feat": np.zeros((10, 2)),  # wide node rows migrate too
+            "stack": np.zeros((10, 2, 2)),  # >2-D is rebuilt, not moved
         }
-        assert migratable_keys(app, state, num_nodes=10) == ["dist"]
+        assert migratable_keys(app, state, num_nodes=10) == ["dist", "feat"]
 
     def test_declared_attribute_wins(self):
         app = make_app("bfs")

@@ -116,6 +116,41 @@ class TestCommands:
         assert exit_code == 0
         assert "address translations" in capsys.readouterr().out
 
+    def test_run_verify_feature_app(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "labelprop",
+                "--workload", "rmat22s",
+                "--hosts", "2",
+                "--policy", "cvc",
+                "--scale-delta", "-5",
+                "--feature-dim", "16",
+                "--compression", "delta",
+                "--verify",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "oracle verification: matched" in out
+
+    def test_run_verify_fp16_within_tolerance(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--system", "d-galois",
+                "--app", "featprop",
+                "--workload", "rmat22s",
+                "--hosts", "2",
+                "--scale-delta", "-5",
+                "--compression", "fp16",
+                "--verify",
+            ]
+        )
+        assert exit_code == 0
+        assert "oracle verification: matched" in capsys.readouterr().out
+
     def test_inputs_command(self, capsys):
         assert main(["inputs"]) == 0
         out = capsys.readouterr().out
