@@ -147,12 +147,48 @@ def lint_all_apps() -> Tuple[List[str], List[Finding]]:
     return names, lint_programs(programs)
 
 
-def run_lint(
-    app: Optional[str] = None, module: Optional[str] = None
+def all_compiled_programs() -> List[Tuple[str, type]]:
+    """(registry name, generated class) for every migrated spec.
+
+    This is the compiler's verification loop: each spec is compiled to
+    source and the generated class handed to the same GL001–GL011 pass
+    the handwritten apps go through.
+    """
+    from repro.apps.specs import compiled_app_names, make_compiled_app
+
+    return [
+        (name, make_compiled_app(name).__class__)
+        for name in compiled_app_names()
+    ]
+
+
+def lint_compiled_apps(
+    app: Optional[str] = None,
 ) -> Tuple[List[str], List[Finding]]:
-    """CLI entry: lint an app, a module, or every built-in."""
+    """Lint the generated program(s): one app's, or every migrated spec's."""
+    if app is not None:
+        from repro.apps.specs import make_compiled_app
+
+        cls = make_compiled_app(app).__class__
+        return [cls.name], lint_programs([cls])
+    resolved = all_compiled_programs()
+    names = [name for name, _ in resolved]
+    return names, lint_programs([cls for _, cls in resolved])
+
+
+def run_lint(
+    app: Optional[str] = None,
+    module: Optional[str] = None,
+    compiled: bool = False,
+) -> Tuple[List[str], List[Finding]]:
+    """CLI entry: lint an app, a module, every built-in, or (with
+    ``compiled=True``) the generated code of the spec registry."""
     if app is not None and module is not None:
         raise LintError("--app and --module are mutually exclusive")
+    if compiled:
+        if module is not None:
+            raise LintError("--compiled lints specs, not module files")
+        return lint_compiled_apps(app)
     if app is not None:
         return [app], lint_app(app)
     if module is not None:

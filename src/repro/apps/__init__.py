@@ -37,7 +37,16 @@ APP_BY_NAME = {
 
 
 def make_app(name: str):
-    """Construct an application by its short name (bfs/sssp/cc/pr/kcore)."""
+    """Construct an application by its short name (bfs/sssp/cc/pr/kcore).
+
+    ``<app>@compiled`` names resolve through the spec registry
+    (:mod:`repro.apps.specs`) to the generated twin of the handwritten
+    app; everything else resolves through ``APP_BY_NAME``.
+    """
+    if name.lower().endswith("@compiled"):
+        from repro.apps.specs import make_compiled_app
+
+        return make_compiled_app(name.lower())
     try:
         cls = APP_BY_NAME[name.lower()]
     except KeyError:

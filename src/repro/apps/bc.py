@@ -34,6 +34,7 @@ from repro.apps.base import (
     VertexProgram,
     gather_frontier_edges,
 )
+from repro.compiler.spec import PhaseSpec, derive_phase_access
 from repro.core.sync_structures import ADD, MIN, FieldSpec
 from repro.partition.base import LocalPartition
 from repro.partition.strategy import OperatorClass
@@ -41,7 +42,68 @@ from repro.runtime.stats import RunResult
 from repro.runtime.timing import WorkStats
 
 INFINITY = np.uint32(np.iinfo(np.uint32).max)
-BOTH_ENDS = frozenset({"source", "destination"})
+
+# -- declarative phase descriptions (endpoint derivation only) --------------
+#
+# BC's sweeps stay handwritten (the level counter and the two-executor
+# drive don't fit the codegen templates), but the FieldSpec endpoints are
+# *derived* from these phase descriptions — the same
+# :func:`derive_phase_access` rule the compiled apps go through — instead
+# of being hand-declared location sets.
+
+#: Forward sweep, distance relaxation: the kernel folds in the
+#: ``dist[dst] > level`` accept filter (a destination-side read).
+_FORWARD_RELAX = PhaseSpec(
+    name="relax",
+    kind="frontier_push",
+    target="dist",
+    kernel="np.where({dst.dist} > level, np.uint32(level + 1), {dst.dist})",
+    guard="{dist} == level",
+)
+
+#: Forward sweep, shortest-path counting: push ``sigma`` along accepted
+#: edges into the ADD accumulator.
+_FORWARD_COUNT = PhaseSpec(
+    name="count",
+    kind="frontier_push",
+    target="sigma_acc",
+    kernel="{src.sigma}",
+    guard="{dist} == level",
+)
+
+#: Backward sweep: dependency accumulation over *transposed* edges — the
+#: active node sits at the original edge's destination, the write lands
+#: at its source.  The kernel folds in the ``dist[pred] == level - 1``
+#: predecessor filter.
+_BACKWARD_DEP = PhaseSpec(
+    name="dependency",
+    kind="frontier_push",
+    target="delta_acc",
+    kernel=(
+        "np.where({dst.dist} == level - 1, "
+        "{dst.sigma} / np.maximum({src.sigma}, 1.0) * (1.0 + {src.delta}), "
+        "0.0)"
+    ),
+    guard="{dist} == level",
+    orientation="transpose",
+)
+
+_BC_PHASES = (_FORWARD_RELAX, _FORWARD_COUNT, _BACKWARD_DEP)
+
+
+def _derived_endpoints(field, read_surface=None):
+    """Union :func:`derive_phase_access` over every BC phase."""
+    writes, reads = set(), set()
+    for phase in _BC_PHASES:
+        w, r = derive_phase_access(phase, field, read_surface=read_surface)
+        writes |= w
+        reads |= r
+    return frozenset(writes), frozenset(reads)
+
+
+DIST_WRITES, DIST_READS = _derived_endpoints("dist")
+SIGMA_WRITES, SIGMA_READS = _derived_endpoints("sigma_acc", "sigma")
+DELTA_WRITES, DELTA_READS = _derived_endpoints("delta_acc", "delta")
 
 
 class _ForwardBC(VertexProgram):
@@ -80,13 +142,16 @@ class _ForwardBC(VertexProgram):
             return dirty
 
         return [
-            # dist is read at both endpoints: at the source to push
-            # level+1, at the destination to filter already-settled nodes.
+            # dist derives both-endpoint reads: the source-side guard
+            # pushes level+1, the destination-side filter rejects
+            # already-settled nodes, and the backward sweep reads it on
+            # both ends of the transposed edges.
             FieldSpec(
                 name="dist",
                 values=state["dist"],
                 reduce_op=MIN,
-                reads=BOTH_ENDS,
+                writes=DIST_WRITES,
+                reads=DIST_READS,
             ),
             FieldSpec(
                 name="sigma_acc",
@@ -94,7 +159,10 @@ class _ForwardBC(VertexProgram):
                 reduce_op=ADD,
                 broadcast_values=state["sigma"],
                 on_master_after_reduce=fold_sigma,
-                reads=BOTH_ENDS,  # backward reads sigma at both endpoints
+                writes=SIGMA_WRITES,
+                # Derived both-endpoint reads: backward reads sigma at
+                # the node *and* its predecessors.
+                reads=SIGMA_READS,
             ),
         ]
 
@@ -168,7 +236,8 @@ class _BackwardBC(VertexProgram):
             return dirty
 
         # Dependencies are *written at the edge source* and *read at the
-        # edge destination* — the reverse of the §3.2 flow.
+        # edge destination* — the reverse of the §3.2 flow.  The sets are
+        # derived from the transposed phase description, not declared.
         return [
             FieldSpec(
                 name="delta_acc",
@@ -176,8 +245,8 @@ class _BackwardBC(VertexProgram):
                 reduce_op=ADD,
                 broadcast_values=state["delta"],
                 on_master_after_reduce=fold_delta,
-                writes=frozenset({"source"}),
-                reads=frozenset({"destination"}),
+                writes=DELTA_WRITES,
+                reads=DELTA_READS,
             )
         ]
 

@@ -31,6 +31,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.apps.base import AppContext, StepOutcome, VertexProgram
+from repro.compiler.spec import PhaseSpec, derive_phase_access
 from repro.core.sync_structures import ADD, FieldSpec
 from repro.features.kernels import (
     aggregate_neighbor_rows,
@@ -43,6 +44,23 @@ from repro.features.kernels import (
 from repro.partition.base import LocalPartition
 from repro.partition.strategy import OperatorClass
 from repro.runtime.timing import WorkStats
+
+
+#: Declarative description of the one compute phase all three programs
+#: share: a dense pull aggregating ``feat`` rows into the ``acc``
+#: accumulator over every local edge.  The FieldSpec endpoints below are
+#: *derived* from it (:func:`derive_phase_access`) — the same rule the
+#: compiled apps go through — not hand-declared.
+_AGGREGATE = PhaseSpec(
+    name="aggregate",
+    kind="dense_pull",
+    target="acc",
+    source_rows="feat",
+)
+
+AGG_WRITES, AGG_READS = derive_phase_access(
+    _AGGREGATE, "acc", read_surface="feat"
+)
 
 
 class _FeatureAggregation(VertexProgram):
@@ -82,6 +100,8 @@ class _FeatureAggregation(VertexProgram):
                 broadcast_values=state["feat"],
                 on_master_after_reduce=after_reduce,
                 compression=state["compression"],
+                writes=AGG_WRITES,
+                reads=AGG_READS,
             )
         ]
 

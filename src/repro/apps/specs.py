@@ -1,0 +1,568 @@
+"""Declarative program specs for the benchmark apps (ROADMAP item 3).
+
+Every migrated application is re-expressed as a
+:class:`~repro.compiler.spec.ProgramSpec` — fields, phases, kernels,
+and sync pairings — and registered as ``<app>@compiled`` next to its
+handwritten original.  The sync endpoints are *derived* from the phase
+access sets by the compiler; nothing here declares ``writes=`` or
+``reads=``.
+
+The master-side hooks and convergence tests below are plain Python
+functions copied verbatim from the handwritten apps' arithmetic: the
+compiled programs must be *bitwise identical* to the originals across
+every policy, host count, and runtime (the bench ``compiler`` cell and
+``tests/compiler/test_program_specs.py`` enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.compiler.spec import (
+    FieldDecl,
+    PhaseSpec,
+    ProgramSpec,
+    SyncDecl,
+)
+
+#: "Unreached" distance, mirrored from :mod:`repro.apps.sssp`.
+_INFINITY = np.uint32(np.iinfo(np.uint32).max)
+
+_BFS_KERNEL = (
+    "np.minimum({src.dist}.astype(np.int64) + 1, int(INFINITY))"
+    ".astype(np.uint32)"
+)
+
+
+# ---------------------------------------------------------------------------
+# Master-side hooks (the derived-broadcast apply functions).  Each is the
+# exact arithmetic of the handwritten app's ``_apply_at_masters``.
+# ---------------------------------------------------------------------------
+
+
+def _kcore_apply(part, state: Dict) -> np.ndarray:
+    """Apply removal counts at masters; kill under-degree nodes."""
+    m = part.num_masters
+    degree = state["degree"]
+    alive = state["alive"]
+    acc = state["removed_acc"]
+    k = state["k"]
+    degree[:m] -= acc[:m]
+    acc[:m] = 0
+    newly_dead = (alive[:m] == 1) & (degree[:m] < k)
+    alive[:m][newly_dead] = 0
+    broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+    broadcast_dirty[:m] = newly_dead
+    return broadcast_dirty
+
+
+def _pr_apply(part, state: Dict) -> np.ndarray:
+    """Master-side pagerank apply: new rank, new contribution, residual."""
+    m = part.num_masters
+    damping = state["damping"]
+    acc = state["acc"]
+    rank = state["rank"]
+    contrib = state["contrib"]
+    out_degree = state["out_degree"]
+    new_rank = (1.0 - damping) + damping * acc[:m]
+    state["residual"] = float(np.abs(new_rank - rank[:m]).sum())
+    rank[:m] = new_rank
+    new_contrib = np.where(
+        out_degree[:m] > 0, new_rank / np.maximum(out_degree[:m], 1), 0.0
+    )
+    broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+    broadcast_dirty[:m] = new_contrib != contrib[:m]
+    contrib[:m] = new_contrib
+    acc[:m] = 0.0
+    return broadcast_dirty
+
+
+def _pr_converged(residual_sum: float, round_index: int, ctx) -> bool:
+    if round_index >= ctx.max_iterations:
+        return True
+    mean_residual = residual_sum / max(ctx.num_global_nodes, 1)
+    return round_index > 1 and mean_residual < ctx.tolerance
+
+
+def _pr_push_consume(part, state: Dict) -> np.ndarray:
+    """Master-side apply: rank absorbs residual, emit push amounts."""
+    m = part.num_masters
+    residual = state["residual"]
+    rank = state["rank"]
+    push_delta = state["push_delta"]
+    out_degree = state["out_degree"]
+    damping = state["damping"]
+    tolerance = state["tolerance"]
+    delta = residual[:m].copy()
+    active = delta > tolerance
+    rank[:m][active] += delta[active]
+    residual[:m][active] = 0.0
+    amount = np.where(
+        out_degree[:m] > 0,
+        damping * delta / np.maximum(out_degree[:m], 1.0),
+        0.0,
+    )
+    push_delta[:m][active] = amount[active]
+    broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+    broadcast_dirty[:m] = active
+    return broadcast_dirty
+
+
+def _featprop_apply(part, state: Dict) -> np.ndarray:
+    """Masters adopt the aggregated rows; dirty where any column moved."""
+    m = part.num_masters
+    feat = state["feat"]
+    acc = state["acc"]
+    new = acc[:m]
+    changed = (new != feat[:m]).any(axis=1)
+    state["residual"] = float(changed.sum())
+    feat[:m] = new
+    acc[:m] = 0.0
+    broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+    broadcast_dirty[:m] = changed
+    return broadcast_dirty
+
+
+def _featprop_converged(residual_sum: float, round_index: int, ctx) -> bool:
+    return round_index >= ctx.feature_rounds
+
+
+def _labelprop_apply(part, state: Dict) -> np.ndarray:
+    """Majority vote at masters; ties break toward the lowest class."""
+    from repro.features.kernels import one_hot_rows
+
+    m = part.num_masters
+    label = state["label"]
+    feat = state["feat"]
+    acc = state["acc"]
+    counts = acc[:m]
+    has_votes = counts.sum(axis=1) > 0
+    new_label = np.where(has_votes, counts.argmax(axis=1), label[:m])
+    state["residual"] = float((new_label != label[:m]).sum())
+    label[:m] = new_label
+    new_rows = one_hot_rows(new_label, feat.shape[1])
+    changed = (new_rows != feat[:m]).any(axis=1)
+    feat[:m] = new_rows
+    acc[:m] = 0.0
+    broadcast_dirty = np.zeros(part.num_nodes, dtype=bool)
+    broadcast_dirty[:m] = changed
+    return broadcast_dirty
+
+
+def _labelprop_converged(residual_sum: float, round_index: int, ctx) -> bool:
+    return residual_sum == 0 or round_index >= ctx.feature_rounds
+
+
+# ---------------------------------------------------------------------------
+# The eight migrated specs.
+# ---------------------------------------------------------------------------
+
+BFS_SPEC = ProgramSpec(
+    name="bfs",
+    fields=(
+        FieldDecl(
+            name="dist",
+            dtype=np.uint32,
+            reduce="min",
+            init="np.full(n, INFINITY, dtype=np.uint32)",
+            source_value="0",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="relax",
+            kind="frontier_push",
+            target="dist",
+            kernel=_BFS_KERNEL,
+            guard="{dist} != INFINITY",
+        ),
+        PhaseSpec(
+            name="adopt",
+            kind="sparse_pull",
+            target="dist",
+            kernel=_BFS_KERNEL,
+            guard="{dist} != INFINITY",
+            pull_targets="{dist} == INFINITY",
+        ),
+    ),
+    sync=(SyncDecl(field="dist"),),
+    constants=(("INFINITY", _INFINITY),),
+    frontier="source",
+)
+
+SSSP_SPEC = ProgramSpec(
+    name="sssp",
+    fields=(
+        FieldDecl(
+            name="dist",
+            dtype=np.uint32,
+            reduce="min",
+            init="np.full(n, INFINITY, dtype=np.uint32)",
+            source_value="0",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="relax",
+            kind="frontier_push",
+            target="dist",
+            kernel=(
+                "np.minimum({src.dist}.astype(np.int64) + {w}, "
+                "int(INFINITY)).astype(np.uint32)"
+            ),
+            guard="{dist} != INFINITY",
+            uses_weights=True,
+        ),
+    ),
+    sync=(SyncDecl(field="dist"),),
+    constants=(("INFINITY", _INFINITY),),
+    frontier="source",
+    needs_weights=True,
+)
+
+CC_SPEC = ProgramSpec(
+    name="cc",
+    fields=(
+        FieldDecl(
+            name="label",
+            dtype=np.uint32,
+            reduce="min",
+            init="part.local_to_global.astype(np.uint32).copy()",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="propagate",
+            kind="frontier_push",
+            target="label",
+            kernel="{src.label}",
+        ),
+        PhaseSpec(
+            name="adopt",
+            kind="sparse_pull",
+            target="label",
+            kernel="{src.label}",
+        ),
+    ),
+    sync=(SyncDecl(field="label"),),
+    frontier="all",
+    symmetrize_input=True,
+)
+
+KCORE_SPEC = ProgramSpec(
+    name="kcore",
+    fields=(
+        FieldDecl(
+            name="degree",
+            dtype=np.int64,
+            reduce=None,
+            init=(
+                "ctx.global_out_degree[part.local_to_global]"
+                ".astype(np.int64)"
+            ),
+        ),
+        FieldDecl(
+            name="alive",
+            dtype=np.uint32,
+            reduce=None,
+            init="np.ones(n, dtype=np.uint32)",
+        ),
+        FieldDecl(
+            name="removed_acc",
+            dtype=np.uint32,
+            reduce="add",
+            init="np.zeros(n, dtype=np.uint32)",
+        ),
+        FieldDecl(
+            name="pushed",
+            dtype=bool,
+            reduce=None,
+            init="np.zeros(n, dtype=bool)",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="notify",
+            kind="frontier_push",
+            target="removed_acc",
+            kernel="np.uint32(1)",
+            guard="({alive} == 0) & ~{pushed}",
+            post_gather=("{pushed}[{mask}] = True",),
+        ),
+    ),
+    sync=(
+        SyncDecl(field="removed_acc", broadcast="alive", hook=_kcore_apply),
+    ),
+    scalars=(("k", "ctx.k"),),
+    frontier="all",
+    symmetrize_input=True,
+    needs_global_degrees=True,
+)
+
+PAGERANK_SPEC = ProgramSpec(
+    name="pr",
+    fields=(
+        FieldDecl(
+            name="out_degree",
+            dtype=np.float64,
+            reduce=None,
+            init=(
+                "ctx.global_out_degree[part.local_to_global]"
+                ".astype(np.float64)"
+            ),
+        ),
+        FieldDecl(
+            name="rank",
+            dtype=np.float64,
+            reduce=None,
+            init="np.full(n, 1.0 - ctx.damping, dtype=np.float64)",
+        ),
+        FieldDecl(
+            name="contrib",
+            dtype=np.float64,
+            reduce=None,
+            init=(
+                'np.where(state["out_degree"] > 0, '
+                'state["rank"] / np.maximum(state["out_degree"], 1), 0.0)'
+            ),
+        ),
+        FieldDecl(
+            name="acc",
+            dtype=np.float64,
+            reduce="add",
+            init="np.zeros(n, dtype=np.float64)",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="accumulate",
+            kind="dense_pull",
+            target="acc",
+            kernel="{src.contrib}",
+        ),
+    ),
+    sync=(
+        SyncDecl(
+            field="acc", name="rank_acc", broadcast="contrib", hook=_pr_apply
+        ),
+    ),
+    scalars=(("residual", "0.0"), ("damping", "ctx.damping")),
+    frontier="all",
+    residual="residual",
+    converged=_pr_converged,
+    needs_global_degrees=True,
+)
+
+PAGERANK_PUSH_SPEC = ProgramSpec(
+    name="pr-push",
+    fields=(
+        FieldDecl(
+            name="out_degree",
+            dtype=np.float64,
+            reduce=None,
+            init=(
+                "ctx.global_out_degree[part.local_to_global]"
+                ".astype(np.float64)"
+            ),
+        ),
+        FieldDecl(
+            name="rank",
+            dtype=np.float64,
+            reduce=None,
+            init="np.zeros(n, dtype=np.float64)",
+        ),
+        FieldDecl(
+            name="residual",
+            dtype=np.float64,
+            reduce="add",
+            init="np.zeros(n, dtype=np.float64)",
+            # Only masters seed residual: mirror copies start at the ADD
+            # identity so the first reduce does not double count.
+            extra_init=(
+                'state["residual"][: part.num_masters] = 1.0 - ctx.damping',
+            ),
+        ),
+        FieldDecl(
+            name="push_delta",
+            dtype=np.float64,
+            reduce=None,
+            init="np.zeros(n, dtype=np.float64)",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="push",
+            kind="frontier_push",
+            target="residual",
+            kernel="{src.push_delta}",
+            guard="{push_delta} > 0.0",
+            post_scatter=("{push_delta}[{mask}] = 0.0",),
+        ),
+    ),
+    sync=(
+        SyncDecl(
+            field="residual", broadcast="push_delta", hook=_pr_push_consume
+        ),
+    ),
+    scalars=(("damping", "ctx.damping"), ("tolerance", "ctx.tolerance")),
+    frontier="all",
+    needs_global_degrees=True,
+)
+
+FEATPROP_SPEC = ProgramSpec(
+    name="featprop",
+    fields=(
+        FieldDecl(
+            name="feat",
+            dtype=np.float64,
+            reduce=None,
+            init="feature_rows(part.local_to_global, dim)",
+            width="dim",
+        ),
+        FieldDecl(
+            name="acc",
+            dtype=np.float64,
+            reduce="add",
+            init="np.zeros((n, dim), dtype=np.float64)",
+            width="dim",
+            compression="compression",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="aggregate",
+            kind="dense_pull",
+            target="acc",
+            source_rows="feat",
+        ),
+    ),
+    sync=(
+        SyncDecl(
+            field="acc",
+            name="feat_acc",
+            broadcast="feat",
+            hook=_featprop_apply,
+        ),
+    ),
+    scalars=(("residual", "0.0"), ("compression", "ctx.compression")),
+    imports=("from repro.features.kernels import feature_rows",),
+    frontier="all",
+    residual="residual",
+    converged=_featprop_converged,
+    wide_dim="ctx.feature_dim",
+)
+
+LABELPROP_SPEC = ProgramSpec(
+    name="labelprop",
+    fields=(
+        FieldDecl(
+            name="label",
+            dtype=np.int64,
+            reduce=None,
+            init="label_rows(part.local_to_global, dim)",
+        ),
+        FieldDecl(
+            name="feat",
+            dtype=np.float64,
+            reduce=None,
+            # The wide field holds one-hot labels, not raw features.
+            init='one_hot_rows(state["label"], dim)',
+            width="dim",
+        ),
+        FieldDecl(
+            name="acc",
+            dtype=np.float64,
+            reduce="add",
+            init="np.zeros((n, dim), dtype=np.float64)",
+            width="dim",
+            compression="compression",
+        ),
+    ),
+    phases=(
+        PhaseSpec(
+            name="vote",
+            kind="dense_pull",
+            target="acc",
+            source_rows="feat",
+        ),
+    ),
+    sync=(
+        SyncDecl(
+            field="acc",
+            name="count_acc",
+            broadcast="feat",
+            hook=_labelprop_apply,
+        ),
+    ),
+    scalars=(("residual", "0.0"), ("compression", "ctx.compression")),
+    imports=("from repro.features.kernels import label_rows, one_hot_rows",),
+    frontier="all",
+    residual="residual",
+    converged=_labelprop_converged,
+    wide_dim="ctx.feature_dim",
+)
+
+#: Every migrated spec, keyed by its canonical app name.
+PROGRAM_SPECS: Dict[str, ProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        BFS_SPEC,
+        SSSP_SPEC,
+        CC_SPEC,
+        KCORE_SPEC,
+        PAGERANK_SPEC,
+        PAGERANK_PUSH_SPEC,
+        FEATPROP_SPEC,
+        LABELPROP_SPEC,
+    )
+}
+
+#: Accepted aliases (mirrors APP_BY_NAME's "pagerank" -> "pr").
+_SPEC_ALIASES = {"pagerank": "pr"}
+
+_COMPILED_SUFFIX = "@compiled"
+
+_COMPILED_CACHE: Dict[str, type] = {}
+
+
+def base_app_name(name: str) -> str:
+    """Strip the ``@compiled`` suffix (if any) from an app name."""
+    if name.endswith(_COMPILED_SUFFIX):
+        return name[: -len(_COMPILED_SUFFIX)]
+    return name
+
+
+def is_compiled_name(name: str) -> bool:
+    return name.endswith(_COMPILED_SUFFIX)
+
+
+def spec_for(name: str) -> ProgramSpec:
+    """Resolve a spec by app name (with or without ``@compiled``)."""
+    base = base_app_name(name.lower())
+    base = _SPEC_ALIASES.get(base, base)
+    try:
+        return PROGRAM_SPECS[base]
+    except KeyError:
+        known = ", ".join(sorted(PROGRAM_SPECS))
+        raise ValueError(
+            f"no program spec for {name!r} (known: {known})"
+        ) from None
+
+
+def make_compiled_app(name: str):
+    """Compile (with caching) and instantiate ``<name>@compiled``."""
+    from repro.compiler.program_codegen import compile_program
+
+    spec = spec_for(name)
+    cls = _COMPILED_CACHE.get(spec.name)
+    if cls is None:
+        cls = compile_program(spec).__class__
+        _COMPILED_CACHE[spec.name] = cls
+    return cls()
+
+
+def compiled_app_names() -> List[str]:
+    """The registry names of every migrated app (``<app>@compiled``)."""
+    return [f"{name}{_COMPILED_SUFFIX}" for name in sorted(PROGRAM_SPECS)]

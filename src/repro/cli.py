@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.apps import APP_BY_NAME
+from repro.apps.specs import PROGRAM_SPECS, compiled_app_names
 from repro.core.optimization import OptimizationLevel
 from repro.core.sync_structures import COMPRESSION_MODES
 from repro.errors import FaultPlanError
@@ -65,7 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--system", required=True, choices=sorted(ALL_SYSTEMS)
     )
     run_cmd.add_argument(
-        "--app", required=True, choices=sorted(APP_BY_NAME)
+        "--app",
+        required=True,
+        choices=sorted(APP_BY_NAME) + compiled_app_names(),
     )
     run_cmd.add_argument(
         "--workload", required=True, choices=sorted(WORKLOAD_NAMES)
@@ -365,6 +368,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint every VertexProgram subclass defined in a module file",
     )
     lint_cmd.add_argument(
+        "--compiled",
+        action="store_true",
+        help=(
+            "lint the GENERATED code of the spec registry instead of the "
+            "handwritten apps (the compiler's verification loop); combine "
+            "with --app to lint one spec's output"
+        ),
+    )
+    lint_cmd.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable findings on stdout",
@@ -399,7 +411,26 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="show an operator's per-strategy synchronization plan (§3.2)",
     )
-    analyze_cmd.add_argument("app", choices=["bfs", "sssp", "cc"])
+    analyze_cmd.add_argument("app", choices=sorted(PROGRAM_SPECS))
+
+    compile_cmd = commands.add_parser(
+        "compile",
+        help=(
+            "compile a declarative program spec into a generated vertex "
+            "program (the §3.3 preprocessor) and verify it"
+        ),
+    )
+    compile_cmd.add_argument("app", choices=sorted(PROGRAM_SPECS))
+    compile_cmd.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the spec's phases, derived endpoints, and strategy plan",
+    )
+    compile_cmd.add_argument(
+        "--source",
+        action="store_true",
+        help="print the generated Python source",
+    )
 
     trace_cmd = commands.add_parser(
         "trace", help="summarize an exported Chrome trace (from run --trace)"
@@ -979,7 +1010,9 @@ def _command_lint(
             print(f"    {rule.invariant}")
         return 0
     try:
-        targets, findings = run_lint(app=args.app, module=args.module)
+        targets, findings = run_lint(
+            app=args.app, module=args.module, compiled=args.compiled
+        )
     except LintError as exc:
         parser.error(str(exc))
     if args.json:
@@ -1028,44 +1061,43 @@ def _command_inputs(_args: argparse.Namespace) -> int:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
-    import numpy as np
+    # One source of truth: the same spec registry that backs
+    # ``repro run <app>@compiled`` and ``repro compile``.
+    from repro.apps.specs import spec_for
+    from repro.compiler.analysis import describe_program
 
-    from repro.compiler.analysis import data_flow_description
-    from repro.compiler.spec import FieldDecl, Init, OperatorSpec
-    from repro.partition.strategy import OperatorClass
-
-    specs = {
-        "bfs": OperatorSpec(
-            name="bfs",
-            style=OperatorClass.PUSH,
-            field=FieldDecl(
-                "dist", np.uint32, reduce="min",
-                init=Init.infinity_except_source(),
-            ),
-            edge_kernel=lambda values, weights: values + 1,
-        ),
-        "sssp": OperatorSpec(
-            name="sssp",
-            style=OperatorClass.PUSH,
-            field=FieldDecl(
-                "dist", np.uint32, reduce="min",
-                init=Init.infinity_except_source(),
-            ),
-            edge_kernel=lambda values, weights: values + weights,
-            needs_weights=True,
-        ),
-        "cc": OperatorSpec(
-            name="cc",
-            style=OperatorClass.PUSH,
-            field=FieldDecl(
-                "label", np.uint32, reduce="min", init=Init.global_id()
-            ),
-            edge_kernel=lambda values, weights: values,
-            symmetrize_input=True,
-        ),
-    }
-    print(data_flow_description(specs[args.app]))
+    print(describe_program(spec_for(args.app)))
     return 0
+
+
+def _command_compile(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.analysis.findings import has_errors, render_text
+    from repro.apps.specs import spec_for
+    from repro.compiler.analysis import describe_program
+    from repro.compiler.program_codegen import compile_program, verify_compiled
+    from repro.compiler.spec import CompileError
+
+    spec = spec_for(args.app)
+    if args.describe:
+        print(describe_program(spec))
+        return 0
+    try:
+        app = compile_program(spec)
+    except CompileError as exc:
+        parser.error(str(exc))
+    if args.source:
+        print(app.__class__.generated_source, end="")
+        return 0
+    findings = verify_compiled(app.__class__)
+    source_lines = len(app.__class__.generated_source.splitlines())
+    print(
+        f"compiled {spec.name} -> {app.name}: {len(spec.phases)} phase(s), "
+        f"{len(spec.fields)} field(s), {source_lines} generated lines"
+    )
+    print(render_text(findings), end="")
+    return 1 if has_errors(findings) else 0
 
 
 def _command_serve(
@@ -1278,6 +1310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _command_experiment,
         "inputs": _command_inputs,
         "analyze": _command_analyze,
+        "compile": lambda a: _command_compile(a, parser),
         "report": _command_report,
         "trace": lambda a: _command_trace(a, parser),
         "serve": lambda a: _command_serve(a, parser),

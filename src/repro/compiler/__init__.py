@@ -25,15 +25,39 @@ Example (sssp in six declarative lines)::
         needs_weights=True,
     )
     sssp = compile_operator(spec)   # a ready-to-run VertexProgram
+
+The full pipeline is the multi-field, multi-phase
+:class:`~repro.compiler.spec.ProgramSpec` language:
+:func:`compile_program` renders real Python source from templates, the
+sync endpoints of every generated ``FieldSpec`` are *derived* from the
+phases' declared access sets (:func:`derive_endpoints`), and the
+GL001–GL011 lint rules verify the generated code (``repro lint
+--compiled``).  All migrated benchmark apps live as specs in
+:mod:`repro.apps.specs`, registered as ``<app>@compiled``.
 """
 
 from repro.compiler.analysis import (
     SyncRequirements,
     analyze_operator,
+    describe_program,
     required_patterns,
 )
 from repro.compiler.codegen import CompiledVertexProgram, compile_operator
-from repro.compiler.spec import FieldDecl, Init, OperatorSpec
+from repro.compiler.program_codegen import (
+    compile_program,
+    render_program,
+    verify_compiled,
+)
+from repro.compiler.spec import (
+    FieldDecl,
+    Init,
+    OperatorSpec,
+    PhaseSpec,
+    ProgramSpec,
+    SyncDecl,
+    derive_endpoints,
+    derive_phase_access,
+)
 
 __all__ = [
     "OperatorSpec",
@@ -44,4 +68,13 @@ __all__ = [
     "analyze_operator",
     "SyncRequirements",
     "required_patterns",
+    "ProgramSpec",
+    "PhaseSpec",
+    "SyncDecl",
+    "derive_endpoints",
+    "derive_phase_access",
+    "compile_program",
+    "render_program",
+    "verify_compiled",
+    "describe_program",
 ]

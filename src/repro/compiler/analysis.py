@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.compiler.spec import OperatorSpec
+from repro.compiler.spec import OperatorSpec, ProgramSpec, derive_endpoints
 from repro.errors import StrategyError
 from repro.partition.strategy import (
     PartitionStrategy,
@@ -95,14 +95,74 @@ def data_flow_description(spec: OperatorSpec) -> str:
     """Human-readable summary of the inferred synchronization plan."""
     lines = [f"operator {spec.name}: {spec.style.value}-style, "
              f"field {spec.field.name!r} ({spec.field.reduce}-reduction)"]
-    for strategy, req in analyze_operator(spec).items():
+    lines.extend(_strategy_lines(spec.style, spec.single_value_push))
+    return "\n".join(lines)
+
+
+def _strategy_lines(style, single_value_push: bool):
+    """The per-strategy plan table shared by both describe flavors."""
+    lines = []
+    for strategy in PartitionStrategy:
+        needs_reduce, needs_broadcast = required_patterns(strategy)
         patterns = []
-        if req.needs_reduce:
+        if needs_reduce:
             patterns.append("reduce")
-        if req.needs_broadcast:
+        if needs_broadcast:
             patterns.append("broadcast")
-        legality = "" if req.legal else "  [ILLEGAL for this operator]"
+        try:
+            check_strategy_legal(
+                strategy,
+                style,
+                is_reduction=True,
+                single_value_push=single_value_push,
+            )
+            legality = ""
+        except StrategyError:
+            legality = "  [ILLEGAL for this operator]"
         lines.append(
             f"  {strategy.value:>4}: {' + '.join(patterns)}{legality}"
         )
+    return lines
+
+
+def describe_program(spec: ProgramSpec) -> str:
+    """Human-readable summary of a multi-phase program spec.
+
+    Shows the phase pipeline, the *derived* sync endpoints per wire (the
+    part the paper's compiler extracts from application source), and the
+    per-strategy synchronization plan.
+    """
+    lines = [
+        f"program {spec.name}: {spec.operator_class.value}-style, "
+        f"{len(spec.phases)} phase(s), {len(spec.fields)} field(s)"
+    ]
+    for phase in spec.phases:
+        detail = []
+        if phase.guard:
+            detail.append(f"guard: {phase.guard}")
+        if phase.pull_targets:
+            detail.append(f"targets: {phase.pull_targets}")
+        if phase.uses_weights:
+            detail.append("weighted")
+        if phase.orientation != "forward":
+            detail.append(phase.orientation)
+        suffix = f"  ({'; '.join(detail)})" if detail else ""
+        lines.append(
+            f"  phase {phase.name} [{phase.kind}] -> {phase.target}{suffix}"
+        )
+    endpoints = derive_endpoints(spec)
+    for decl in spec.sync:
+        writes, reads = endpoints[decl.wire_name]
+        reduce = spec.field_decl(decl.field).reduce
+        pair = (
+            f", broadcast {decl.broadcast!r}"
+            if decl.broadcast is not None
+            else ""
+        )
+        lines.append(
+            f"  sync {decl.wire_name}: {reduce}-reduction of "
+            f"{decl.field!r}{pair} — derived writes="
+            f"{sorted(writes)} reads={sorted(reads)}"
+        )
+    lines.extend(_strategy_lines(spec.operator_class, True))
     return "\n".join(lines)

@@ -22,6 +22,7 @@ from repro.apps.base import (
 from repro.compiler.analysis import check_spec_legal_for
 from repro.compiler.spec import CompileError, OperatorSpec
 from repro.core.sync_structures import FieldSpec
+from repro.errors import StrategyError
 from repro.partition.base import LocalPartition
 from repro.partition.strategy import OperatorClass
 from repro.runtime.timing import WorkStats
@@ -123,15 +124,22 @@ class CompiledVertexProgram(VertexProgram):
     def _pull_step(
         self, part: LocalPartition, state: Dict, frontier: np.ndarray
     ) -> StepOutcome:
-        # Pull template: every local node reduces contributions from its
-        # in-neighbors that are in the frontier (and pass the guard).
+        # Pull template: each gathered node reduces contributions from
+        # its in-neighbors that are in the frontier (and pass the guard).
+        # A pull_targets predicate restricts the gather to destinations
+        # that can still improve (bfs-style unreached nodes); without
+        # one, every local node's in-edges are scanned each round.
         values = state[self.spec.field.name]
+        if self.spec.pull_targets is not None:
+            targets = np.asarray(self.spec.pull_targets(values), dtype=bool)
+        else:
+            targets = np.ones(part.num_nodes, dtype=bool)
         transpose = part.graph.transpose()
         node_rep, neighbor, positions = gather_frontier_edges(
-            transpose, np.ones(part.num_nodes, dtype=bool)
+            transpose, targets
         )
         updated = np.zeros(part.num_nodes, dtype=bool)
-        work = WorkStats(len(neighbor), part.num_nodes)
+        work = WorkStats(len(neighbor), int(targets.sum()))
         if len(neighbor) == 0:
             return StepOutcome(updated=updated, work=work)
         active = frontier[neighbor]
@@ -187,6 +195,8 @@ def compile_operator(spec: OperatorSpec) -> CompiledVertexProgram:
     """
     program = CompiledVertexProgram(spec)
     # Eagerly validate that at least one strategy can run the operator.
+    # Only legality violations mean "try the next strategy" — anything
+    # else (a CompileError from a malformed spec, say) must propagate.
     legal_somewhere = False
     from repro.partition.strategy import PartitionStrategy
 
@@ -194,7 +204,7 @@ def compile_operator(spec: OperatorSpec) -> CompiledVertexProgram:
         try:
             check_spec_legal_for(spec, strategy)
             legal_somewhere = True
-        except Exception:
+        except StrategyError:
             continue
     if not legal_somewhere:
         raise CompileError(

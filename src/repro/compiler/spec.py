@@ -1,16 +1,43 @@
-"""Declarative operator specifications — the compiler's input language.
+"""Declarative program specifications — the compiler's input language.
 
-An :class:`OperatorSpec` is what the paper's static analysis extracts from
-application source: the synchronized field, its reduction, the operator's
-style (push/pull), and the edge computation itself as a vectorized kernel.
-Everything else — state allocation, the local super-step, the Gluon sync
-structures — is template-generated by :mod:`repro.compiler.codegen`.
+Two spec layers live here:
+
+* :class:`OperatorSpec` — the original single-field, single-phase form:
+  one synchronized label, one reduction, one vectorized edge kernel.
+  Compiled by :class:`repro.compiler.codegen.CompiledVertexProgram`.
+
+* :class:`ProgramSpec` — the full multi-field, multi-phase language.
+  A program is an ordered tuple of :class:`PhaseSpec` compute phases
+  (push / sparse-pull / dense-pull, each a textual vectorized kernel
+  over declared :class:`FieldDecl` fields) plus :class:`SyncDecl`
+  synchronization pairings.  Crucially the sync *endpoints* — which
+  edge end a field is written at and which end it is read at, the
+  ``WriteAtDestination`` / ``ReadAtSource`` parameters of the paper's
+  Figure 4 — are **derived** from the phases' access sets by
+  :func:`derive_endpoints`; specs never hand-declare them.  Compiled to
+  real Python source by :func:`repro.compiler.program_codegen.compile_program`.
+
+Kernel/guard strings reference fields through placeholders:
+
+* ``{src.dist}`` — the field gathered at the edge *source* endpoint
+  (renders ``dist[src_rep]`` in a push phase, ``dist[neighbor[active]]``
+  in a sparse pull phase, ``dist[src]`` in a dense pull phase);
+* ``{dst.dist}`` — the field gathered at the edge *destination*;
+* ``{dist}`` — the whole local array (guards; active-side reads);
+* ``{w}`` — the per-edge weights; ``{mask}`` — the active-node mask
+  (post lines only).
+
+The placeholders double as the access sets the endpoint derivation
+consumes: a field appearing as ``{src.f}`` (or whole-array on the
+active side) is *read at source*; the phase's scatter ``target`` is
+*written at destination* (both flipped for ``orientation="transpose"``).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, FrozenSet, Optional, Tuple, Union
 
 import numpy as np
 
@@ -77,34 +104,60 @@ class Init:
 
 @dataclass(frozen=True)
 class FieldDecl:
-    """One synchronized node label.
+    """One node label (synchronized or local).
 
     Attributes:
         name: Field name (the state-dict key).
         dtype: numpy dtype of the label.
         reduce: Reduction name from
-            :data:`repro.core.sync_structures.REDUCTIONS`.
-        init: Initializer from :class:`Init` (or any compatible callable).
+            :data:`repro.core.sync_structures.REDUCTIONS`, or ``None``
+            for a local (never-synchronized) field.
+        init: Initializer.  Either a callable ``(part, ctx, dtype) ->
+            ndarray`` (the :class:`Init` factories; the only form the
+            legacy :class:`OperatorSpec` path accepts) or a Python
+            *source expression* rendered verbatim into the generated
+            ``make_state`` (:class:`ProgramSpec` path).  Expressions may
+            reference ``part``, ``ctx``, ``n`` (local node count),
+            ``dim`` (the program's wide dimension), previously declared
+            fields via ``state["..."]``, spec constants, and ``np``.
+        width: For wide ``(n, d)`` fields, the source expression of the
+            column count (e.g. ``"ctx.feature_dim"``); ``None`` for 1-D.
+        compression: Wire payload encoding for the synchronized field —
+            a state key holding the mode (e.g. the ``"compression"``
+            scalar mirroring ``ctx.compression``), or ``None``.
+        source_value: Optional source expression assigned to the
+            ``ctx.source`` proxy after ``init`` (bfs/sssp-style seeds).
+        extra_init: Extra ``make_state`` statements emitted after the
+            base initialization (may reference ``state``).
     """
 
     name: str
     dtype: type
-    reduce: str
-    init: Callable
+    reduce: Optional[str]
+    init: Union[Callable, str]
+    width: Optional[str] = None
+    compression: Optional[str] = None
+    source_value: Optional[str] = None
+    extra_init: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.reduce not in REDUCTIONS:
+        if self.reduce is not None and self.reduce not in REDUCTIONS:
             known = ", ".join(sorted(REDUCTIONS))
             raise CompileError(
                 f"field {self.name!r}: unknown reduction {self.reduce!r} "
                 f"(known: {known})"
             )
-        if not callable(self.init):
-            raise CompileError(f"field {self.name!r}: init must be callable")
+        if not callable(self.init) and not isinstance(self.init, str):
+            raise CompileError(
+                f"field {self.name!r}: init must be callable or a source "
+                "expression"
+            )
 
     @property
-    def reduction(self) -> ReductionOp:
-        """The resolved reduction operation."""
+    def reduction(self) -> Optional[ReductionOp]:
+        """The resolved reduction operation (``None`` for local fields)."""
+        if self.reduce is None:
+            return None
         return REDUCTIONS[self.reduce]
 
 
@@ -124,6 +177,11 @@ class OperatorSpec:
         source_guard: Optional vectorized predicate over label values;
             active nodes failing it do not apply the operator this step
             (e.g. unreached nodes in sssp).
+        pull_targets: Optional vectorized predicate over label values
+            selecting the *destination* nodes a pull step gathers
+            in-edges for (e.g. still-unreached nodes).  ``None`` gathers
+            every local node each round (cc-style: any label can still
+            improve).
         needs_weights: Whether the input must be edge-weighted.
         symmetrize_input: Whether the input is symmetrized first (cc).
         single_value_push: Whether the kernel pushes the same value on all
@@ -140,6 +198,7 @@ class OperatorSpec:
     field: FieldDecl
     edge_kernel: Callable
     source_guard: Optional[Callable] = None
+    pull_targets: Optional[Callable] = None
     needs_weights: bool = False
     symmetrize_input: bool = False
     single_value_push: bool = True
@@ -147,12 +206,425 @@ class OperatorSpec:
     uses_frontier: bool = True
 
     def __post_init__(self) -> None:
+        if self.field.reduce is None:
+            raise CompileError(
+                f"{self.name}: the operator's field must declare a reduction"
+            )
+        if not callable(self.field.init):
+            raise CompileError(
+                f"{self.name}: operator field initializers must be callable "
+                "(source-expression inits are a ProgramSpec feature)"
+            )
         if not callable(self.edge_kernel):
             raise CompileError(f"{self.name}: edge_kernel must be callable")
         if self.source_guard is not None and not callable(self.source_guard):
             raise CompileError(f"{self.name}: source_guard must be callable")
+        if self.pull_targets is not None and not callable(self.pull_targets):
+            raise CompileError(f"{self.name}: pull_targets must be callable")
         if self.iterate_locally and not self.field.reduction.idempotent:
             # Re-applying an ADD-combined operator within a round would
             # double-count contributions; the compiler forbids it rather
             # than trusting the author.
             object.__setattr__(self, "iterate_locally", False)
+
+
+# ---------------------------------------------------------------------------
+# The multi-field, multi-phase program language.
+# ---------------------------------------------------------------------------
+
+#: Kernel/guard placeholder grammar (see module docstring).
+_SRC_REF = re.compile(r"\{src\.([A-Za-z_]\w*)\}")
+_DST_REF = re.compile(r"\{dst\.([A-Za-z_]\w*)\}")
+_LOCAL_REF = re.compile(r"\{([A-Za-z_]\w*)\}")
+
+#: Placeholder names that are template variables, not fields.
+RESERVED_REFS = frozenset({"w", "mask"})
+
+#: Phase kinds the codegen templates implement.
+PHASE_KINDS = ("frontier_push", "sparse_pull", "dense_pull")
+
+
+def _local_refs(text: str) -> FrozenSet[str]:
+    """Whole-array field references in a kernel/guard fragment."""
+    return frozenset(
+        name
+        for name in _LOCAL_REF.findall(text or "")
+        if name not in RESERVED_REFS
+    )
+
+
+def _src_refs(text: str) -> FrozenSet[str]:
+    return frozenset(_SRC_REF.findall(text or ""))
+
+
+def _dst_refs(text: str) -> FrozenSet[str]:
+    return frozenset(_DST_REF.findall(text or ""))
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One ordered compute phase of a :class:`ProgramSpec`.
+
+    Attributes:
+        name: Phase name (for descriptions and generated method names).
+        kind: Which codegen template runs the phase —
+
+            * ``"frontier_push"``: gather out-edges of guarded frontier
+              nodes, scatter-combine the kernel's candidates into the
+              destinations (bfs/sssp/cc/kcore/pr-push);
+            * ``"sparse_pull"``: gather in-edges of the ``pull_targets``
+              destinations, adopt candidates from frontier in-neighbors
+              (bfs/cc pull directions);
+            * ``"dense_pull"``: scatter-combine over *all* local edges,
+              pre-gathered once in ``make_state`` (pagerank, and — with
+              ``source_rows`` — the wide SpMM aggregations).
+        target: The field the phase's reduction writes.
+        kernel: Candidate-value source expression (placeholder grammar in
+            the module docstring).  ``None`` only for wide dense pulls,
+            where ``source_rows`` names the row matrix to aggregate.
+        guard: Source-side predicate expression; push phases apply it to
+            the frontier, sparse pulls to the gathered in-neighbors.
+        pull_targets: Destination mask expression for sparse pulls;
+            ``None`` gathers every local node.
+        uses_weights: Whether the kernel references ``{w}``.
+        source_rows: Wide dense pull only — the field whose rows feed
+            ``aggregate_neighbor_rows`` into ``target``.
+        post_gather: Statements emitted right after the edge gather
+            (one-shot flags; may use ``{field}`` and ``{mask}``).
+        post_scatter: Statements emitted after the scatter, *outside*
+            the non-empty-edge-set branch (pr-push's delta clearing).
+        orientation: ``"forward"`` iterates the stored edge direction;
+            ``"transpose"`` flips which endpoint the derivation calls
+            source/destination (bc's backward sweep).
+    """
+
+    name: str
+    kind: str
+    target: str
+    kernel: Optional[str] = None
+    guard: Optional[str] = None
+    pull_targets: Optional[str] = None
+    uses_weights: bool = False
+    source_rows: Optional[str] = None
+    post_gather: Tuple[str, ...] = ()
+    post_scatter: Tuple[str, ...] = ()
+    orientation: str = "forward"
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise CompileError(
+                f"phase {self.name!r}: unknown kind {self.kind!r} "
+                f"(known: {', '.join(PHASE_KINDS)})"
+            )
+        if self.orientation not in ("forward", "transpose"):
+            raise CompileError(
+                f"phase {self.name!r}: orientation must be 'forward' or "
+                f"'transpose', not {self.orientation!r}"
+            )
+        if self.kind == "dense_pull":
+            if (self.kernel is None) == (self.source_rows is None):
+                raise CompileError(
+                    f"phase {self.name!r}: dense pulls take exactly one "
+                    "of kernel= (scalar) or source_rows= (wide)"
+                )
+        elif self.kernel is None:
+            raise CompileError(f"phase {self.name!r}: kernel is required")
+        if self.uses_weights and self.kind != "frontier_push":
+            raise CompileError(
+                f"phase {self.name!r}: weighted kernels are only "
+                "supported in frontier_push phases"
+            )
+        if self.pull_targets is not None and self.kind != "sparse_pull":
+            raise CompileError(
+                f"phase {self.name!r}: pull_targets only applies to "
+                "sparse_pull phases"
+            )
+
+    # -- access sets (what the endpoint derivation consumes) -----------------
+
+    @property
+    def source_endpoint(self) -> str:
+        """Which edge end the *active* (computing) node sits at."""
+        return "source" if self.orientation == "forward" else "destination"
+
+    @property
+    def dest_endpoint(self) -> str:
+        """Which edge end the phase's reduction writes."""
+        return "destination" if self.orientation == "forward" else "source"
+
+    def reads_at_source(self) -> FrozenSet[str]:
+        """Fields the phase reads on the active side (incl. guards)."""
+        refs = set(_src_refs(self.kernel))
+        refs |= _local_refs(self.kernel)
+        refs |= _local_refs(self.guard)
+        if self.source_rows is not None:
+            refs.add(self.source_rows)
+        return frozenset(refs)
+
+    def reads_at_destination(self) -> FrozenSet[str]:
+        """Fields the phase reads on the written side."""
+        return _dst_refs(self.kernel) | _dst_refs(self.guard)
+
+    def referenced_fields(self) -> FrozenSet[str]:
+        """Every field the phase touches (for alias emission/validation)."""
+        refs = set(self.reads_at_source() | self.reads_at_destination())
+        refs.add(self.target)
+        refs |= _local_refs(self.pull_targets)
+        for line in self.post_gather + self.post_scatter:
+            refs |= _local_refs(line)
+        return frozenset(refs)
+
+
+@dataclass(frozen=True)
+class SyncDecl:
+    """One synchronized field pairing: reduce surface + broadcast surface.
+
+    The *endpoints* (``writes``/``reads`` of the generated
+    :class:`~repro.core.sync_structures.FieldSpec`) are not declared
+    here — :func:`derive_endpoints` computes them from the phases.
+
+    Attributes:
+        field: The reduced field (must carry a ``reduce`` in its decl).
+        name: Wire name of the field (defaults to ``field``).
+        broadcast: For derived broadcasts, the field whose values flow
+            master -> mirrors after the reduce (pagerank's ``contrib``).
+        hook: Master-side apply ``(part, state) -> dirty_mask`` run
+            after the reduce phase (required iff ``broadcast`` is set).
+    """
+
+    field: str
+    name: Optional[str] = None
+    broadcast: Optional[str] = None
+    hook: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if (self.broadcast is None) != (self.hook is None):
+            raise CompileError(
+                f"sync {self.field!r}: derived broadcasts need both "
+                "broadcast= and hook= (or neither)"
+            )
+
+    @property
+    def wire_name(self) -> str:
+        return self.name if self.name is not None else self.field
+
+    @property
+    def read_surface(self) -> str:
+        """The field mirrors actually *read* (broadcast pair or values)."""
+        return self.broadcast if self.broadcast is not None else self.field
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A complete multi-phase vertex program, ready to compile.
+
+    Attributes:
+        name: Application name; the compiled program registers as
+            ``"<name>@compiled"``.
+        fields: Ordered field declarations (``make_state`` emits them in
+            this order, so inits may reference earlier fields).
+        phases: Ordered compute phases.  Push-direction steps run every
+            ``frontier_push`` phase; pull-direction steps run every
+            ``sparse_pull``/``dense_pull`` phase.
+        sync: Synchronization pairings (endpoints derived, never given).
+        constants: ``(name, value)`` pairs bound in the generated
+            module's namespace (e.g. ``("INFINITY", np.uint32(...))``).
+        scalars: ``(state_key, source_expression)`` pairs for non-array
+            state entries (``ctx`` mirrors, residual accumulators).
+        imports: Extra import statements for the generated module (for
+            kernels like ``feature_rows``).
+        frontier: Initial frontier — ``"all"`` proxies or the
+            ``"source"`` node only.
+        residual: State key returned by the generated
+            ``local_residual`` (topology-driven apps), or ``None``.
+        converged: Optional ``(residual_sum, round_index, ctx) -> bool``
+            global convergence test.
+        wide_dim: Column-count expression bound as ``dim`` in
+            ``make_state`` when any field is wide.
+        endpoint_overrides: **Testing hook** — ``(wire_name, (writes,
+            reads))`` pairs substituted for the derived endpoints, so the
+            lint suite can prove ``repro lint --compiled`` catches a
+            tampered contract.  Never set this in a real spec.
+    """
+
+    name: str
+    fields: Tuple[FieldDecl, ...]
+    phases: Tuple[PhaseSpec, ...]
+    sync: Tuple[SyncDecl, ...]
+    constants: Tuple[Tuple[str, Any], ...] = ()
+    scalars: Tuple[Tuple[str, str], ...] = ()
+    imports: Tuple[str, ...] = ()
+    frontier: str = "all"
+    residual: Optional[str] = None
+    converged: Optional[Callable] = None
+    wide_dim: Optional[str] = None
+    needs_weights: bool = False
+    symmetrize_input: bool = False
+    needs_global_degrees: bool = False
+    needs_global_in_degrees: bool = False
+    endpoint_overrides: Tuple[
+        Tuple[str, Tuple[FrozenSet[str], FrozenSet[str]]], ...
+    ] = ()
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise CompileError(f"{self.name}: a program needs >= 1 phase")
+        if not self.fields:
+            raise CompileError(f"{self.name}: a program needs >= 1 field")
+        if self.frontier not in ("all", "source"):
+            raise CompileError(
+                f"{self.name}: frontier must be 'all' or 'source', not "
+                f"{self.frontier!r}"
+            )
+        declared = {f.name for f in self.fields}
+        if len(declared) != len(self.fields):
+            raise CompileError(f"{self.name}: duplicate field declarations")
+        scalar_keys = {key for key, _ in self.scalars}
+        known = declared | scalar_keys
+        by_name = {f.name: f for f in self.fields}
+        for phase in self.phases:
+            unknown = phase.referenced_fields() - known
+            if unknown:
+                raise CompileError(
+                    f"{self.name}/{phase.name}: kernel references "
+                    f"undeclared fields {sorted(unknown)}"
+                )
+            if phase.target not in declared:
+                raise CompileError(
+                    f"{self.name}/{phase.name}: scatter target "
+                    f"{phase.target!r} is not a declared field"
+                )
+        wire_names = set()
+        for decl in self.sync:
+            if decl.field not in declared:
+                raise CompileError(
+                    f"{self.name}: sync field {decl.field!r} undeclared"
+                )
+            if by_name[decl.field].reduce is None:
+                raise CompileError(
+                    f"{self.name}: sync field {decl.field!r} declares no "
+                    "reduction"
+                )
+            if decl.broadcast is not None and decl.broadcast not in declared:
+                raise CompileError(
+                    f"{self.name}: broadcast field {decl.broadcast!r} "
+                    "undeclared"
+                )
+            if decl.wire_name in wire_names:
+                raise CompileError(
+                    f"{self.name}: duplicate wire name {decl.wire_name!r}"
+                )
+            wire_names.add(decl.wire_name)
+        if self.residual is not None and self.residual not in scalar_keys:
+            raise CompileError(
+                f"{self.name}: residual key {self.residual!r} is not a "
+                "declared scalar"
+            )
+        if any(f.width is not None for f in self.fields) and not self.wide_dim:
+            raise CompileError(
+                f"{self.name}: wide fields need wide_dim= (the column "
+                "count expression)"
+            )
+        # Endpoints are derived, never declared — validate they derive
+        # to something coherent for every synchronized field.
+        derive_endpoints(self)
+
+    # -- derived program shape (mirrors the handwritten class flags) ---------
+
+    @property
+    def operator_class(self) -> OperatorClass:
+        """PULL iff every phase is topology-driven dense pull."""
+        if all(p.kind == "dense_pull" for p in self.phases):
+            return OperatorClass.PULL
+        return OperatorClass.PUSH
+
+    @property
+    def supports_pull(self) -> bool:
+        return any(p.kind in ("sparse_pull", "dense_pull") for p in self.phases)
+
+    @property
+    def uses_frontier(self) -> bool:
+        return any(p.kind == "frontier_push" for p in self.phases)
+
+    @property
+    def iterate_locally(self) -> bool:
+        """Chaotic local re-application is legal only for data-driven
+        programs whose reductions are all idempotent (§2.3)."""
+        if not self.uses_frontier:
+            return False
+        by_name = {f.name: f for f in self.fields}
+        return all(
+            by_name[d.field].reduction.idempotent for d in self.sync
+        )
+
+    @property
+    def supports_migration(self) -> bool:
+        """One-shot per-proxy flags (post lines) pin proxies to hosts."""
+        return not any(p.post_gather or p.post_scatter for p in self.phases)
+
+    def field_decl(self, name: str) -> FieldDecl:
+        for decl in self.fields:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)
+
+
+def derive_phase_access(
+    phase: PhaseSpec, field: str, read_surface: Optional[str] = None
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """Derive one phase's ``(writes, reads)`` endpoints for ``field``.
+
+    This is the per-phase core of :func:`derive_endpoints`, exported so
+    handwritten programs (bc's two-pass sweeps, the feature apps) can
+    derive their ``FieldSpec`` endpoints from a declarative phase
+    description instead of hand-writing location sets.
+    """
+    surface = read_surface if read_surface is not None else field
+    writes = set()
+    reads = set()
+    if phase.target == field:
+        writes.add(phase.dest_endpoint)
+    if surface in phase.reads_at_source():
+        reads.add(phase.source_endpoint)
+    if surface in phase.reads_at_destination():
+        reads.add(phase.dest_endpoint)
+    return frozenset(writes), frozenset(reads)
+
+
+def derive_endpoints(
+    spec: ProgramSpec,
+) -> Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """Derive every synchronized field's ``(writes, reads)`` endpoints.
+
+    The union over phases of :func:`derive_phase_access` — writes where
+    a phase scatters the field, reads where a phase consumes its read
+    surface (the broadcast pair for derived broadcasts).  Raises
+    :class:`CompileError` when a sync declaration derives an empty set:
+    a field nothing writes needs no reduce, one nothing reads needs no
+    broadcast, so an empty side means the spec's access sets are wrong.
+    """
+    overrides = dict(spec.endpoint_overrides)
+    derived: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+    for decl in spec.sync:
+        writes: set = set()
+        reads: set = set()
+        for phase in spec.phases:
+            w, r = derive_phase_access(
+                phase, decl.field, read_surface=decl.read_surface
+            )
+            writes |= w
+            reads |= r
+        if not writes:
+            raise CompileError(
+                f"{spec.name}: no phase writes sync field {decl.field!r} "
+                "— the reduce would ship nothing"
+            )
+        if not reads:
+            raise CompileError(
+                f"{spec.name}: no phase reads {decl.read_surface!r} — "
+                "the broadcast would feed nothing"
+            )
+        derived[decl.wire_name] = overrides.get(
+            decl.wire_name, (frozenset(writes), frozenset(reads))
+        )
+    return derived

@@ -102,6 +102,22 @@ class TestSmokeMatrix:
             # The ~1% bar row is present and recorded, even in smoke.
             assert cell["message_cut_at_1pct"] is not None
 
+    def test_compiler_cell_checks_generated_code(self, payload):
+        doc, _ = payload
+        cell = doc["compiler"]
+        assert cell is not None
+        assert cell["pairs"], "smoke run must include compiled pairs"
+        assert all(row["bitwise_identical"] for row in cell["pairs"])
+        # Both round-execution runtimes are exercised on each app.
+        runtimes = {(r["app"], r["runtime"]) for r in cell["runtimes"]}
+        assert runtimes == {
+            ("bfs", "simulated"), ("bfs", "process"),
+            ("pr", "simulated"), ("pr", "process"),
+        }
+        assert cell["pr_round_overhead"] > 0
+        # Smoke graphs are too small for a stable timing bar.
+        assert cell["bar_enforced"] is False
+
 
 class TestNoService:
     def test_flag_skips_the_service_cell(self, tmp_path):
@@ -112,6 +128,7 @@ class TestNoService:
                 "--no-service",
                 "--no-aggregation-cell",
                 "--no-incremental-cell",
+                "--no-compiler-cell",
                 "--output", str(output),
                 "--export-dir", str(tmp_path / "exports"),
             ]
@@ -121,3 +138,4 @@ class TestNoService:
         assert doc["service"] is None
         assert doc["aggregation"] is None
         assert doc["incremental"] is None
+        assert doc["compiler"] is None
