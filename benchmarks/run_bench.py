@@ -612,6 +612,115 @@ def bench_compiler(
     }
 
 
+def bench_dataflow(
+    workload: str,
+    scale_delta: int,
+    smoke: bool = False,
+) -> dict:
+    """Dataflow-optimizer cell: GL301 eliminations must be free *and* real.
+
+    For every migrated spec the cell records what the whole-program
+    analyzer proves dead, then runs ``<app>@compiled`` next to
+    ``<app>@optimized`` at the OTI optimization level (where temporal
+    elision still ships empty-payload messages, so a dropped sync phase
+    is visible as a message-count cut) under the iec/oec strategies the
+    proofs target.  Results must stay bitwise identical; the cell
+    reports the measured messages and bytes-per-round saved per app.
+    """
+    import numpy as np
+
+    from repro.analysis.dataflow import (
+        certify_spec,
+        dead_sync_table,
+        graph_from_spec,
+    )
+    from repro.apps.specs import PROGRAM_SPECS
+    from repro.core.optimization import OptimizationLevel
+    from repro.verify import output_key
+
+    edges = load_workload(workload, scale_delta)
+    apps = ("bfs", "sssp") if smoke else tuple(sorted(PROGRAM_SPECS))
+    policies = ("iec", "oec")
+    num_hosts = 2 if smoke else 4
+    cells: List[dict] = []
+    total_eliminated = 0
+    for app in apps:
+        spec = PROGRAM_SPECS[app]
+        table = dead_sync_table(graph_from_spec(spec))
+        eliminated = sum(
+            len(phases)
+            for per_wire in table.values()
+            for phases in per_wire.values()
+        )
+        total_eliminated += eliminated
+        certificate = certify_spec(spec)
+        key = output_key(app)
+        per_policy: List[dict] = []
+        for policy in policies:
+            base = run_app(
+                "d-galois", f"{app}@compiled", edges,
+                num_hosts=num_hosts, policy=policy,
+                level=OptimizationLevel.OTI,
+            )
+            optimized = run_app(
+                "d-galois", f"{app}@optimized", edges,
+                num_hosts=num_hosts, policy=policy,
+                level=OptimizationLevel.OTI,
+            )
+            expected = base.executor.gather_result(key)
+            got = optimized.executor.gather_result(key)
+            if got.dtype != expected.dtype or not np.array_equal(
+                got, expected
+            ):
+                raise AssertionError(
+                    f"dataflow bench: {app}/{policy}: optimized build "
+                    "diverged from the unoptimized compiled program"
+                )
+            rounds = max(optimized.num_rounds, 1)
+            per_policy.append({
+                "policy": policy,
+                "rounds": optimized.num_rounds,
+                "messages": base.communication_messages,
+                "messages_optimized": optimized.communication_messages,
+                "bytes": base.communication_volume,
+                "bytes_optimized": optimized.communication_volume,
+                "bytes_per_round_saved": round(
+                    (
+                        base.communication_volume
+                        - optimized.communication_volume
+                    )
+                    / rounds,
+                    2,
+                ),
+                "bitwise_identical": True,
+            })
+        cells.append({
+            "app": app,
+            "syncs_eliminated": eliminated,
+            "dead_sync_table": {
+                strategy: {
+                    wire: list(phases) for wire, phases in per_wire.items()
+                }
+                for strategy, per_wire in table.items()
+            },
+            "self_stabilizing": certificate.self_stabilizing,
+            "policies": per_policy,
+        })
+    if total_eliminated == 0:
+        raise AssertionError(
+            "dataflow bench: the analyzer proved no sync phase dead on "
+            "any migrated spec — GL301 regressed"
+        )
+    return {
+        "apps": list(apps),
+        "hosts": num_hosts,
+        "level": "OTI",
+        "policies": list(policies),
+        "syncs_eliminated_total": total_eliminated,
+        "cells": cells,
+    }
+
+
 def run_matrix(args: argparse.Namespace) -> dict:
     """Run the configured matrix; returns the emission payload."""
     apps = args.apps.split(",") if args.apps else (
@@ -746,6 +855,22 @@ def run_matrix(args: argparse.Namespace) -> dict:
             + ("" if compiler["bar_enforced"] else " (bar not enforced)"),
             file=sys.stderr,
         )
+    dataflow = None
+    if not args.no_dataflow_cell:
+        dataflow = bench_dataflow(
+            args.workload, scale_delta, smoke=args.smoke
+        )
+        for cell in dataflow["cells"]:
+            cuts = ", ".join(
+                f"{p['policy']} {p['messages']}->"
+                f"{p['messages_optimized']} msgs"
+                for p in cell["policies"]
+            )
+            print(
+                f"  dataflow: {cell['app']} "
+                f"{cell['syncs_eliminated']} dead sync phase(s), {cuts}",
+                file=sys.stderr,
+            )
     return {
         "date": date.today().isoformat(),
         "workload": args.workload,
@@ -758,6 +883,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         "features": features,
         "incremental": incremental,
         "compiler": compiler,
+        "dataflow": dataflow,
     }
 
 
@@ -815,6 +941,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compiler-cell",
         action="store_true",
         help="skip the generated-vs-handwritten bitwise/overhead cell",
+    )
+    parser.add_argument(
+        "--no-dataflow-cell",
+        action="store_true",
+        help="skip the GL301 dead-sync-elimination message-cut cell",
     )
     parser.add_argument(
         "--export-dir",

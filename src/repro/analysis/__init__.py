@@ -9,11 +9,27 @@ The sync-contract checking layer (``repro lint`` / ``--sanitize``) also
 lives here: :mod:`~repro.analysis.findings` (rule catalog),
 :mod:`~repro.analysis.astlint` (static endpoint-provenance lint),
 :mod:`~repro.analysis.algebra` (reduction-law checker),
-:mod:`~repro.analysis.linter` (orchestration), and
-:mod:`~repro.analysis.sanitizer` (runtime proxy-access sanitizer).
+:mod:`~repro.analysis.linter` (orchestration),
+:mod:`~repro.analysis.sanitizer` (runtime proxy-access sanitizer), and
+:mod:`~repro.analysis.dataflow` (whole-program sync dataflow analyzer:
+GL301 dead-sync elimination, GL302 phase fusion, GL303 stabilization
+certificates, GL304 static sync hazards, GL305 tampered endpoints).
 """
 
 from repro.analysis.algebra import check_reduction, check_reductions
+from repro.analysis.dataflow import (
+    DataflowGraph,
+    StabilizationCertificate,
+    analyze_class,
+    analyze_spec,
+    certificate_for,
+    dataflow_programs,
+    dead_sync_table,
+    fusion_candidates,
+    graph_from_report,
+    graph_from_spec,
+    kernel_is_monotone,
+)
 from repro.analysis.findings import (
     RULES,
     Finding,
@@ -53,4 +69,15 @@ __all__ = [
     "lint_all_apps",
     "lint_programs",
     "run_lint",
+    "DataflowGraph",
+    "StabilizationCertificate",
+    "analyze_class",
+    "analyze_spec",
+    "certificate_for",
+    "dataflow_programs",
+    "dead_sync_table",
+    "fusion_candidates",
+    "graph_from_report",
+    "graph_from_spec",
+    "kernel_is_monotone",
 ]

@@ -103,6 +103,10 @@ class AccessEvent:
     kind: str  # "read" | "write"
     lineno: int
     method: str
+    #: Line of the innermost enclosing statement — accesses sharing a
+    #: statement are simultaneous (a gather feeding its own scatter),
+    #: which the cross-phase hazard pass (GL304) must not order.
+    statement: int = 0
 
 
 @dataclass
@@ -210,6 +214,21 @@ def _resolve_reduce_op(
     return REDUCTIONS.get(name.lower())
 
 
+def _statement_map(root: ast.AST) -> Dict[int, int]:
+    """``id(node) -> lineno`` of each node's innermost enclosing statement."""
+    mapping: Dict[int, int] = {}
+
+    def visit(node: ast.AST, stmt_lineno: int) -> None:
+        if isinstance(node, ast.stmt):
+            stmt_lineno = node.lineno
+        mapping[id(node)] = stmt_lineno
+        for child in ast.iter_child_nodes(node):
+            visit(child, stmt_lineno)
+
+    visit(root, getattr(root, "lineno", 0))
+    return mapping
+
+
 class _MethodScanner:
     """Ordered walk of one method body, tracking index provenance.
 
@@ -227,6 +246,11 @@ class _MethodScanner:
         self.keys: Dict[str, str] = {}
         self.transposed: Set[str] = set()
         self.dict_names: Set[str] = set()
+        self._stmts = _statement_map(method)
+
+    def _stmt_of(self, node: ast.AST) -> int:
+        """Line of the innermost statement enclosing ``node``."""
+        return self._stmts.get(id(node), getattr(node, "lineno", 0))
 
     # -- provenance resolution ---------------------------------------------
 
@@ -291,7 +315,7 @@ class _MethodScanner:
     # -- event recording ----------------------------------------------------
 
     def _record(self, key: Optional[str], endpoint: Optional[str], kind: str,
-                lineno: int) -> None:
+                lineno: int, statement: int = 0) -> None:
         if key is None or endpoint is None:
             return
         self.report.events.append(
@@ -301,6 +325,7 @@ class _MethodScanner:
                 kind=kind,
                 lineno=lineno,
                 method=self.method.name,
+                statement=statement or lineno,
             )
         )
 
@@ -315,6 +340,7 @@ class _MethodScanner:
                     self._tag(sub.slice),
                     "read",
                     sub.lineno,
+                    statement=self._stmt_of(sub),
                 )
 
     # -- statement dispatch --------------------------------------------------
@@ -388,6 +414,7 @@ class _MethodScanner:
                     self._tag(target.slice),
                     "write",
                     target.lineno,
+                    statement=stmt.lineno,
                 )
 
     def _scan_augassign(self, stmt: ast.AugAssign) -> None:
@@ -397,6 +424,7 @@ class _MethodScanner:
                 self._tag(stmt.target.slice),
                 "write",
                 stmt.target.lineno,
+                statement=stmt.lineno,
             )
 
     def _scan_call(self, call: ast.Call) -> None:
@@ -412,6 +440,7 @@ class _MethodScanner:
                 self._tag(call.args[1]),
                 "write",
                 call.lineno,
+                statement=self._stmt_of(call),
             )
             return
         func_name = None
@@ -430,12 +459,14 @@ class _MethodScanner:
                 self._tag(call.args[3]),
                 "write",
                 call.lineno,
+                statement=self._stmt_of(call),
             )
             self._record(
                 self._key(call.args[1]),
                 self._tag(call.args[2]),
                 "read",
                 call.lineno,
+                statement=self._stmt_of(call),
             )
 
     def _scan_compare(self, node: ast.Compare) -> None:

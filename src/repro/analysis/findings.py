@@ -37,7 +37,8 @@ class Rule:
 
 
 #: The sync-contract rule catalog.  GL0xx = static lint, GL1xx =
-#: algebraic reduction laws, GL2xx = runtime sanitizer.
+#: algebraic reduction laws, GL2xx = runtime sanitizer, GL3xx =
+#: whole-program dataflow analyzer (:mod:`repro.analysis.dataflow`).
 RULES: Dict[str, Rule] = {
     rule.rule_id: rule
     for rule in (
@@ -133,6 +134,45 @@ RULES: Dict[str, Rule] = {
             "§2.3: combine measures idempotent but is declared "
             "non-idempotent — mirrors are reset to the identity "
             "needlessly (correct, but re-broadcasts kept values).",
+        ),
+        Rule(
+            "GL301", "info", "dead-sync-elimination",
+            "§3.1/§3.2: under the resolved partitioning strategy the "
+            "wire's read surface is never consumed before its next write "
+            "(e.g. no mirror has out-edges under OEC, so a source-read "
+            "broadcast refreshes values nothing will read) — the sync "
+            "phase can be dropped with bitwise-identical results.",
+        ),
+        Rule(
+            "GL302", "info", "phase-fusion",
+            "§3.2: consecutive phases share a gather over the same edge "
+            "orientation with no intervening remote write, so one pass "
+            "over the edges can drive both scatters — a redundant "
+            "broadcast/gather the compiler can fuse away.",
+        ),
+        Rule(
+            "GL303", "warning", "self-stabilization-mismatch",
+            "§2.3 (Phoenix): confined recovery re-initializes lost state "
+            "and relies on the algorithm re-converging; that needs "
+            "idempotent reductions AND a data-driven frontier AND "
+            "monotone update expressions. An app certified by a weaker "
+            "test (reduce-op only) may diverge after recovery.",
+        ),
+        Rule(
+            "GL304", "error", "static-sync-hazard",
+            "§3.2 (compile time): one phase reads a field at a "
+            "remote-visible endpoint that an earlier phase in the same "
+            "round wrote without an intervening sync (stale-mirror "
+            "read), or two phases scatter-write the same field at "
+            "different endpoints (cross-phase write-write race) — the "
+            "static complement of the GL201/GL202 runtime sanitizer.",
+        ),
+        Rule(
+            "GL305", "warning", "tampered-endpoints",
+            "§3.2: the spec carries `endpoint_overrides`, so its sync "
+            "endpoints are pinned by hand instead of derived from the "
+            "phase pipeline — every downstream proof (dead-sync, "
+            "fusion, certificates) is void for this program.",
         ),
         Rule(
             "GL201", "error", "lost-update",

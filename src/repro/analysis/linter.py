@@ -176,21 +176,52 @@ def lint_compiled_apps(
     return names, lint_programs([cls for _, cls in resolved])
 
 
+def _resolve_targets(
+    app: Optional[str], module: Optional[str], compiled: bool
+) -> Tuple[List[str], List[type]]:
+    """(target names, program classes) for one lint invocation."""
+    if compiled:
+        if app is not None:
+            from repro.apps.specs import make_compiled_app
+
+            cls = make_compiled_app(app).__class__
+            return [cls.name], [cls]
+        resolved = all_compiled_programs()
+        return [name for name, _ in resolved], [cls for _, cls in resolved]
+    if app is not None:
+        return [app], resolve_app(app)
+    if module is not None:
+        return [module], resolve_module_path(module)
+    names: List[str] = []
+    programs: List[type] = []
+    for name, app_programs in all_builtin_programs():
+        names.append(name)
+        programs.extend(app_programs)
+    return names, programs
+
+
 def run_lint(
     app: Optional[str] = None,
     module: Optional[str] = None,
     compiled: bool = False,
+    dataflow: bool = False,
 ) -> Tuple[List[str], List[Finding]]:
     """CLI entry: lint an app, a module, every built-in, or (with
-    ``compiled=True``) the generated code of the spec registry."""
+    ``compiled=True``) the generated code of the spec registry.
+
+    ``dataflow=True`` appends the GL3xx whole-program sweep
+    (:func:`repro.analysis.dataflow.dataflow_programs`) — dead syncs,
+    fusion opportunities, stabilization mismatches, and static sync
+    hazards — to the per-program GL0xx/GL1xx findings.
+    """
     if app is not None and module is not None:
         raise LintError("--app and --module are mutually exclusive")
-    if compiled:
-        if module is not None:
-            raise LintError("--compiled lints specs, not module files")
-        return lint_compiled_apps(app)
-    if app is not None:
-        return [app], lint_app(app)
-    if module is not None:
-        return [module], lint_module_path(module)
-    return lint_all_apps()
+    if compiled and module is not None:
+        raise LintError("--compiled lints specs, not module files")
+    names, programs = _resolve_targets(app, module, compiled)
+    findings = lint_programs(programs)
+    if dataflow:
+        from repro.analysis.dataflow import dataflow_programs
+
+        findings.extend(dataflow_programs(programs))
+    return names, findings

@@ -41,9 +41,12 @@ def make_app(name: str):
 
     ``<app>@compiled`` names resolve through the spec registry
     (:mod:`repro.apps.specs`) to the generated twin of the handwritten
-    app; everything else resolves through ``APP_BY_NAME``.
+    app; ``<app>@optimized`` is the same twin built with
+    ``compile_program(optimize=True)`` (GL301 dead-sync elimination +
+    GL302 phase fusion); everything else resolves through
+    ``APP_BY_NAME``.
     """
-    if name.lower().endswith("@compiled"):
+    if name.lower().endswith(("@compiled", "@optimized")):
         from repro.apps.specs import make_compiled_app
 
         return make_compiled_app(name.lower())

@@ -524,18 +524,29 @@ _SPEC_ALIASES = {"pagerank": "pr"}
 
 _COMPILED_SUFFIX = "@compiled"
 
+#: ``<app>@optimized`` — the compiled twin built with
+#: ``compile_program(optimize=True)``: GL301 dead-sync phases stripped
+#: per partition strategy and GL302-fusible push phases sharing one
+#: gather.  Bitwise-identical results, strictly fewer messages.
+_OPTIMIZED_SUFFIX = "@optimized"
+
 _COMPILED_CACHE: Dict[str, type] = {}
 
 
 def base_app_name(name: str) -> str:
-    """Strip the ``@compiled`` suffix (if any) from an app name."""
-    if name.endswith(_COMPILED_SUFFIX):
-        return name[: -len(_COMPILED_SUFFIX)]
+    """Strip the ``@compiled``/``@optimized`` suffix from an app name."""
+    for suffix in (_COMPILED_SUFFIX, _OPTIMIZED_SUFFIX):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
     return name
 
 
 def is_compiled_name(name: str) -> bool:
-    return name.endswith(_COMPILED_SUFFIX)
+    return name.endswith((_COMPILED_SUFFIX, _OPTIMIZED_SUFFIX))
+
+
+def is_optimized_name(name: str) -> bool:
+    return name.endswith(_OPTIMIZED_SUFFIX)
 
 
 def spec_for(name: str) -> ProgramSpec:
@@ -552,17 +563,25 @@ def spec_for(name: str) -> ProgramSpec:
 
 
 def make_compiled_app(name: str):
-    """Compile (with caching) and instantiate ``<name>@compiled``."""
+    """Compile (with caching) and instantiate a ``@compiled``/
+    ``@optimized`` app name."""
     from repro.compiler.program_codegen import compile_program
 
     spec = spec_for(name)
-    cls = _COMPILED_CACHE.get(spec.name)
+    optimize = is_optimized_name(name)
+    key = spec.name + (_OPTIMIZED_SUFFIX if optimize else "")
+    cls = _COMPILED_CACHE.get(key)
     if cls is None:
-        cls = compile_program(spec).__class__
-        _COMPILED_CACHE[spec.name] = cls
+        cls = compile_program(spec, optimize=optimize).__class__
+        _COMPILED_CACHE[key] = cls
     return cls()
 
 
 def compiled_app_names() -> List[str]:
     """The registry names of every migrated app (``<app>@compiled``)."""
     return [f"{name}{_COMPILED_SUFFIX}" for name in sorted(PROGRAM_SPECS)]
+
+
+def optimized_app_names() -> List[str]:
+    """``<app>@optimized`` names (dataflow-optimized compiled twins)."""
+    return [f"{name}{_OPTIMIZED_SUFFIX}" for name in sorted(PROGRAM_SPECS)]

@@ -22,7 +22,11 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis import experiments
 from repro.analysis.tables import format_table
 from repro.apps import APP_BY_NAME
-from repro.apps.specs import PROGRAM_SPECS, compiled_app_names
+from repro.apps.specs import (
+    PROGRAM_SPECS,
+    compiled_app_names,
+    optimized_app_names,
+)
 from repro.core.optimization import OptimizationLevel
 from repro.core.sync_structures import COMPRESSION_MODES
 from repro.errors import FaultPlanError
@@ -68,7 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--app",
         required=True,
-        choices=sorted(APP_BY_NAME) + compiled_app_names(),
+        choices=sorted(APP_BY_NAME) + compiled_app_names()
+        + optimized_app_names(),
     )
     run_cmd.add_argument(
         "--workload", required=True, choices=sorted(WORKLOAD_NAMES)
@@ -377,6 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     lint_cmd.add_argument(
+        "--dataflow",
+        action="store_true",
+        help=(
+            "also run the GL3xx whole-program dataflow sweep: dead-sync "
+            "elimination (GL301), phase fusion (GL302), stabilization "
+            "certificates (GL303), static sync hazards (GL304), and "
+            "tampered endpoints (GL305)"
+        ),
+    )
+    lint_cmd.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable findings on stdout",
@@ -412,6 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="show an operator's per-strategy synchronization plan (§3.2)",
     )
     analyze_cmd.add_argument("app", choices=sorted(PROGRAM_SPECS))
+    analyze_cmd.add_argument(
+        "--dataflow",
+        action="store_true",
+        help=(
+            "append the GL3xx whole-program dataflow report: per-strategy "
+            "dead sync phases, fusion candidates, and the stabilization "
+            "certificate"
+        ),
+    )
+    analyze_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="with --dataflow, emit the findings as JSON on stdout",
+    )
 
     compile_cmd = commands.add_parser(
         "compile",
@@ -430,6 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--source",
         action="store_true",
         help="print the generated Python source",
+    )
+    compile_cmd.add_argument(
+        "--optimize",
+        action="store_true",
+        help=(
+            "apply the GL3xx dataflow optimizations (dead-sync "
+            "elimination + phase fusion) to the generated code"
+        ),
     )
 
     trace_cmd = commands.add_parser(
@@ -1011,7 +1048,10 @@ def _command_lint(
         return 0
     try:
         targets, findings = run_lint(
-            app=args.app, module=args.module, compiled=args.compiled
+            app=args.app,
+            module=args.module,
+            compiled=args.compiled,
+            dataflow=args.dataflow,
         )
     except LintError as exc:
         parser.error(str(exc))
@@ -1066,8 +1106,51 @@ def _command_analyze(args: argparse.Namespace) -> int:
     from repro.apps.specs import spec_for
     from repro.compiler.analysis import describe_program
 
-    print(describe_program(spec_for(args.app)))
-    return 0
+    spec = spec_for(args.app)
+    if not args.dataflow:
+        print(describe_program(spec))
+        return 0
+    from repro.analysis.dataflow import (
+        analyze_spec,
+        certify_spec,
+        dead_sync_table,
+        fusion_candidates,
+        graph_from_spec,
+    )
+    from repro.analysis.findings import (
+        has_errors,
+        render_json,
+        render_text,
+    )
+
+    findings = analyze_spec(spec)
+    if args.json:
+        print(render_json(findings, [args.app]))
+        return 1 if has_errors(findings) else 0
+    print(describe_program(spec))
+    print("whole-program dataflow (GL3xx)")
+    graph = graph_from_spec(spec)
+    table = dead_sync_table(graph)
+    if table:
+        for strategy in sorted(table):
+            for wire, phases in sorted(table[strategy].items()):
+                print(
+                    f"  dead under {strategy}: {wire} "
+                    f"[{', '.join(phases)}]"
+                )
+    else:
+        print("  no provably dead sync phases")
+    for a, b in fusion_candidates(graph):
+        print(f"  fusible phases: {a.name} + {b.name} (one gather)")
+    cert = certify_spec(spec)
+    verdict = (
+        "certified"
+        if cert.self_stabilizing
+        else f"denied ({', '.join(cert.reasons)})"
+    )
+    print(f"  self-stabilization: {verdict}")
+    print(render_text(findings), end="")
+    return 1 if has_errors(findings) else 0
 
 
 def _command_compile(
@@ -1084,7 +1167,7 @@ def _command_compile(
         print(describe_program(spec))
         return 0
     try:
-        app = compile_program(spec)
+        app = compile_program(spec, optimize=args.optimize)
     except CompileError as exc:
         parser.error(str(exc))
     if args.source:

@@ -27,7 +27,7 @@ import linecache
 import re
 import sys
 import types
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.compiler.spec import (
     _DST_REF,
@@ -152,15 +152,23 @@ def _emit_scatter(
     indent: int,
     index_var: str,
     candidate: str,
+    accumulate: bool = False,
 ) -> None:
-    """The reduction-specific scatter + updated-mask idiom."""
+    """The reduction-specific scatter + updated-mask idiom.
+
+    ``accumulate`` ORs into an existing ``updated`` mask instead of
+    rebinding it — the form a GL302-fused method needs, where several
+    phases share one mask exactly as the unfused driver ORs their
+    separate outcome masks.
+    """
     reduce = _target_reduce(spec, phase)
     target = phase.target
     scatter = _SCATTER_SRC[reduce]
     if REDUCTIONS[reduce].idempotent:
         out.emit(indent, f"before = {target}.copy()")
         out.emit(indent, f"{scatter}({target}, {index_var}, {candidate})")
-        out.emit(indent, f"updated = {target} != before")
+        op = "|=" if accumulate else "="
+        out.emit(indent, f"updated {op} {target} != before")
     else:
         out.emit(indent, f"{scatter}({target}, {index_var}, {candidate})")
         out.emit(indent, f"updated[{index_var}] = True")
@@ -205,6 +213,87 @@ def _emit_frontier_push(
     for line in phase.post_scatter:
         out.emit(2, _render_fragment(line, local="{f}", mask="usable"))
     out.emit(2, "return StepOutcome(updated=updated, work=work)")
+
+
+def _emit_fused_push(
+    out: _Emitter, spec: ProgramSpec, phases: List[PhaseSpec], method: str
+) -> None:
+    """One gather driving every phase's scatter (a GL302 fusion group).
+
+    :func:`repro.analysis.dataflow.fusible` guarantees the phases
+    gather identically (same guard/weights, no post lines) and that no
+    later phase reads an earlier phase's target, so replaying the
+    scatters against a single ``gather_frontier_edges`` pass is
+    bitwise-identical to the unfused phase-major driver — including the
+    work counters, which are scaled by the number of fused phases.
+    """
+    lead = phases[0]
+    wanted = set()
+    for phase in phases:
+        wanted.update(_phase_aliases(spec, phase))
+    ordered = [f.name for f in spec.fields if f.name in wanted]
+    ordered += [key for key, _ in spec.scalars if key in wanted]
+    out.emit(1, f"def {method}(self, part, state, frontier):")
+    _emit_aliases(out, ordered)
+    if lead.guard:
+        guard = _render_fragment(lead.guard, local="{f}")
+        out.emit(2, f"usable = frontier & ({guard})")
+    else:
+        out.emit(2, "usable = frontier")
+    out.emit(
+        2,
+        "src_rep, dst, positions = gather_frontier_edges("
+        "part.graph, usable)",
+    )
+    out.emit(2, "updated = np.zeros(part.num_nodes, dtype=bool)")
+    out.emit(2, "work = WorkStats(")
+    out.emit(2, f"    edges_processed=len(dst) * {len(phases)},")
+    out.emit(
+        2, f"    nodes_processed=int(usable.sum()) * {len(phases)},"
+    )
+    out.emit(2, ")")
+    out.emit(2, "if len(dst):")
+    if lead.uses_weights:
+        out.emit(3, "if part.graph.weights is None:")
+        out.emit(4, "weights = np.ones(len(positions), dtype=np.int64)")
+        out.emit(3, "else:")
+        out.emit(
+            4, "weights = part.graph.weights[positions].astype(np.int64)"
+        )
+    for phase in phases:
+        kernel = _render_fragment(
+            phase.kernel, src="{f}[src_rep]", dst="{f}[dst]", local="{f}"
+        )
+        out.emit(3, f"candidate = {kernel}")
+        _emit_scatter(out, spec, phase, 3, "dst", "candidate",
+                      accumulate=True)
+    out.emit(2, "return StepOutcome(updated=updated, work=work)")
+
+
+def _fusion_groups(
+    phases: List[PhaseSpec], fused_pairs: List[Tuple[str, str]]
+) -> List[List[PhaseSpec]]:
+    """Partition a direction's phases into emission groups.
+
+    Greedy and non-overlapping: a ``(earlier, later)`` pair from
+    :func:`repro.analysis.dataflow.fusion_candidates` becomes one
+    two-phase group; chains fuse their first pair only (the analyzer
+    proved adjacency pairwise, not transitively).
+    """
+    pairs = set(fused_pairs)
+    groups: List[List[PhaseSpec]] = []
+    i = 0
+    while i < len(phases):
+        if (
+            i + 1 < len(phases)
+            and (phases[i].name, phases[i + 1].name) in pairs
+        ):
+            groups.append([phases[i], phases[i + 1]])
+            i += 2
+        else:
+            groups.append([phases[i]])
+            i += 1
+    return groups
 
 
 def _emit_sparse_pull(
@@ -342,9 +431,44 @@ def _emit_make_state(out: _Emitter, spec: ProgramSpec) -> None:
     out.emit(2, "return state")
 
 
-def _emit_make_fields(out: _Emitter, spec: ProgramSpec) -> None:
+def _emit_dead_sync_table(
+    out: _Emitter, dead_table: Dict[str, Dict[str, Tuple[str, ...]]]
+) -> None:
+    """The module-level GL301 elimination table.
+
+    ``{strategy value: {wire: frozenset(dead sync phases)}}`` — emitted
+    only by ``compile_program(optimize=True)``, consumed by the
+    generated ``make_fields`` via the partition's stamped strategy.
+    """
+    out.emit(0, "#: GL301 dead-sync table (repro.analysis.dataflow).")
+    out.emit(0, "_DEAD_SYNC = {")
+    for strategy in sorted(dead_table):
+        per_wire = dead_table[strategy]
+        inner = ", ".join(
+            f'"{wire}": {_frozenset_literal(per_wire[wire])}'
+            for wire in sorted(per_wire)
+        )
+        out.emit(1, f'"{strategy}": {{{inner}}},')
+    out.emit(0, "}")
+
+
+def _emit_make_fields(
+    out: _Emitter,
+    spec: ProgramSpec,
+    dead_table: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None,
+) -> None:
     endpoints = derive_endpoints(spec)
+    dead_wires = set()
+    for per_wire in (dead_table or {}).values():
+        dead_wires.update(per_wire)
     out.emit(1, "def make_fields(self, part, state):")
+    if dead_wires:
+        out.emit(2, '_strategy = getattr(part, "strategy", None)')
+        out.emit(2, "_dead = _DEAD_SYNC.get(")
+        out.emit(
+            3, "_strategy.value if _strategy is not None else None, {}"
+        )
+        out.emit(2, ")")
     out.emit(2, "fields = []")
     for decl in spec.sync:
         wire = decl.wire_name
@@ -369,12 +493,42 @@ def _emit_make_fields(out: _Emitter, spec: ProgramSpec) -> None:
             out.emit(3, f'compression=state["{field_decl.compression}"],')
         out.emit(3, f"writes={_frozenset_literal(writes)},")
         out.emit(3, f"reads={_frozenset_literal(reads)},")
+        if wire in dead_wires:
+            out.emit(
+                3,
+                'sync_phases=frozenset({"broadcast", "reduce"}) '
+                f'- _dead.get("{wire}", frozenset()),',
+            )
         out.emit(2, "))")
     out.emit(2, "return fields")
 
 
-def render_program(spec: ProgramSpec) -> str:
-    """Render the complete generated module source for ``spec``."""
+def render_program(spec: ProgramSpec, optimize: bool = False) -> str:
+    """Render the complete generated module source for ``spec``.
+
+    With ``optimize=True`` the whole-program dataflow analyzer
+    (:mod:`repro.analysis.dataflow`) feeds two transforms into the
+    emitted source: a ``_DEAD_SYNC`` table that strips GL301-dead sync
+    phases from the generated ``FieldSpec``\\ s per partition strategy,
+    and GL302 phase fusion that drives adjacent compatible push
+    scatters off one edge gather.  A spec pinning
+    ``endpoint_overrides`` (GL305) is rendered unoptimized — a
+    tampered contract proves nothing.
+    """
+    dead_table: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+    fused_pairs: List[Tuple[str, str]] = []
+    if optimize:
+        from repro.analysis.dataflow import (
+            dead_sync_table,
+            fusion_candidates,
+            graph_from_spec,
+        )
+
+        graph = graph_from_spec(spec)
+        dead_table = dead_sync_table(graph)
+        fused_pairs = [
+            (a.name, b.name) for a, b in fusion_candidates(graph)
+        ]
     push_phases = [p for p in spec.phases if p.kind == "frontier_push"]
     pull_phases = [p for p in spec.phases if p.kind != "frontier_push"]
     cls = _class_name(spec)
@@ -387,6 +541,10 @@ def render_program(spec: ProgramSpec) -> str:
         "The sync endpoints below are DERIVED from the spec's phase",
     )
     out.emit(0, 'access sets (repro.compiler.spec.derive_endpoints).')
+    if dead_table or fused_pairs:
+        out.emit(0, "Optimized: GL301 dead-sync elimination"
+                    + (" + GL302 phase fusion" if fused_pairs else "")
+                    + " (repro.analysis.dataflow).")
     out.emit(0, '"""')
     out.emit(0, "import numpy as np")
     out.emit(0, "")
@@ -409,10 +567,14 @@ def render_program(spec: ProgramSpec) -> str:
         )
     for statement in spec.imports:
         out.emit(0, statement)
+    if dead_table:
+        out.emit(0, "")
+        _emit_dead_sync_table(out, dead_table)
     out.emit(0, "")
     out.emit(0, "")
     out.emit(0, f"class {cls}(VertexProgram):")
-    out.emit(1, f'name = "{spec.name}@compiled"')
+    suffix = "@optimized" if (dead_table or fused_pairs) else "@compiled"
+    out.emit(1, f'name = "{spec.name}{suffix}"')
     out.emit(1, f"needs_weights = {spec.needs_weights}")
     out.emit(1, f"symmetrize_input = {spec.symmetrize_input}")
     out.emit(1, f"operator_class = OperatorClass.{spec.operator_class.name}")
@@ -426,7 +588,7 @@ def render_program(spec: ProgramSpec) -> str:
     out.emit(0, "")
     _emit_make_state(out, spec)
     out.emit(0, "")
-    _emit_make_fields(out, spec)
+    _emit_make_fields(out, spec, dead_table)
     out.emit(0, "")
     out.emit(1, "def initial_frontier(self, part, state, ctx):")
     if spec.frontier == "all":
@@ -454,25 +616,32 @@ def render_program(spec: ProgramSpec) -> str:
         out.emit(2, "return self._step_pull(part, state, frontier)")
     out.emit(0, "")
 
+    def _emit_group(group: List[PhaseSpec], method: str) -> None:
+        if len(group) > 1:
+            _emit_fused_push(out, spec, group, method)
+        elif group[0].kind == "frontier_push":
+            _emit_frontier_push(out, spec, group[0], method)
+        elif group[0].kind == "sparse_pull":
+            _emit_sparse_pull(out, spec, group[0], method)
+        else:
+            _emit_dense_pull(out, spec, group[0], method)
+        out.emit(0, "")
+
     def _emit_direction(phases: List[PhaseSpec], method: str) -> None:
-        if len(phases) == 1:
-            phase = phases[0]
-            if phase.kind == "frontier_push":
-                _emit_frontier_push(out, spec, phase, method)
-            elif phase.kind == "sparse_pull":
-                _emit_sparse_pull(out, spec, phase, method)
-            else:
-                _emit_dense_pull(out, spec, phase, method)
-            out.emit(0, "")
+        groups = _fusion_groups(phases, fused_pairs)
+        if len(groups) == 1:
+            _emit_group(groups[0], method)
             return
-        # Phase-major: run the direction's phases in declared order,
+        # Phase-major: run the direction's groups in declared order,
         # merging their outcome masks and work counters.
         out.emit(1, f"def {method}(self, part, state, frontier):")
         out.emit(2, "updated = np.zeros(part.num_nodes, dtype=bool)")
         out.emit(2, "edges = 0")
         out.emit(2, "nodes = 0")
-        for phase in phases:
-            sub = f"_phase_{_ident(phase.name)}"
+        subs = []
+        for group in groups:
+            sub = "_phase_" + "__".join(_ident(p.name) for p in group)
+            subs.append(sub)
             out.emit(2, f"outcome = self.{sub}(part, state, frontier)")
             out.emit(2, "updated |= outcome.updated")
             out.emit(2, "edges += outcome.work.edges_processed")
@@ -482,15 +651,8 @@ def render_program(spec: ProgramSpec) -> str:
         out.emit(2, ")")
         out.emit(2, "return StepOutcome(updated=updated, work=work)")
         out.emit(0, "")
-        for phase in phases:
-            sub = f"_phase_{_ident(phase.name)}"
-            if phase.kind == "frontier_push":
-                _emit_frontier_push(out, spec, phase, sub)
-            elif phase.kind == "sparse_pull":
-                _emit_sparse_pull(out, spec, phase, sub)
-            else:
-                _emit_dense_pull(out, spec, phase, sub)
-            out.emit(0, "")
+        for group, sub in zip(groups, subs):
+            _emit_group(group, sub)
 
     if push_phases:
         _emit_direction(push_phases, "_step_push")
@@ -562,7 +724,9 @@ def _materialize(spec: ProgramSpec, source: str) -> types.ModuleType:
     return module
 
 
-def compile_program(spec: ProgramSpec, verify: bool = False):
+def compile_program(
+    spec: ProgramSpec, verify: bool = False, optimize: bool = False
+):
     """Compile a :class:`ProgramSpec` into a runnable vertex program.
 
     Returns an *instance* of the generated class (the shape ``make_app``
@@ -571,12 +735,34 @@ def compile_program(spec: ProgramSpec, verify: bool = False):
     GL001–GL011 sweep over the generated code and fail the compile on
     any error-severity finding (``repro lint --compiled`` runs the same
     sweep standalone).
+
+    ``optimize=True`` first runs the GL3xx whole-program dataflow
+    sweep (:mod:`repro.analysis.dataflow`) and refuses to compile a
+    program with error-severity static sync hazards (GL304); it then
+    renders with GL301 dead-sync elimination and GL302 phase fusion
+    enabled.  Results are bitwise-identical to the unoptimized build —
+    only provably-dead messages are dropped.
     """
-    source = render_program(spec)
+    if optimize:
+        from repro.analysis.dataflow import analyze_spec
+
+        hazards = [
+            f for f in analyze_spec(spec) if f.severity == "error"
+        ]
+        if hazards:
+            detail = "; ".join(
+                f"{f.rule_id}: {f.message}" for f in hazards
+            )
+            raise CompileError(
+                f"{spec.name}: refusing to optimize a program with "
+                f"static sync hazards — {detail}"
+            )
+    source = render_program(spec, optimize=optimize)
     module = _materialize(spec, source)
     cls = module.__dict__[_class_name(spec)]
     cls.spec = spec
     cls.generated_source = source
+    cls.optimized = optimize
     # At least one partitioning strategy must be able to run the
     # program's operator class (§3.1's legality matrix).
     legal_somewhere = False

@@ -290,7 +290,14 @@ class GluonSubstrate:
         :meth:`flush_phase` at the phase boundary).  Returns the staged
         ``(peer, payload_bytes)`` pairs so the executor can attribute
         per-field byte ranges inside the aggregated buffers.
+
+        A field whose ``sync_phases`` excludes ``"reduce"`` (a
+        GL301-dead phase dropped by ``compile_program(optimize=True)``)
+        stages nothing: every host resolves the same strategy, so no
+        peer expects the sub-message either.
         """
+        if "reduce" not in field.sync_phases:
+            return []
         self._check_dirty(dirty)
         self.stats.sync_calls += 1
         send_arrays = self._reduce_send_arrays(field)
@@ -313,7 +320,14 @@ class GluonSubstrate:
     def stage_broadcast(
         self, field_index: int, field: FieldSpec, dirty: np.ndarray
     ) -> List[Tuple[int, int]]:
-        """Stage updated master values toward their mirrors, per peer."""
+        """Stage updated master values toward their mirrors, per peer.
+
+        A field whose ``sync_phases`` excludes ``"broadcast"`` (GL301)
+        stages nothing — the read surface is provably never consumed at
+        a mirror under the resolved strategy.
+        """
+        if "broadcast" not in field.sync_phases:
+            return []
         self._check_dirty(dirty)
         send_arrays = self._broadcast_send_arrays(field)
         staged: List[Tuple[int, int]] = []
@@ -426,6 +440,8 @@ class GluonSubstrate:
             dirty: boolean mask over local IDs of proxies written this
                 round (the field-specific bit-vector of §4.2).
         """
+        if "reduce" not in field.sync_phases:
+            return
         self._check_per_field_api()
         self._check_dirty(dirty)
         self.stats.sync_calls += 1
@@ -465,6 +481,8 @@ class GluonSubstrate:
             dirty: boolean mask over local IDs; True at masters whose
                 (broadcast) value changed this round.
         """
+        if "broadcast" not in field.sync_phases:
+            return
         self._check_per_field_api()
         self._check_dirty(dirty)
         send_arrays = self._broadcast_send_arrays(field)

@@ -177,6 +177,12 @@ class FieldSpec:
     writes: frozenset = frozenset({"destination"})
     reads: frozenset = frozenset({"source"})
     compression: str = "none"
+    #: Which synchronization phases this wire ships.  The dataflow
+    #: analyzer's GL301 proof (``compile_program(optimize=True)``) drops
+    #: a phase that is dead under the resolved partitioning strategy —
+    #: e.g. the reduce under IEC, where no mirror can ever be written.
+    #: An empty set is legal: the field stays local on every host.
+    sync_phases: frozenset = frozenset({"reduce", "broadcast"})
     #: Sender-side delta state: last-committed broadcast rows and the mask
     #: of rows ever committed.  Lazily allocated on first commit; rebuilt
     #: fields (repartition, process workers) start with an empty cache.
@@ -240,6 +246,12 @@ class FieldSpec:
                     f"field {self.name!r}: {name} must be a non-empty "
                     f"subset of {sorted(LOCATIONS)}"
                 )
+        self.sync_phases = frozenset(self.sync_phases)
+        if not self.sync_phases <= {"reduce", "broadcast"}:
+            raise SyncError(
+                f"field {self.name!r}: sync_phases must be a subset of "
+                "{'broadcast', 'reduce'}"
+            )
 
     @property
     def dtype(self) -> np.dtype:

@@ -74,6 +74,12 @@ class LocalPartition:
         num_masters: Locals ``0..num_masters-1`` are masters.
         mirror_master_host: For each *mirror* (indexed from 0 at local ID
             ``num_masters``), the host owning its master proxy.
+        strategy: The partitioning strategy the partition was built
+            under, stamped by :class:`PartitionedGraph` — what
+            ``compile_program(optimize=True)``'s generated ``make_fields``
+            resolves its GL301 dead-sync table against.  ``None`` for a
+            bare partition constructed outside a whole-graph build (unit
+            drives), which disables the elimination.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class LocalPartition:
         self.mirror_master_host = np.ascontiguousarray(
             mirror_master_host, dtype=np.int32
         )
+        self.strategy: Optional["PartitionStrategy"] = None
         self._global_to_local = {
             int(gid): lid for lid, gid in enumerate(self.local_to_global)
         }
@@ -211,6 +218,22 @@ class PartitionedGraph:
     #: True when the policy materializes edge-less mirrors (dual-rep
     #: baselines); relaxes the "every mirror has an edge" verification.
     has_edgeless_mirrors: bool = False
+
+    def __post_init__(self) -> None:
+        # Constructor-passed partitions (the shared-memory rebuild path)
+        # get the strategy stamped immediately; incrementally appended
+        # ones are covered by tag_partitions().
+        self.tag_partitions()
+
+    def tag_partitions(self) -> None:
+        """Stamp every local partition with this graph's strategy.
+
+        The stamp is what lets *per-host* code (generated ``make_fields``
+        bodies, which only ever see one :class:`LocalPartition`) resolve
+        strategy-conditional proofs like the GL301 dead-sync table.
+        """
+        for part in self.partitions:
+            part.strategy = self.strategy
 
     @property
     def num_hosts(self) -> int:
@@ -338,6 +361,7 @@ def build_partitioned_graph(
         partitioned.partitions.append(
             build_local_partition(edges, assignment, host, gid_to_lid)
         )
+    partitioned.tag_partitions()
     return partitioned
 
 

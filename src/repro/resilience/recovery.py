@@ -117,22 +117,47 @@ class RecoveryEvent:
         }
 
 
-def confined_applicable(executor: "DistributedExecutor") -> bool:
-    """Whether confined recovery is sound for the executor's program.
+def _is_self_stabilizing(executor: "DistributedExecutor") -> bool:
+    """Whether the executor's program provably re-derives its fixed point.
 
-    Requires a synchronized multi-host run of a self-stabilizing vertex
-    program: a data-driven frontier and idempotent reductions for every
-    synchronized field, so stale checkpoint values can only lose
-    reductions and a full-frontier restart re-derives the fixed point.
+    Consults the GL303 stabilization certificate
+    (:func:`repro.analysis.dataflow.certificate_for`), which adds the
+    no-master-hooks and (on the spec path) monotone-kernel conditions
+    the old reduce-op-only heuristic missed — an idempotent program
+    whose master hook folds an accumulator is *not* safe to restart
+    from stale checkpoints.  Falls back to the field-level heuristic
+    only when no certificate is obtainable (program source
+    unavailable).
     """
-    if not executor.enable_sync or not executor.substrates:
-        return False
+    from repro.analysis.dataflow import certificate_for
+
+    certificate = certificate_for(executor.app)
+    if certificate is not None:
+        return certificate.self_stabilizing
     if not executor.app.uses_frontier:
         return False
     fields = next((f for f in executor.fields if f is not None), None)
     if fields is None:
         return False
     return all(spec.reduce_op.idempotent for spec in fields)
+
+
+def confined_applicable(executor: "DistributedExecutor") -> bool:
+    """Whether confined recovery is sound for the executor's program.
+
+    Requires a synchronized multi-host run of a self-stabilizing vertex
+    program — per the GL303 certificate: a data-driven frontier,
+    idempotent reductions, no master-side hooks, and monotone kernels —
+    so stale checkpoint values can only lose reductions and a
+    full-frontier restart re-derives the fixed point.
+    """
+    if not executor.enable_sync or not executor.substrates:
+        return False
+    if not executor.app.uses_frontier:
+        return False
+    if next((f for f in executor.fields if f is not None), None) is None:
+        return False
+    return _is_self_stabilizing(executor)
 
 
 def recover(

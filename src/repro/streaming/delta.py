@@ -183,6 +183,7 @@ def delta_partition(
                 )
             )
             rebuilt.append(host)
+    partitioned.tag_partitions()
     return DeltaPartitionResult(
         partitioned=partitioned,
         assignment=new_assignment,

@@ -1,0 +1,410 @@
+"""The whole-program sync dataflow analyzer (GL3xx).
+
+Three obligations:
+
+* every rule *fires* on a fixture spec engineered to violate it
+  (GL301 dead syncs, GL302 fusion, GL303 stabilization mismatch,
+  GL304 static hazards, GL305 tampered endpoints);
+* the analyzer is *exact* on the migrated specs — the dead-sync tables
+  and stabilization certificates below are the hand-checked ground
+  truth this PR's optimizer relies on;
+* the sweep is *clean* on every registered program, handwritten and
+  generated: info-severity eliminations only, no hazards, no
+  certificate mismatches (no false positives).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.astlint import analyze_program
+from repro.analysis.dataflow import (
+    analyze_class,
+    analyze_spec,
+    certificate_for,
+    certify_report,
+    certify_spec,
+    dataflow_programs,
+    dead_sync_table,
+    fusion_candidates,
+    graph_from_report,
+    graph_from_spec,
+    kernel_is_monotone,
+)
+from repro.analysis.linter import all_builtin_programs, all_compiled_programs
+from repro.apps import BFS, ConnectedComponents, PageRank, make_app
+from repro.apps.specs import PROGRAM_SPECS
+from repro.compiler import FieldDecl, PhaseSpec, ProgramSpec, SyncDecl
+from repro.partition.strategy import PartitionStrategy
+
+
+def _noop_hook(part, state):
+    return np.zeros(part.num_nodes, dtype=bool)
+
+
+def fuse_spec():
+    """Two adjacent push phases sharing a gather — GL302 must fire."""
+    return ProgramSpec(
+        name="fixture-fuse",
+        fields=(
+            FieldDecl("x", np.uint32, None, "np.arange(n, dtype=np.uint32)"),
+            FieldDecl("a", np.uint32, "min",
+                      "np.full(n, 4294967295, dtype=np.uint32)"),
+            FieldDecl("b", np.uint32, "min",
+                      "np.full(n, 4294967295, dtype=np.uint32)"),
+        ),
+        phases=(
+            PhaseSpec("scatter_a", "frontier_push", "a",
+                      kernel="np.minimum({dst.a}, {src.x} + np.uint32(1))"),
+            PhaseSpec("scatter_b", "frontier_push", "b",
+                      kernel="np.minimum({dst.b}, {src.x} + np.uint32(2))"),
+        ),
+        sync=(SyncDecl("a"), SyncDecl("b")),
+        frontier="all",
+    )
+
+
+def hazard_spec():
+    """A later phase reads a field an earlier phase scatter-wrote in the
+    same round — the GL304 stale-mirror-read shape."""
+    return ProgramSpec(
+        name="fixture-hazard",
+        fields=(
+            FieldDecl("x", np.uint32, None, "np.arange(n, dtype=np.uint32)"),
+            FieldDecl("a", np.uint32, "min",
+                      "np.full(n, 4294967295, dtype=np.uint32)"),
+            FieldDecl("c", np.uint64, "min",
+                      "np.full(n, 2**64 - 1, dtype=np.uint64)"),
+        ),
+        phases=(
+            PhaseSpec("scatter_a", "frontier_push", "a",
+                      kernel="{src.x} + np.uint32(1)"),
+            PhaseSpec("combine", "frontier_push", "c",
+                      kernel="{src.a}.astype(np.uint64) + np.uint64(1)"),
+        ),
+        sync=(SyncDecl("a"),),
+        frontier="all",
+    )
+
+
+def mismatch_spec():
+    """Idempotent reduction + master hook: the reduce-op-only heuristic
+    certifies it, the GL303 proof denies it — the mismatch must fire."""
+    return ProgramSpec(
+        name="fixture-mismatch",
+        fields=(
+            FieldDecl("alive", np.uint32, None,
+                      "np.ones(n, dtype=np.uint32)"),
+            FieldDecl("acc", np.uint32, "min",
+                      "np.full(n, 4294967295, dtype=np.uint32)"),
+        ),
+        phases=(
+            PhaseSpec("notify", "frontier_push", "acc",
+                      kernel="np.uint32(1)",
+                      guard="{alive} == np.uint32(1)"),
+        ),
+        sync=(SyncDecl(field="acc", broadcast="alive", hook=_noop_hook),),
+        frontier="all",
+    )
+
+
+def tampered_spec():
+    """Hand-pinned endpoints void every whole-program proof (GL305)."""
+    return dataclasses.replace(
+        PROGRAM_SPECS["bfs"],
+        endpoint_overrides=(
+            ("dist", (frozenset({"source"}),
+                      frozenset({"source", "destination"}))),
+        ),
+    )
+
+
+#: Hand-checked ground truth: dead sync phases per migrated spec.
+EXPECTED_DEAD = {
+    "bfs": {"iec": {"dist": ("reduce",)}},
+    "sssp": {"iec": {"dist": ("reduce",)},
+             "oec": {"dist": ("broadcast",)}},
+    "cc": {"iec": {"label": ("reduce",)},
+           "oec": {"label": ("broadcast",)}},
+    "kcore": {"iec": {"removed_acc": ("reduce",)},
+              "oec": {"removed_acc": ("broadcast",)}},
+    "pr": {"iec": {"rank_acc": ("reduce",)},
+           "oec": {"rank_acc": ("broadcast",)}},
+    "pr-push": {"iec": {"residual": ("reduce",)},
+                "oec": {"residual": ("broadcast",)}},
+    "featprop": {"iec": {"feat_acc": ("reduce",)},
+                 "oec": {"feat_acc": ("broadcast",)}},
+    "labelprop": {"iec": {"count_acc": ("reduce",)},
+                  "oec": {"count_acc": ("broadcast",)}},
+}
+
+#: Hand-checked ground truth: which migrated specs certify GL303.
+EXPECTED_CERTIFIED = {
+    "bfs": True,
+    "sssp": True,
+    "cc": True,
+    "kcore": False,
+    "pr": False,
+    "pr-push": False,
+    "featprop": False,
+    "labelprop": False,
+}
+
+
+class TestGraphModel:
+    def test_spec_graph_shape(self):
+        graph = graph_from_spec(PROGRAM_SPECS["sssp"])
+        assert graph.origin == "spec"
+        assert [p.name for p in graph.phases] == ["relax"]
+        assert [w.wire for w in graph.wires] == ["dist"]
+        wire = graph.wires[0]
+        assert wire.writes == frozenset({"destination"})
+        assert wire.uses == frozenset({"source"})
+
+    def test_bfs_pull_targets_keep_destination_use(self):
+        """bfs's adopt phase reads dist in its pull_targets mask — a
+        destination-side read invisible to derive_phase_access that the
+        analyzer must add, or it would wrongly kill the broadcast
+        under OEC."""
+        graph = graph_from_spec(PROGRAM_SPECS["bfs"])
+        wire = graph.wires[0]
+        assert "destination" in wire.uses
+
+    def test_ast_graph_recovered_from_handwritten(self):
+        graph = graph_from_report(analyze_program(BFS))
+        assert graph.origin == "ast"
+        assert graph.wires, "no wires recovered from handwritten bfs"
+
+
+class TestGL301:
+    @pytest.mark.parametrize("app", sorted(EXPECTED_DEAD))
+    def test_dead_sync_tables_are_exact(self, app):
+        table = dead_sync_table(graph_from_spec(PROGRAM_SPECS[app]))
+        assert table == EXPECTED_DEAD[app], app
+
+    def test_bfs_broadcast_survives_oec(self):
+        """The pull-path destination read keeps bfs's broadcast alive
+        under OEC — the one asymmetry in the migrated-spec table."""
+        table = dead_sync_table(graph_from_spec(PROGRAM_SPECS["bfs"]))
+        assert "oec" not in table
+
+    def test_findings_fire_on_every_spec(self):
+        for app in EXPECTED_DEAD:
+            found = [
+                f for f in analyze_spec(PROGRAM_SPECS[app])
+                if f.rule.rule_id == "GL301"
+            ]
+            assert found, f"{app}: no GL301 finding"
+            assert all(f.severity == "info" for f in found)
+
+    def test_handwritten_path_agrees_on_sssp(self):
+        """AST recovery reaches the same oec-broadcast-dead conclusion
+        the spec path proves (sssp has no pull path, so the AST
+        conservatism does not mask it)."""
+        findings = analyze_class(make_app("sssp").__class__)
+        dead = [
+            f.details for f in findings if f.rule.rule_id == "GL301"
+        ]
+        assert any(
+            d["sync_phase"] == "broadcast" and "oec" in d["strategies"]
+            for d in dead
+        )
+
+    def test_dead_phases_respect_strategy_invariants(self):
+        """Under UVC/CVC mirrors can sit at either endpoint — nothing
+        is ever provably dead there."""
+        for app in EXPECTED_DEAD:
+            table = dead_sync_table(graph_from_spec(PROGRAM_SPECS[app]))
+            assert PartitionStrategy.UVC.value not in table
+            assert PartitionStrategy.CVC.value not in table
+
+
+class TestGL302:
+    def test_fixture_pair_detected(self):
+        pairs = fusion_candidates(graph_from_spec(fuse_spec()))
+        assert [(a.name, b.name) for a, b in pairs] == [
+            ("scatter_a", "scatter_b")
+        ]
+
+    def test_finding_fires(self):
+        found = [
+            f for f in analyze_spec(fuse_spec())
+            if f.rule.rule_id == "GL302"
+        ]
+        assert len(found) == 1
+        assert found[0].severity == "info"
+
+    def test_no_candidates_on_migrated_specs(self):
+        for app, spec in PROGRAM_SPECS.items():
+            assert not fusion_candidates(graph_from_spec(spec)), app
+
+    def test_read_dependency_blocks_fusion(self):
+        """If the later phase consumes the earlier phase's target the
+        shared gather would feed it pre-scatter values — not fusible."""
+        spec = hazard_spec()
+        assert not fusion_candidates(graph_from_spec(spec))
+
+
+class TestGL303:
+    @pytest.mark.parametrize("app", sorted(EXPECTED_CERTIFIED))
+    def test_certificates_match_ground_truth(self, app):
+        cert = certify_spec(PROGRAM_SPECS[app])
+        assert cert.self_stabilizing is EXPECTED_CERTIFIED[app], (
+            app, cert.reasons,
+        )
+
+    def test_no_mismatch_on_migrated_specs(self):
+        """The certificate only *tightens* the old heuristic where the
+        heuristic was wrong; on every migrated spec the two agree."""
+        for app, spec in PROGRAM_SPECS.items():
+            assert not certify_spec(spec).mismatch, app
+
+    def test_mismatch_fixture_fires(self):
+        cert = certify_spec(mismatch_spec())
+        assert cert.heuristic, "fixture must pass the weak heuristic"
+        assert not cert.self_stabilizing
+        assert cert.reasons == ("no-master-hooks",)
+        found = [
+            f for f in analyze_spec(mismatch_spec())
+            if f.rule.rule_id == "GL303"
+        ]
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+
+    def test_handwritten_bc_denied(self):
+        """bc folds accumulators through ADD — denied by heuristic and
+        certificate alike (the ISSUE's misclassification concern turns
+        out to be guarded twice)."""
+        from repro.apps.bc import _ForwardBC
+
+        cert = certificate_for(_ForwardBC)
+        assert cert is not None
+        assert not cert.self_stabilizing
+
+    def test_certificate_for_handwritten_and_compiled(self):
+        ast_cert = certificate_for(make_app("bfs"))
+        assert ast_cert is not None
+        assert ast_cert.origin == "ast"
+        assert ast_cert.self_stabilizing
+        spec_cert = certificate_for(make_app("bfs@compiled"))
+        assert spec_cert is not None
+        assert spec_cert.origin == "spec"
+        assert spec_cert.self_stabilizing
+
+    def test_ast_and_spec_paths_agree_on_registered_apps(self):
+        for cls, spec in (
+            (BFS, PROGRAM_SPECS["bfs"]),
+            (ConnectedComponents, PROGRAM_SPECS["cc"]),
+            (PageRank, PROGRAM_SPECS["pr"]),
+        ):
+            ast_cert = certify_report(analyze_program(cls))
+            assert (
+                ast_cert.self_stabilizing
+                == certify_spec(spec).self_stabilizing
+            ), cls.__name__
+
+
+class TestMonotoneKernels:
+    @pytest.mark.parametrize("kernel", [
+        "{src.dist} + {w}",
+        "{src.label}",
+        "np.minimum({dst.a}, {src.x} + np.uint32(1))",
+        "np.maximum({src.a}, {dst.a})",
+        "{src.feat_acc}.astype(np.float64)",
+        "np.uint32(1)",
+        "{src.x} * 2",
+    ])
+    def test_monotone(self, kernel):
+        assert kernel_is_monotone(kernel)
+
+    @pytest.mark.parametrize("kernel", [
+        "np.where({dst.dist} > level, np.uint32(level + 1), {dst.dist})",
+        "{src.rank} / np.maximum({src.out_degree}, 1)",
+        "{src.x} * -1",
+        "-{src.x}",
+    ])
+    def test_non_monotone(self, kernel):
+        assert not kernel_is_monotone(kernel)
+
+    def test_missing_kernel_is_vacuously_monotone(self):
+        assert kernel_is_monotone(None)
+
+
+class TestGL304:
+    def test_hazard_fixture_fires_error(self):
+        found = [
+            f for f in analyze_spec(hazard_spec())
+            if f.rule.rule_id == "GL304"
+        ]
+        assert found, "stale-read hazard not detected"
+        assert all(f.severity == "error" for f in found)
+
+    def test_optimize_gate_refuses_hazard(self):
+        from repro.compiler.program_codegen import compile_program
+        from repro.compiler.spec import CompileError
+
+        with pytest.raises(CompileError, match="GL304"):
+            compile_program(hazard_spec(), optimize=True)
+        # The unoptimized build is still allowed (hazard diagnostics
+        # are for the optimizer's proofs, not a new compile gate).
+        assert compile_program(hazard_spec()) is not None
+
+    def test_handwritten_cc_same_statement_is_clean(self):
+        """cc's pull direction gathers and scatters in one statement
+        spanning several source lines; line-order comparison used to
+        misread it as a stale read-after-write.  Statement identity
+        (AccessEvent.statement) must keep it clean."""
+        findings = analyze_class(ConnectedComponents)
+        assert not [
+            f for f in findings if f.rule.rule_id == "GL304"
+        ]
+
+
+class TestGL305:
+    def test_tampered_spec_flagged_and_analysis_halts(self):
+        findings = analyze_spec(tampered_spec())
+        assert [f.rule.rule_id for f in findings] == ["GL305"]
+        assert findings[0].severity == "warning"
+
+    def test_tampered_spec_yields_empty_tables(self):
+        graph = graph_from_spec(tampered_spec())
+        assert graph.overridden
+        assert dead_sync_table(graph) == {}
+        assert fusion_candidates(graph) == []
+
+    def test_optimizer_refuses_tampered_proofs(self):
+        from repro.compiler.program_codegen import render_program
+
+        source = render_program(tampered_spec(), optimize=True)
+        assert "_DEAD_SYNC" not in source
+        assert "sync_phases" not in source
+
+
+class TestCleanSweep:
+    def test_no_errors_or_mismatches_on_any_registered_program(self):
+        programs = [
+            cls
+            for _, app_programs in all_builtin_programs()
+            for cls in app_programs
+        ]
+        programs.extend(cls for _, cls in all_compiled_programs())
+        findings = dataflow_programs(programs)
+        assert findings, "the sweep found nothing at all"
+        bad = [
+            f for f in findings
+            if f.rule.rule_id in ("GL303", "GL304", "GL305")
+            or f.severity == "error"
+        ]
+        assert not bad, [f"{f.rule.rule_id}: {f.message}" for f in bad]
+
+    def test_lint_integration(self):
+        from repro.analysis.linter import run_lint
+
+        _, plain = run_lint()
+        _, with_dataflow = run_lint(dataflow=True)
+        gl3 = [
+            f for f in with_dataflow if f.rule.rule_id.startswith("GL3")
+        ]
+        assert gl3, "--dataflow added no GL3xx findings"
+        assert len(with_dataflow) == len(plain) + len(gl3)

@@ -202,3 +202,66 @@ class TestTransientFaults:
             result.executor.gather_result("dist"),
             baseline.executor.gather_result("dist"),
         )
+
+
+class TestStabilizationCertificate:
+    """Confined recovery is gated by the GL303 certificate, not the old
+    reduce-op-only heuristic."""
+
+    def _stub(self, app, fields_idempotent=True):
+        from types import SimpleNamespace
+
+        field = SimpleNamespace(
+            reduce_op=SimpleNamespace(idempotent=fields_idempotent)
+        )
+        return SimpleNamespace(
+            enable_sync=True,
+            substrates=[object()],
+            app=app,
+            fields=[[field]],
+        )
+
+    def test_certificate_overrules_field_heuristic(self):
+        """The regression this PR fixes: an idempotent frontier program
+        whose sync hook folds master-side state passed the old field
+        heuristic but is NOT safe to restart from stale checkpoints."""
+        from repro.compiler import compile_program
+        from tests.analysis.test_dataflow import mismatch_spec
+
+        app = compile_program(mismatch_spec())
+        executor = self._stub(app)
+        # The old heuristic's inputs all say yes...
+        assert app.uses_frontier
+        assert all(
+            f.reduce_op.idempotent for f in executor.fields[0]
+        )
+        # ...and the certificate still refuses.
+        assert not confined_applicable(executor)
+
+    def test_fallback_without_certificate(self, monkeypatch):
+        """When no certificate is obtainable (program source
+        unavailable) the old field-level heuristic remains as the
+        conservative fallback."""
+        from repro.analysis import dataflow
+
+        monkeypatch.setattr(
+            dataflow, "certificate_for", lambda target: None
+        )
+        cls = type(
+            "SyntheticProgram", (), {"uses_frontier": True, "name": "syn"}
+        )
+        assert confined_applicable(self._stub(cls()))
+        assert not confined_applicable(
+            self._stub(cls(), fields_idempotent=False)
+        )
+
+    def test_applicable_to_compiled_bfs(self, edges):
+        """Spec-path certificate: the generated twin is eligible too."""
+        result = run_app("d-galois", "bfs@compiled", edges, num_hosts=2)
+        assert confined_applicable(result.executor)
+
+    def test_not_applicable_to_kcore(self, edges):
+        """kcore's apply hook mutates master state outside the reduction
+        lattice — certificate denied (no-master-hooks)."""
+        result = run_app("d-galois", "kcore", edges, num_hosts=2)
+        assert not confined_applicable(result.executor)
